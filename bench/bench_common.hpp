@@ -1,0 +1,59 @@
+// Shared scaffolding for the figure-reproduction binaries.
+//
+// Every binary accepts:
+//   --full        paper-scale sample sizes (default: reduced but meaningful)
+//   --seed=N      root seed (default 1)
+//   --csv=path    additionally dump the series as CSV
+// and prints its series as an aligned table with the same rows/columns the
+// paper's figure reports.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace ebrc::bench {
+
+struct BenchArgs {
+  bool full = false;
+  std::uint64_t seed = 1;
+  std::optional<std::string> csv_path;
+  util::Cli cli;
+
+  BenchArgs(int argc, char** argv) : cli(argc, argv) {
+    cli.know("full").know("seed").know("csv").know("help");
+    full = cli.get("full", false);
+    seed = static_cast<std::uint64_t>(cli.get("seed", 1));
+    if (cli.has("csv")) csv_path = cli.get("csv", std::string{});
+  }
+
+  /// Scales a sample count: reduced by default, paper-scale with --full.
+  [[nodiscard]] std::uint64_t events(std::uint64_t reduced, std::uint64_t paper) const {
+    return full ? paper : reduced;
+  }
+  [[nodiscard]] double seconds(double reduced, double paper) const {
+    return full ? paper : reduced;
+  }
+};
+
+/// Prints the banner every figure binary starts with.
+inline void banner(const std::string& figure, const std::string& what) {
+  std::cout << "=== " << figure << " — " << what << " ===\n";
+}
+
+/// Writes the table to CSV when --csv was given.
+inline void maybe_csv(const BenchArgs& args, const std::vector<std::string>& header,
+                      const std::vector<std::vector<double>>& rows) {
+  if (!args.csv_path || args.csv_path->empty()) return;
+  util::CsvWriter csv(*args.csv_path, header);
+  for (const auto& r : rows) csv.row(r);
+  std::cout << "[csv] wrote " << rows.size() << " rows to " << *args.csv_path << "\n";
+}
+
+}  // namespace ebrc::bench

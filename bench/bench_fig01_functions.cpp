@@ -1,0 +1,57 @@
+// Figure 1: x -> f(1/x) and x -> 1/f(1/x) for SQRT, PFTK-standard and
+// PFTK-simplified with r = 1, q = 4r. Small x = heavy losses. The right
+// panel's convexity (F1) and the left panel's concave/convex split (F2/F2c)
+// drive Theorems 1 and 2.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "model/convexity.hpp"
+#include "model/throughput_function.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ebrc;
+  bench::BenchArgs args(argc, argv);
+  args.cli.finish();
+  bench::banner("Figure 1", "f(1/x) and 1/f(1/x) for the three formulas (r=1, q=4r)");
+
+  const auto sqrt_f = model::make_throughput_function("sqrt", 1.0);
+  const auto pftk = model::make_throughput_function("pftk", 1.0);
+  const auto simp = model::make_throughput_function("pftk-simplified", 1.0);
+
+  util::Table left({"x", "SQRT f(1/x)", "PFTK-std f(1/x)", "PFTK-simpl f(1/x)"});
+  util::Table right({"x", "SQRT 1/f(1/x)", "PFTK-std 1/f(1/x)", "PFTK-simpl 1/f(1/x)"});
+  std::vector<std::vector<double>> csv_rows;
+  for (double x = 1.0; x <= 50.0; x += (x < 10.0 ? 0.5 : 2.5)) {
+    left.row({x, sqrt_f->rate_from_interval(x), pftk->rate_from_interval(x),
+              simp->rate_from_interval(x)});
+    right.row({x, sqrt_f->g(x), pftk->g(x), simp->g(x)});
+    csv_rows.push_back({x, sqrt_f->rate_from_interval(x), pftk->rate_from_interval(x),
+                        simp->rate_from_interval(x), sqrt_f->g(x), pftk->g(x), simp->g(x)});
+  }
+  left.print("\n(Left) x -> f(1/x); values of x close to 0 are heavy losses");
+  right.print("\n(Right) x -> 1/f(1/x)");
+
+  // The figure's captions, verified numerically.
+  const auto convex = [&](const model::ThroughputFunction& f, double lo, double hi) {
+    // Fine grid: PFTK-standard's non-convexity near the min() kink is tiny.
+    return model::is_convex_on([&](double x) { return f.g(x); }, lo, hi, 16384, 1e-9);
+  };
+  std::cout << "\nConvexity of 1/f(1/x) on [1.5, 500] (condition F1):\n"
+            << "  SQRT:            " << (convex(*sqrt_f, 1.5, 500) ? "convex" : "NOT convex")
+            << "\n  PFTK-simplified: " << (convex(*simp, 1.5, 500) ? "convex" : "NOT convex")
+            << "\n  PFTK-standard:   "
+            << (convex(*pftk, 1.5, 500) ? "convex" : "NOT convex (but almost; see Figure 2)")
+            << "\n";
+  const bool concave_sqrt = model::is_concave_on(
+      [&](double x) { return sqrt_f->rate_from_interval(x); }, 1.5, 500.0);
+  const bool convex_heavy = model::probe_convexity(
+      [&](double x) { return simp->rate_from_interval(x); }, 1.5, 4.0, 256).strictly_convex;
+  std::cout << "Concavity of f(1/x) (condition F2): SQRT everywhere: "
+            << (concave_sqrt ? "yes" : "no")
+            << "; PFTK strictly convex for heavy loss (x in [1.5,4]): "
+            << (convex_heavy ? "yes" : "no") << "\n";
+
+  bench::maybe_csv(args, {"x", "sqrt_h", "pftk_h", "simp_h", "sqrt_g", "pftk_g", "simp_g"},
+                   csv_rows);
+  return 0;
+}

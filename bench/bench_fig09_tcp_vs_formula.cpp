@@ -1,0 +1,45 @@
+// Figure 9: TCP Sack versus the PFTK-standard formula — a scatter of the
+// measured TCP throughput against f(p', r') evaluated at TCP's own measured
+// loss-event rate and RTT, across bottleneck populations.
+//
+// Paper shape: points fall BELOW the diagonal except at large throughputs —
+// with few competing connections TCP attains less than the formula predicts
+// (sub-condition 4 of the TCP-friendliness breakdown fails).
+#include "bench_common.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ebrc;
+  bench::BenchArgs args(argc, argv);
+  args.cli.finish();
+  bench::banner("Figure 9", "TCP throughput vs PFTK-standard prediction");
+
+  const std::vector<int> populations =
+      args.full ? std::vector<int>{1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36}
+                : std::vector<int>{1, 2, 4, 9, 16, 30};
+  const double duration = args.seconds(150.0, 600.0);
+
+  util::Table t({"conns/dir", "f(p',r') pkts/s", "E[X] TCP pkts/s", "measured/formula"});
+  std::vector<std::vector<double>> csv_rows;
+  for (int n : populations) {
+    testbed::Scenario s = testbed::ns2_scenario(n, n, 8, args.seed + 7 * n);
+    s.duration_s = duration;
+    s.warmup_s = duration / 5.0;
+    const auto r = testbed::run_experiment(s);
+    for (const auto* f : r.of_kind("tcp")) {
+      if (f->p <= 0 || f->formula_rate <= 0) continue;
+      t.row({static_cast<double>(2 * n), f->formula_rate, f->throughput_pps,
+             f->normalized});
+      csv_rows.push_back({static_cast<double>(2 * n), f->formula_rate, f->throughput_pps,
+                          f->normalized});
+    }
+  }
+  t.print("\nPer-TCP-connection scatter (each row one connection):");
+
+  std::cout << "\nPaper shape: measured/formula < 1 in most rows — TCP does not attain\n"
+            << "the PFTK prediction when few senders share the bottleneck (its window\n"
+            << "growth is sub-linear there), approaching 1 at larger throughputs.\n";
+  bench::maybe_csv(args, {"conns", "formula", "measured", "ratio"}, csv_rows);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 11: is TFRC TCP-friendly over the WAN paths? The ratio x̄/x̄' of
+// the TFRC and TCP throughputs versus the loss-event rate p, for the four
+// Table-I paths, sweeping the number of test connections (the paper ran
+// n in {1, 2, 4, 6, 8, 10}).
+//
+// Paper shape: for small p (few competing senders) the ratio rises well
+// above 1 — significant non-TCP-friendliness — driven by p' > p and by TCP
+// undershooting its formula (Figures 12-15 break this down).
+#include "bench_common.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/wan_paths.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ebrc;
+  bench::BenchArgs args(argc, argv);
+  args.cli.finish();
+  bench::banner("Figure 11", "TFRC/TCP throughput ratio vs p over the Table-I WAN paths");
+
+  const std::vector<int> populations =
+      args.full ? std::vector<int>{1, 2, 4, 6, 8, 10} : std::vector<int>{1, 3, 8};
+  const double duration = args.seconds(180.0, 3600.0);
+
+  util::Table t({"path", "n/dir", "p (tfrc)", "x/x' (tfrc/tcp)"});
+  std::vector<std::vector<double>> csv_rows;
+  int path_idx = 0;
+  for (const auto& path : testbed::table1_paths()) {
+    for (int n : populations) {
+      auto s = testbed::wan_scenario(path, n, args.seed + 13 * n);
+      s.duration_s = duration;
+      s.warmup_s = duration / 6.0;
+      const auto r = testbed::run_experiment(s);
+      if (r.breakdown.friendliness <= 0) continue;
+      t.row({path.name, util::fmt(n, 3), util::fmt(r.tfrc_p, 4),
+             util::fmt(r.breakdown.friendliness, 4)});
+      csv_rows.push_back({static_cast<double>(path_idx), static_cast<double>(n), r.tfrc_p,
+                          r.breakdown.friendliness});
+    }
+    ++path_idx;
+  }
+  t.print("\nTCP-friendliness check (values > 1 = non-TCP-friendly):");
+
+  std::cout << "\nPaper shape: ratios well above 1 at the smallest p (fewest senders) on\n"
+            << "most paths, approaching 1 as the population grows.\n";
+  bench::maybe_csv(args, {"path", "n", "p", "friendliness"}, csv_rows);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 16: lab experiments — is TFRC TCP-friendly? The ratio x̄/x̄' of the
+// TFRC and TCP throughputs versus the loss-event rate p, on the DropTail-100
+// and RED bottlenecks, sweeping the population (the paper ran n in
+// {1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36} per direction).
+#include "bench_common.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ebrc;
+  bench::BenchArgs args(argc, argv);
+  args.cli.finish();
+  bench::banner("Figure 16", "lab TCP-friendliness: x/x' vs p (DropTail-100 and RED)");
+
+  const std::vector<int> populations =
+      args.full ? std::vector<int>{1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36}
+                : std::vector<int>{1, 3, 6, 12, 25};
+  const double duration = args.seconds(180.0, 2500.0);
+
+  std::vector<std::vector<double>> csv_rows;
+  for (auto queue : {testbed::QueueKind::kDropTail, testbed::QueueKind::kRed}) {
+    util::Table t({"n/dir", "p (tfrc)", "x/x'", "p'/p"});
+    for (int n : populations) {
+      auto s = testbed::lab_scenario(queue, 100, n, args.seed + 17 * n);
+      s.duration_s = duration;
+      s.warmup_s = duration / 6.0;
+      const auto r = testbed::run_experiment(s);
+      if (r.breakdown.friendliness <= 0) continue;
+      t.row({static_cast<double>(n), r.tfrc_p, r.breakdown.friendliness,
+             r.breakdown.loss_rate_ratio});
+      csv_rows.push_back({queue == testbed::QueueKind::kDropTail ? 0.0 : 1.0,
+                          static_cast<double>(n), r.tfrc_p, r.breakdown.friendliness,
+                          r.breakdown.loss_rate_ratio});
+    }
+    t.print(std::string("\n") +
+            (queue == testbed::QueueKind::kDropTail ? "DropTail 100" : "RED") + ":");
+  }
+
+  std::cout << "\nPaper shape: at small p (few senders) the ratio exceeds 1; at larger\n"
+            << "populations TFRC turns TCP-friendly or even loses throughput share (its\n"
+            << "strong conservativeness under heavy loss, Figure 5).\n";
+  bench::maybe_csv(args, {"queue", "n", "p", "friendliness", "p_ratio"}, csv_rows);
+  return 0;
+}

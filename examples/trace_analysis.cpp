@@ -1,0 +1,132 @@
+// Loss-trace analysis: feed a measured sequence of loss-event intervals
+// (one number per line: packets between successive loss events) and get the
+// paper's diagnosis for a TFRC-like sender driven by that loss process:
+//
+//   * loss-event rate p and interval statistics,
+//   * cov[theta_0, hat-theta_0] under the TFRC estimator (condition C1) and
+//     the per-lag autocovariances behind it (Eq. 11),
+//   * the Proposition-1 prediction of the normalized throughput, and
+//   * the Theorem-1 / Proposition-4 bounds.
+//
+// With no file argument a demo trace is generated from a two-phase
+// (congested / clear) loss process — the predictability scenario of
+// Section III-B.2.
+//
+// Build & run:  ./build/examples/trace_analysis [trace.txt] [--L 8]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/analyzer.hpp"
+#include "core/conditions.hpp"
+#include "core/estimator.hpp"
+#include "core/weights.hpp"
+#include "loss/markov_modulated.hpp"
+#include "model/throughput_function.hpp"
+#include "stats/autocovariance.hpp"
+#include "stats/online.hpp"
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::vector<double> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  std::vector<double> v;
+  double x;
+  while (in >> x) {
+    if (x > 0) v.push_back(x);
+  }
+  return v;
+}
+
+std::vector<double> demo_trace() {
+  // Two-phase network weather: long clear stretches, short congested bursts.
+  auto proc = ebrc::loss::make_two_phase(/*good=*/120.0, /*bad=*/8.0,
+                                         /*mean_sojourn_events=*/60.0, /*seed=*/17);
+  std::vector<double> v;
+  v.reserve(200000);
+  for (int i = 0; i < 200000; ++i) v.push_back(proc.next());
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ebrc;
+  util::Cli cli(argc, argv);
+  cli.know("L").know("formula").know("rtt");
+  cli.finish();
+  const auto L = static_cast<std::size_t>(cli.get("L", 8));
+  const double rtt = cli.get("rtt", 0.1);
+  const std::string fname = cli.get("formula", std::string("pftk-simplified"));
+
+  const bool demo = cli.positional().empty();
+  const std::vector<double> trace = demo ? demo_trace() : load_trace(cli.positional()[0]);
+  if (trace.size() < 10 * L) {
+    std::cerr << "trace too short (" << trace.size() << " intervals)\n";
+    return 1;
+  }
+  std::cout << (demo ? "Demo trace: two-phase congestion weather, " : "Trace: ")
+            << trace.size() << " loss-event intervals\n\n";
+
+  // Marginal statistics.
+  stats::OnlineMoments m;
+  stats::LaggedAutocovariance ac(L);
+  for (double th : trace) {
+    m.add(th);
+    ac.add(th);
+  }
+  const double p = 1.0 / m.mean();
+  util::Table stat({"metric", "value"});
+  stat.row({std::string("loss-event rate p"), util::fmt(p, 4)});
+  stat.row({std::string("mean interval (pkts)"), util::fmt(m.mean(), 5)});
+  stat.row({std::string("interval cv (conventional)"), util::fmt(m.cv(), 4)});
+  stat.print("Marginal statistics:");
+
+  // Correlation structure: Eq. (11) decomposition of cov[theta, hat-theta].
+  const auto weights = core::tfrc_weights(L);
+  util::Table lagt({"lag l", "autocorrelation", "weight w_l", "contribution"});
+  for (std::size_t l = 1; l <= L; ++l) {
+    lagt.row({static_cast<double>(l), ac.correlation_at(l), weights[l - 1],
+              weights[l - 1] * ac.at(l)});
+  }
+  lagt.print("\nEq. (11): cov[theta_0, hat-theta_0] = sum_l w_l cov[theta_0, theta_-l]:");
+
+  const auto f = model::make_throughput_function(fname, rtt);
+  const auto cov = core::check_covariance_conditions(*f, trace, weights);
+  std::cout << "\n  cov[theta_0, hat-theta_0] = " << util::fmt(cov.cov_theta_thetahat, 4)
+            << "  -> normalized cov*p^2 = "
+            << util::fmt(cov.cov_theta_thetahat * util::sq(p), 4) << "\n"
+            << "  condition (C1) cov <= 0:  " << (cov.C1 ? "HOLDS" : "VIOLATED") << "\n";
+
+  // Proposition-1 prediction by replaying the trace through the control.
+  core::MovingAverageEstimator est(weights);
+  double sum_theta = 0, sum_s = 0;
+  for (double th : trace) {
+    if (est.history_size() >= L) {
+      sum_theta += th;
+      sum_s += th / f->rate_from_interval(est.value());
+    }
+    est.push(th);
+  }
+  const double normalized = (sum_theta / sum_s) / f->rate(std::min(1.0, p));
+  std::cout << "\nProposition 1 replay (" << f->name() << ", r = " << rtt << " s):\n"
+            << "  predicted normalized throughput x/f(p) = " << util::fmt(normalized, 4) << "\n"
+            << "  Theorem-1 bound at the measured covariance: "
+            << util::fmt(core::theorem1_bound(*f, std::min(1.0, p), cov.cov_theta_thetahat) /
+                             f->rate(std::min(1.0, p)),
+                         4)
+            << "\n";
+
+  if (!cov.C1 && normalized > 1.0) {
+    std::cout << "\nDiagnosis: the loss process is PREDICTABLE (phases), (C1) fails, and\n"
+              << "the control overshoots its formula — the Section III-B.2 scenario.\n";
+  } else if (normalized <= 1.0) {
+    std::cout << "\nDiagnosis: conservative under this trace. More estimator smoothing\n"
+              << "(larger --L) would move x/f(p) towards 1.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,233 @@
+#include "core/analyzer.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "model/quadrature.hpp"
+#include "stats/online.hpp"
+#include "util/math.hpp"
+
+namespace ebrc::core {
+namespace {
+
+/// Duration of loss interval n under the comprehensive control.
+///
+/// With hat-theta_{n+1} = w1 theta_n + W_n:
+///  * if hat-theta_{n+1} <= hat-theta_n the rate never rises:
+///        S_n = theta_n / f(1/hat-theta_n);
+///  * else the first theta*_n packets go at the old rate
+///    (U_n = theta*_n / f(1/hat-theta_n) seconds) and the remaining time is
+///        (G(hat-theta_{n+1}) - G(hat-theta_n)) / w1,
+///    G an antiderivative of g (closed form or quadrature).
+double comprehensive_duration(const model::ThroughputFunction& f,
+                              const MovingAverageEstimator& est, double theta) {
+  const double hat_n = est.value();
+  const double w1 = est.weights().front();
+  const double tail = est.shifted_tail();
+  const double hat_n1 = w1 * theta + tail;
+  const double base_rate = f.rate_from_interval(hat_n);
+  if (hat_n1 <= hat_n) {
+    return theta / base_rate;
+  }
+  const double threshold = (hat_n - tail) / w1;  // theta*_n
+  const double time_flat = threshold / base_rate;  // = U_n
+  double grow;
+  const auto g1 = f.g_antiderivative(hat_n1);
+  if (g1) {
+    grow = (*g1 - *f.g_antiderivative(hat_n)) / w1;
+  } else {
+    grow = model::integrate([&f](double y) { return f.g(y); }, hat_n, hat_n1, 1e-10) / w1;
+  }
+  return time_flat + grow;
+}
+
+enum class Mode { kBasic, kComprehensive, kProposition3 };
+
+RunResult run_control(Mode mode, const model::ThroughputFunction& f,
+                      loss::LossIntervalProcess& process, const std::vector<double>& weights,
+                      const RunConfig& cfg) {
+  if (cfg.events == 0) throw std::invalid_argument("run_control: events must be > 0");
+  model::SimplifiedCoeffs coeffs{0.0, 0.0};
+  if (mode == Mode::kProposition3) {
+    const auto c = f.simplified_coeffs();
+    if (!c) {
+      throw std::invalid_argument(
+          "run_proposition3: function must belong to the simplified family (SQRT or "
+          "PFTK-simplified)");
+    }
+    coeffs = *c;
+  }
+
+  MovingAverageEstimator est(weights);
+  const double w1 = weights.front();
+
+  // Warm-up: fill the window and let the process forget its initial state.
+  est.push(process.next());
+  for (std::uint64_t i = 1; i < cfg.warmup + weights.size(); ++i) est.push(process.next());
+
+  stats::OnlineMoments theta_m, thetahat_m, x_palm;
+  stats::OnlineCovariance cov_c1;  // (hat-theta_n, theta_n)
+  stats::OnlineCovariance cov_c2;  // (X_n, S_n)
+  double sum_theta = 0.0;
+  double sum_s = 0.0;
+
+  for (std::uint64_t n = 0; n < cfg.events; ++n) {
+    const double hat = est.value();
+    const double rate = f.rate_from_interval(hat);
+    const double theta = process.next();
+
+    double s;
+    switch (mode) {
+      case Mode::kBasic:
+        s = theta / rate;
+        break;
+      case Mode::kComprehensive:
+        s = comprehensive_duration(f, est, theta);
+        break;
+      case Mode::kProposition3: {
+        const double hat_n1 = w1 * theta + est.shifted_tail();
+        s = theta / rate;
+        if (hat_n1 > hat) s -= proposition3_vn(coeffs, w1, hat, hat_n1, rate);
+        break;
+      }
+    }
+
+    sum_theta += theta;
+    sum_s += s;
+    theta_m.add(theta);
+    thetahat_m.add(hat);
+    x_palm.add(rate);
+    cov_c1.add(hat, theta);
+    cov_c2.add(rate, s);
+    est.push(theta);
+  }
+
+  RunResult r;
+  r.events = cfg.events;
+  r.throughput = sum_theta / sum_s;
+  r.mean_theta = theta_m.mean();
+  r.p = 1.0 / r.mean_theta;
+  r.normalized = r.throughput / f.rate(std::min(1.0, r.p));
+  r.cov_theta_thetahat = cov_c1.covariance();
+  r.normalized_cov = r.cov_theta_thetahat * util::sq(r.p);
+  r.cov_x_s = cov_c2.covariance();
+  r.cv_thetahat = thetahat_m.cv();
+  r.mean_thetahat = thetahat_m.mean();
+  r.palm_rate = x_palm.mean();
+  return r;
+}
+
+}  // namespace
+
+RunResult run_basic_control(const model::ThroughputFunction& f,
+                            loss::LossIntervalProcess& process,
+                            const std::vector<double>& weights, const RunConfig& cfg) {
+  return run_control(Mode::kBasic, f, process, weights, cfg);
+}
+
+RunResult run_comprehensive_control(const model::ThroughputFunction& f,
+                                    loss::LossIntervalProcess& process,
+                                    const std::vector<double>& weights, const RunConfig& cfg) {
+  return run_control(Mode::kComprehensive, f, process, weights, cfg);
+}
+
+RunResult run_proposition3(const model::ThroughputFunction& f,
+                           loss::LossIntervalProcess& process,
+                           const std::vector<double>& weights, const RunConfig& cfg) {
+  return run_control(Mode::kProposition3, f, process, weights, cfg);
+}
+
+double proposition3_vn(const model::SimplifiedCoeffs& coeffs, double w1, double thetahat_n,
+                       double thetahat_n1, double rate_at_thetahat_n) {
+  // V_n = (1/w1) [ -2 c1r (y1^{1/2} - y0^{1/2}) + 2 c2q (y1^{-1/2} - y0^{-1/2})
+  //                + (64/5) c2q (y1^{-5/2} - y0^{-5/2})
+  //                + (y1 - y0) / f(1/y0) ]
+  const double y0 = thetahat_n;
+  const double y1 = thetahat_n1;
+  const double sqrt_term = -2.0 * coeffs.c1r * (std::sqrt(y1) - std::sqrt(y0));
+  const double inv_sqrt_term = 2.0 * coeffs.c2q * (1.0 / std::sqrt(y1) - 1.0 / std::sqrt(y0));
+  const double inv_52_term =
+      (64.0 / 5.0) * coeffs.c2q *
+      (1.0 / (y1 * y1 * std::sqrt(y1)) - 1.0 / (y0 * y0 * std::sqrt(y0)));
+  const double linear_term = (y1 - y0) / rate_at_thetahat_n;
+  return (sqrt_term + inv_sqrt_term + inv_52_term + linear_term) / w1;
+}
+
+AudioRunResult run_audio_control(const model::ThroughputFunction& f, double packet_rate,
+                                 double bernoulli_p, const std::vector<double>& weights,
+                                 bool comprehensive, std::uint64_t seed, const RunConfig& cfg) {
+  if (!(packet_rate > 0)) throw std::invalid_argument("run_audio_control: packet_rate > 0");
+  if (!(bernoulli_p > 0) || bernoulli_p >= 1) {
+    throw std::invalid_argument("run_audio_control: p must be in (0,1)");
+  }
+  sim::Rng rng(seed);
+  std::geometric_distribution<long> geom(bernoulli_p);
+  // Loss-event interval: packets between consecutive dropped packets
+  // (support >= 1, mean 1/p).
+  const auto draw_theta = [&]() { return static_cast<double>(geom(rng.engine()) + 1); };
+
+  MovingAverageEstimator est(weights);
+  est.push(draw_theta());
+  for (std::uint64_t i = 1; i < cfg.warmup + weights.size(); ++i) est.push(draw_theta());
+
+  stats::OnlineMoments thetahat_m;
+  stats::OnlineCovariance cov_xs;
+  double sum_bytes = 0.0;  // ∫X dt, in f's rate unit * seconds
+  double sum_time = 0.0;
+  double sum_packets = 0.0;
+
+  for (std::uint64_t n = 0; n < cfg.events; ++n) {
+    const double hat = est.value();
+    const double base_rate = f.rate_from_interval(hat);
+    const double theta = draw_theta();
+    const double s = theta / packet_rate;
+
+    double bytes;
+    if (!comprehensive) {
+      bytes = base_rate * s;
+    } else {
+      // Open interval grows deterministically at the packet rate; the byte
+      // rate is flat until theta* packets, then follows f(1/(w1 x + W_n)).
+      const double tail = est.shifted_tail();
+      const double w1 = est.weights().front();
+      const double threshold = util::clamp((hat - tail) / w1, 0.0, theta);
+      const double flat = base_rate * threshold / packet_rate;
+      double rising = 0.0;
+      if (threshold < theta) {
+        rising = model::integrate(
+                     [&](double x) { return f.rate_from_interval(w1 * x + tail); }, threshold,
+                     theta, 1e-9) /
+                 packet_rate;
+      }
+      bytes = flat + rising;
+    }
+
+    sum_bytes += bytes;
+    sum_time += s;
+    sum_packets += theta;
+    thetahat_m.add(hat);
+    cov_xs.add(base_rate, s);
+    est.push(theta);
+  }
+
+  AudioRunResult r;
+  r.events = cfg.events;
+  r.mean_rate = sum_bytes / sum_time;
+  r.p = static_cast<double>(cfg.events) / sum_packets;
+  r.normalized = r.mean_rate / f.rate(std::min(1.0, r.p));
+  r.cov_x_s = cov_xs.covariance();
+  r.cv_thetahat = thetahat_m.cv();
+  r.cv_thetahat_sq = util::sq(r.cv_thetahat);
+  return r;
+}
+
+double quadrature_normalized_L1(const model::ThroughputFunction& f, double p, double cv) {
+  const auto params = sim::shifted_exp_for(p, cv);
+  const double m = 1.0 / p;
+  const double eg = model::expect_shifted_exp([&f](double x) { return f.g(x); }, params.x0,
+                                              params.a);
+  return f.g(m) / eg;
+}
+
+}  // namespace ebrc::core

@@ -1,0 +1,112 @@
+// Long-run analyzers for the basic (Eq. 3) and comprehensive (Eq. 4)
+// controls, driven by a LossIntervalProcess.
+//
+// The central identity: the number of packets sent over the loss interval
+// [T_n, T_{n+1}) equals theta_n, so the long-run throughput is always
+//   x̄ = sum theta_n / sum S_n
+// and all the work lies in computing the interval duration S_n:
+//   * basic control:          S_n = theta_n / f(1/hat-theta_n)
+//   * comprehensive control:  piecewise — constant rate up to the threshold
+//     theta*_n, then the rate rises with the growing estimator; the extra
+//     time is (G(hat-theta_{n+1}) - G(hat-theta_n)) / w1 for the closed-form
+//     antiderivative G of g (Proposition 3), or a quadrature of g otherwise.
+//
+// The analyzers also accumulate every statistic the paper's figures need:
+// cov[theta_0, hat-theta_0] (condition C1), cov[X_0, S_0] (condition C2),
+// the estimator's coefficient of variation (Claims 1-2), and the Palm
+// (per-event) rate average.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/estimator.hpp"
+#include "loss/loss_process.hpp"
+#include "model/throughput_function.hpp"
+
+namespace ebrc::core {
+
+struct RunResult {
+  double throughput = 0.0;        // x̄ in packets/s
+  double normalized = 0.0;        // x̄ / f(p), p = empirical loss-event rate
+  double p = 0.0;                 // empirical loss-event rate 1/mean(theta)
+  double mean_theta = 0.0;        // E[theta_0]
+  double cov_theta_thetahat = 0.0;  // cov[theta_0, hat-theta_0]   (C1)
+  double normalized_cov = 0.0;      // cov[theta_0, hat-theta_0] p^2 (Figs 5,10)
+  double cov_x_s = 0.0;             // cov[X_0, S_0]               (C2)
+  double cv_thetahat = 0.0;         // cv[hat-theta_0]
+  double mean_thetahat = 0.0;       // E[hat-theta_0] (unbiasedness check)
+  double palm_rate = 0.0;           // E0_N[X(0)], the event average of X_n
+  std::uint64_t events = 0;
+};
+
+struct RunConfig {
+  std::uint64_t events = 200000;  // loss events to simulate after warm-up
+  std::uint64_t warmup = 1000;    // events discarded while the estimator fills
+};
+
+/// Monte-Carlo evaluation of the basic control via Proposition 1.
+[[nodiscard]] RunResult run_basic_control(const model::ThroughputFunction& f,
+                                          loss::LossIntervalProcess& process,
+                                          const std::vector<double>& weights,
+                                          const RunConfig& cfg = {});
+
+/// Monte-Carlo evaluation of the comprehensive control. Uses the exact
+/// closed-form interval duration when f provides g_antiderivative()
+/// (SQRT, PFTK-simplified, and our piecewise extension for PFTK-standard);
+/// otherwise integrates g numerically — both paths agree to quadrature
+/// tolerance (tested).
+[[nodiscard]] RunResult run_comprehensive_control(const model::ThroughputFunction& f,
+                                                  loss::LossIntervalProcess& process,
+                                                  const std::vector<double>& weights,
+                                                  const RunConfig& cfg = {});
+
+/// Proposition 3 evaluated sample-by-sample on the same stream:
+/// S_n = theta_n/f(1/hat-theta_n) - V_n 1{hat-theta_{n+1} > hat-theta_n}.
+/// Returns the throughput from E[theta_0] / (E[theta_0/f] - E[V_0 1{...}]).
+/// Requires f.simplified_coeffs() (SQRT or PFTK-simplified).
+[[nodiscard]] RunResult run_proposition3(const model::ThroughputFunction& f,
+                                         loss::LossIntervalProcess& process,
+                                         const std::vector<double>& weights,
+                                         const RunConfig& cfg = {});
+
+/// The single-sample V_n of Proposition 3 (exposed for tests).
+[[nodiscard]] double proposition3_vn(const model::SimplifiedCoeffs& coeffs, double w1,
+                                     double thetahat_n, double thetahat_n1,
+                                     double rate_at_thetahat_n);
+
+/// Quadrature (no Monte Carlo) normalized throughput of the basic control
+/// for L = 1 and i.i.d. shifted-exponential intervals: with hat-theta_0 =
+/// theta_{-1} independent of theta_0,
+///   x̄ = 1 / E[g(theta)]  and  x̄/f(p) = g(m)/E[g(theta)].
+[[nodiscard]] double quadrature_normalized_L1(const model::ThroughputFunction& f, double p,
+                                              double cv);
+
+/// The Claim-2 / Figure-6 sender: an audio-like source with a FIXED packet
+/// rate (packets/s) that adapts its *byte* rate to f(1/hat-theta). Packets
+/// are dropped i.i.d. Bernoulli(p) (RED in packet mode, drops independent of
+/// packet length), so the loss-event interval theta_n is geometric and the
+/// interval duration S_n = theta_n / packet_rate is INDEPENDENT of the
+/// controlled rate X_n — condition (C2c) holds with equality. Theorem 2 then
+/// predicts: conservative where f(1/x) is concave (SQRT; PFTK at low p),
+/// non-conservative where it is strictly convex (PFTK at high p).
+///
+/// Time average measured: x̄ = sum over intervals of ∫X dt / total time;
+/// under the comprehensive control X(t) rises once the open interval crosses
+/// the threshold, integrated exactly via the rate function.
+struct AudioRunResult {
+  double mean_rate = 0.0;       // x̄ (same rate unit as f)
+  double normalized = 0.0;      // x̄ / f(p_empirical)
+  double p = 0.0;               // empirical per-packet loss-event rate
+  double cov_x_s = 0.0;         // should be ~0 by construction
+  double cv_thetahat = 0.0;
+  double cv_thetahat_sq = 0.0;  // Fig. 6, bottom panel
+  std::uint64_t events = 0;
+};
+[[nodiscard]] AudioRunResult run_audio_control(const model::ThroughputFunction& f,
+                                               double packet_rate, double bernoulli_p,
+                                               const std::vector<double>& weights,
+                                               bool comprehensive, std::uint64_t seed,
+                                               const RunConfig& cfg = {});
+
+}  // namespace ebrc::core

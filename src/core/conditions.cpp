@@ -1,0 +1,72 @@
+#include "core/conditions.hpp"
+
+#include <stdexcept>
+
+#include "core/estimator.hpp"
+#include "stats/online.hpp"
+#include "util/math.hpp"
+
+namespace ebrc::core {
+
+FunctionConditions check_function_conditions(const model::ThroughputFunction& f, double x_lo,
+                                             double x_hi, int grid, double tol) {
+  if (!(x_lo > 0.0) || !(x_hi > x_lo)) {
+    throw std::invalid_argument("check_function_conditions: need 0 < x_lo < x_hi");
+  }
+  FunctionConditions out;
+  out.g_report =
+      model::probe_convexity([&f](double x) { return f.g(x); }, x_lo, x_hi, grid, tol);
+  out.h_report = model::probe_convexity([&f](double x) { return f.rate_from_interval(x); }, x_lo,
+                                        x_hi, grid, tol);
+  out.F1 = out.g_report.convex;
+  out.F2 = out.h_report.concave;
+  out.F2c = out.h_report.strictly_convex;
+  return out;
+}
+
+CovarianceConditions check_covariance_conditions(const model::ThroughputFunction& f,
+                                                 const std::vector<double>& intervals,
+                                                 const std::vector<double>& weights,
+                                                 double tol) {
+  MovingAverageEstimator est(weights);
+  stats::OnlineCovariance c1;  // (hat-theta, theta)
+  stats::OnlineCovariance c2;  // (X, S)
+  stats::OnlineMoments hat_m;
+  for (double theta : intervals) {
+    if (est.history_size() >= weights.size()) {
+      const double hat = est.value();
+      const double x = f.rate_from_interval(hat);
+      c1.add(hat, theta);
+      c2.add(x, theta / x);
+      hat_m.add(hat);
+    }
+    est.push(theta);
+  }
+  CovarianceConditions out;
+  out.cov_theta_thetahat = c1.covariance();
+  out.cov_x_s = c2.covariance();
+  out.var_thetahat = hat_m.variance();
+  out.C1 = out.cov_theta_thetahat <= tol;
+  out.C2 = out.cov_x_s <= tol;
+  out.C2c = out.cov_x_s >= -tol;
+  out.V = out.var_thetahat > tol;
+  return out;
+}
+
+double theorem1_bound(const model::ThroughputFunction& f, double p, double cov_theta_thetahat) {
+  if (!(p > 0.0) || p > 1.0) throw std::invalid_argument("theorem1_bound: p outside (0,1]");
+  const double fp = f.rate(p);
+  const double elasticity = f.drate_dp(p) * p / fp;  // f'(p) p / f(p), negative
+  const double denom = 1.0 + elasticity * cov_theta_thetahat * util::sq(p);
+  if (denom <= 0.0) return util::kInf;
+  return fp / denom;
+}
+
+double proposition4_bound(const model::ThroughputFunction& f, double x_lo, double x_hi,
+                          int grid) {
+  const auto closure =
+      model::convex_closure([&f](double x) { return f.g(x); }, x_lo, x_hi, grid);
+  return closure.deviation_ratio;
+}
+
+}  // namespace ebrc::core

@@ -1,0 +1,85 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/weights.hpp"
+
+namespace ebrc::core {
+
+MovingAverageEstimator::MovingAverageEstimator(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  validate_weights(weights_);
+}
+
+void MovingAverageEstimator::push(double theta) {
+  if (!(theta > 0.0)) throw std::invalid_argument("estimator: interval must be > 0");
+  history_.push_front(theta);
+  if (history_.size() > weights_.size()) history_.pop_back();
+}
+
+void MovingAverageEstimator::seed(double theta) {
+  if (!(theta > 0.0)) throw std::invalid_argument("estimator: seed must be > 0");
+  history_.assign(weights_.size(), theta);
+}
+
+double MovingAverageEstimator::value() const {
+  if (history_.empty()) throw std::logic_error("estimator: no history yet");
+  double num = 0.0;
+  double mass = 0.0;
+  const std::size_t n = std::min(history_.size(), weights_.size());
+  for (std::size_t l = 0; l < n; ++l) {
+    num += weights_[l] * history_[l];
+    mass += weights_[l];
+  }
+  return num / mass;
+}
+
+double MovingAverageEstimator::shifted_tail() const {
+  if (history_.empty()) throw std::logic_error("estimator: no history yet");
+  // W_n uses theta_{n-1}..theta_{n-L+1} with weights w2..wL. Before warm-up,
+  // use the same prefix renormalization idea: scale to the mass that value()
+  // would use for consistency of the threshold test.
+  double tail = 0.0;
+  const std::size_t n = std::min(history_.size(), weights_.size() - 1);
+  for (std::size_t l = 0; l < n; ++l) {
+    tail += weights_[l + 1] * history_[l];
+  }
+  return tail;
+}
+
+double MovingAverageEstimator::open_threshold() const {
+  return (value() - shifted_tail()) / weights_.front();
+}
+
+double MovingAverageEstimator::value_with_open(double open_packets) const {
+  if (open_packets < 0) throw std::invalid_argument("estimator: open interval must be >= 0");
+  const double closed = value();
+  const double with_open = weights_.front() * open_packets + shifted_tail();
+  return std::max(closed, with_open);
+}
+
+double MovingAverageEstimator::shifted_tail_mass() const {
+  if (history_.empty()) throw std::logic_error("estimator: no history yet");
+  double mass = 0.0;
+  const std::size_t n = std::min(history_.size(), weights_.size() - 1);
+  for (std::size_t l = 0; l < n; ++l) mass += weights_[l + 1];
+  return mass;
+}
+
+double MovingAverageEstimator::value_with_open_discounted(double open_packets,
+                                                          double discount) const {
+  if (open_packets < 0) throw std::invalid_argument("estimator: open interval must be >= 0");
+  if (!(discount >= 0.5 && discount <= 1.0)) {
+    throw std::invalid_argument("estimator: discount must lie in [0.5, 1]");
+  }
+  // Normalized weighted average with the open interval at full weight and
+  // the closed history discounted (RFC 3448 Eq. for I_mean with DF_i); at
+  // discount = 1 and full warm-up this reduces to value_with_open().
+  const double w1 = weights_.front();
+  const double num = w1 * open_packets + discount * shifted_tail();
+  const double den = w1 + discount * shifted_tail_mass();
+  return std::max(value(), num / den);
+}
+
+}  // namespace ebrc::core

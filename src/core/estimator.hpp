@@ -1,0 +1,59 @@
+// The moving-average loss-event interval estimator (Eq. 2) together with the
+// "open interval" view used by the comprehensive control (Eq. 4).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+namespace ebrc::core {
+
+class MovingAverageEstimator {
+ public:
+  /// `weights` must satisfy validate_weights (sum 1, w1 > 0).
+  explicit MovingAverageEstimator(std::vector<double> weights);
+
+  /// Records the newly completed loss-event interval theta_n (packets).
+  void push(double theta);
+
+  /// Pre-fills the whole history with `theta` (TFRC's initialization after
+  /// the first loss event).
+  void seed(double theta);
+
+  /// True once L intervals have been observed.
+  [[nodiscard]] bool warmed_up() const noexcept { return history_.size() >= weights_.size(); }
+  [[nodiscard]] std::size_t history_size() const noexcept { return history_.size(); }
+  [[nodiscard]] std::size_t window() const noexcept { return weights_.size(); }
+  [[nodiscard]] const std::vector<double>& weights() const noexcept { return weights_; }
+
+  /// hat-theta_n = sum_l w_l theta_{n-l}. Before warm-up the observed prefix
+  /// is renormalized by the weight mass actually used (TFRC behavior).
+  /// Requires at least one interval.
+  [[nodiscard]] double value() const;
+
+  /// W_n = sum_{l=1}^{L-1} w_{l+1} theta_{n-l}: the history contribution when
+  /// the open interval is promoted to the newest slot.
+  [[nodiscard]] double shifted_tail() const;
+
+  /// The open-interval threshold theta*_n = (hat-theta_n - W_n)/w1 beyond
+  /// which the comprehensive estimator starts to grow (condition A_t).
+  [[nodiscard]] double open_threshold() const;
+
+  /// hat-theta(t) = max(hat-theta_n, w1 * open + W_n): Eq. 4's estimator.
+  [[nodiscard]] double value_with_open(double open_packets) const;
+
+  /// Weight mass behind shifted_tail() (w2..wL over the observed prefix);
+  /// needed by RFC 3448 history discounting to renormalize.
+  [[nodiscard]] double shifted_tail_mass() const;
+
+  /// RFC 3448 Section 5.5 history discounting: the open interval keeps full
+  /// weight while every closed interval's weight is scaled by `discount`
+  /// in [0.5, 1]:
+  ///   (w1 * open + discount * W_n) / (w1 + discount * mass(W_n)).
+  [[nodiscard]] double value_with_open_discounted(double open_packets, double discount) const;
+
+ private:
+  std::vector<double> weights_;
+  std::deque<double> history_;  // most recent interval at front
+};
+
+}  // namespace ebrc::core

@@ -1,0 +1,49 @@
+#include "core/many_sources.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ebrc::core {
+
+ManySourcesResult analyze_many_sources(const loss::CongestionProcess& z,
+                                       const model::ThroughputFunction& f,
+                                       double responsiveness) {
+  if (responsiveness < 0.0 || responsiveness > 1.0) {
+    throw std::invalid_argument("analyze_many_sources: responsiveness must lie in [0, 1]");
+  }
+  const auto& states = z.states();
+  const auto pi = z.stationary();
+  const double p_bar = z.nonadaptive_loss_rate();
+
+  const auto rates_for = [&](double lambda) {
+    std::vector<double> x;
+    x.reserve(states.size());
+    for (const auto& s : states) {
+      const double perceived = lambda * s.loss_rate + (1.0 - lambda) * p_bar;
+      x.push_back(f.rate(std::max(1e-12, perceived)));
+    }
+    return x;
+  };
+
+  ManySourcesResult out;
+  out.per_state_rate = rates_for(responsiveness);
+  out.perceived_rate.reserve(states.size());
+  for (const auto& s : states) {
+    out.perceived_rate.push_back(responsiveness * s.loss_rate +
+                                 (1.0 - responsiveness) * p_bar);
+  }
+  out.sampled_loss_rate = z.sampled_loss_rate(out.per_state_rate);
+  out.nonadaptive_loss_rate = p_bar;  // x_i constant cancels in Eq. 13
+  out.responsive_loss_rate = z.sampled_loss_rate(rates_for(1.0));
+  (void)pi;
+  return out;
+}
+
+double responsiveness_for_window(double events_per_state, std::size_t L) {
+  if (events_per_state <= 0 || L == 0) {
+    throw std::invalid_argument("responsiveness_for_window: positive arguments required");
+  }
+  return std::min(1.0, events_per_state / static_cast<double>(L));
+}
+
+}  // namespace ebrc::core

@@ -1,0 +1,49 @@
+// The many-sources limit of Section IV-A.1 (Claim 3), analytically.
+//
+// A slowly-varying congestion process Z(t) carries a per-state "network"
+// loss-event rate p_i. In the separation-of-timescales limit (b_i -> 1 in
+// Eq. 12) a source whose time-average send rate in state i is x_i samples
+//
+//     p  ->  sum_i p_i x_i pi_i / sum_i x_i pi_i            (Eq. 13)
+//
+// The source's responsiveness decides x_i:
+//   * a non-adaptive source (CBR/Poisson) has x_i = const   -> p'' (largest),
+//   * a perfectly responsive source tracks p_i: x_i = f(p_i) -> p' (smallest),
+//   * an equation-based source with averaging window L sits in between: its
+//     estimator sees a mixture of the current state and the long-run
+//     average. We model the perceived rate as
+//         p̂_i = responsiveness * p_i + (1 - responsiveness) * p̄,
+//     responsiveness in [0, 1], and x_i = f(p̂_i).
+//
+// Claim 3 then reads: p(responsiveness) is non-increasing, i.e.
+// p' = p(1) <= p(lambda) <= p(0) = p''.
+#pragma once
+
+#include <vector>
+
+#include "loss/congestion_process.hpp"
+#include "model/throughput_function.hpp"
+
+namespace ebrc::core {
+
+struct ManySourcesResult {
+  std::vector<double> per_state_rate;   // x_i
+  std::vector<double> perceived_rate;   // p̂_i
+  double sampled_loss_rate = 0.0;       // Eq. 13 at this responsiveness
+  double nonadaptive_loss_rate = 0.0;   // p'' (responsiveness 0)
+  double responsive_loss_rate = 0.0;    // p'  (responsiveness 1)
+};
+
+/// Evaluates Eq. 13 for a source of the given responsiveness in [0, 1].
+[[nodiscard]] ManySourcesResult analyze_many_sources(const loss::CongestionProcess& z,
+                                                     const model::ThroughputFunction& f,
+                                                     double responsiveness);
+
+/// Maps an estimator window L to an effective responsiveness: the estimator
+/// averages over ~L loss events, so with state sojourns of `events_per_state`
+/// loss events the fraction of the window filled inside the current state is
+/// roughly min(1, events_per_state / L). This is the heuristic coupling the
+/// paper's "responsiveness depends on the averaging window L" remark.
+[[nodiscard]] double responsiveness_for_window(double events_per_state, std::size_t L);
+
+}  // namespace ebrc::core

@@ -1,0 +1,47 @@
+#include "core/rate_controller.hpp"
+
+#include <stdexcept>
+
+#include "core/weights.hpp"
+#include "model/solvers.hpp"
+
+namespace ebrc::core {
+
+RateController::RateController(RateControllerConfig cfg)
+    : cfg_(std::move(cfg)), estimator_(cfg_.weights) {
+  if (!cfg_.function) throw std::invalid_argument("RateController: null throughput function");
+  validate_weights(cfg_.weights);
+}
+
+void RateController::seed_from_rate(double rate) {
+  if (!(rate > 0)) throw std::invalid_argument("RateController: rate must be > 0");
+  // Solve f(1/x) = rate for x by bisection on the monotone h(x) = f(1/x).
+  const auto& f = *cfg_.function;
+  double lo = 1.0;
+  double hi = 2.0;
+  // h is increasing in x; widen the bracket geometrically.
+  while (f.rate_from_interval(lo) > rate && lo > 1e-9) lo *= 0.5;
+  while (f.rate_from_interval(hi) < rate && hi < 1e12) hi *= 2.0;
+  const double theta = model::bisect(
+      [&](double x) { return f.rate_from_interval(x) - rate; }, lo, hi, 1e-9 * hi);
+  seed_interval(theta);
+}
+
+void RateController::seed_interval(double theta) {
+  estimator_.seed(theta);
+  seeded_ = true;
+}
+
+void RateController::on_loss_event(double theta) {
+  estimator_.push(theta);
+  seeded_ = true;
+}
+
+double RateController::allowed_rate(double open_packets) const {
+  if (!seeded_) throw std::logic_error("RateController: no loss history yet");
+  const double hat = cfg_.comprehensive ? estimator_.value_with_open(open_packets)
+                                        : estimator_.value();
+  return cfg_.function->rate_from_interval(hat);
+}
+
+}  // namespace ebrc::core

@@ -1,0 +1,59 @@
+// Protocol-facing incremental controller: the piece a packet-level sender
+// (TFRC, the audio source) embeds. It owns the moving-average estimator and
+// answers "what send rate does the control allow right now?" given the
+// number of packets sent since the last loss event.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "model/throughput_function.hpp"
+
+namespace ebrc::core {
+
+struct RateControllerConfig {
+  std::shared_ptr<const model::ThroughputFunction> function;
+  std::vector<double> weights;
+  /// true = comprehensive control (Eq. 4, TFRC); false = basic control (Eq. 3)
+  bool comprehensive = true;
+};
+
+class RateController {
+ public:
+  explicit RateController(RateControllerConfig cfg);
+
+  /// True once the controller has loss history and produces rates.
+  [[nodiscard]] bool active() const noexcept { return seeded_; }
+
+  /// TFRC-style initialization after the first loss event: synthesizes a
+  /// loss-interval history consistent with the given send rate by inverting
+  /// f, i.e. seeds hat-theta with the x solving f(1/x) = rate.
+  void seed_from_rate(double rate);
+
+  /// Seeds the history directly with a known interval (packets).
+  void seed_interval(double theta);
+
+  /// A loss event closed an interval of `theta` packets.
+  void on_loss_event(double theta);
+
+  /// Allowed send rate with `open_packets` sent since the last loss event.
+  /// Under the basic control the open interval is ignored.
+  [[nodiscard]] double allowed_rate(double open_packets) const;
+
+  /// Current (closed-history) estimator value.
+  [[nodiscard]] double estimate() const { return estimator_.value(); }
+
+  /// Open-interval threshold above which the rate starts rising (Eq. 4).
+  [[nodiscard]] double open_threshold() const { return estimator_.open_threshold(); }
+
+  [[nodiscard]] const model::ThroughputFunction& function() const { return *cfg_.function; }
+  [[nodiscard]] const MovingAverageEstimator& estimator() const noexcept { return estimator_; }
+
+ private:
+  RateControllerConfig cfg_;
+  MovingAverageEstimator estimator_;
+  bool seeded_ = false;
+};
+
+}  // namespace ebrc::core

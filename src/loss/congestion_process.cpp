@@ -1,0 +1,78 @@
+#include "loss/congestion_process.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ebrc::loss {
+
+CongestionProcess::CongestionProcess(std::vector<CongestionState> states, std::uint64_t seed)
+    : states_(std::move(states)), rng_(seed) {
+  if (states_.empty()) throw std::invalid_argument("CongestionProcess: no states");
+  for (const auto& s : states_) {
+    if (s.loss_rate < 0 || s.loss_rate > 1 || s.mean_sojourn <= 0) {
+      throw std::invalid_argument("CongestionProcess: bad state parameters");
+    }
+  }
+  next_transition_ = rng_.exponential_mean(states_[0].mean_sojourn);
+}
+
+std::vector<double> CongestionProcess::stationary() const {
+  // For the cyclic chain each state is visited once per cycle, so the
+  // time-stationary weight is the normalized mean sojourn.
+  double total = 0.0;
+  for (const auto& s : states_) total += s.mean_sojourn;
+  std::vector<double> pi;
+  pi.reserve(states_.size());
+  for (const auto& s : states_) pi.push_back(s.mean_sojourn / total);
+  return pi;
+}
+
+double CongestionProcess::sampled_loss_rate(const std::vector<double>& x) const {
+  if (x.size() != states_.size()) {
+    throw std::invalid_argument("sampled_loss_rate: rate vector arity mismatch");
+  }
+  const auto pi = stationary();
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    num += states_[i].loss_rate * x[i] * pi[i];
+    den += x[i] * pi[i];
+  }
+  if (den <= 0) throw std::invalid_argument("sampled_loss_rate: zero total send rate");
+  return num / den;
+}
+
+double CongestionProcess::nonadaptive_loss_rate() const {
+  const auto pi = stationary();
+  double p = 0.0;
+  for (std::size_t i = 0; i < states_.size(); ++i) p += pi[i] * states_[i].loss_rate;
+  return p;
+}
+
+void CongestionProcess::advance(double t) {
+  if (t < now_) throw std::invalid_argument("CongestionProcess::advance: time went backwards");
+  now_ = t;
+  while (now_ >= next_transition_) {
+    state_ = (state_ + 1) % states_.size();
+    next_transition_ += rng_.exponential_mean(states_[state_].mean_sojourn);
+  }
+}
+
+CongestionProcess make_weather_process(double p_good, double p_bad, int k, double mean_sojourn_s,
+                                       std::uint64_t seed) {
+  if (k < 2) throw std::invalid_argument("make_weather_process: need k >= 2 states");
+  if (!(p_good > 0) || !(p_bad > p_good) || p_bad > 1) {
+    throw std::invalid_argument("make_weather_process: need 0 < p_good < p_bad <= 1");
+  }
+  std::vector<CongestionState> states;
+  states.reserve(static_cast<std::size_t>(k));
+  const double ratio = std::pow(p_bad / p_good, 1.0 / static_cast<double>(k - 1));
+  double p = p_good;
+  for (int i = 0; i < k; ++i) {
+    states.push_back(CongestionState{p, mean_sojourn_s});
+    p *= ratio;
+  }
+  return CongestionProcess(std::move(states), seed);
+}
+
+}  // namespace ebrc::loss

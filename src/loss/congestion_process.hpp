@@ -1,0 +1,61 @@
+// The many-sources-limit congestion process of Section IV-A.1.
+//
+// A continuous-time Markov chain Z(t) over a finite state space; each state i
+// carries a "network" loss-event rate p_i. A source with per-state
+// time-average send rate x_i samples, in the separation-of-timescales limit
+// (Eq. 13),
+//     p -> sum_i p_i x_i pi_i / sum_i x_i pi_i .
+// The class exposes both the analytic evaluation of Eq. 13 and the sample
+// path (for driving a ModulatedDropper in packet-level simulation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace ebrc::loss {
+
+struct CongestionState {
+  double loss_rate;     // p_i: per-packet loss-event probability in state i
+  double mean_sojourn;  // mean real-time the chain spends in state i per visit
+};
+
+class CongestionProcess {
+ public:
+  /// Cyclic chain over the given states with exponential sojourns.
+  CongestionProcess(std::vector<CongestionState> states, std::uint64_t seed);
+
+  /// Steady-state time probabilities pi_i (sojourn-weighted for the cycle).
+  [[nodiscard]] std::vector<double> stationary() const;
+
+  /// Eq. 13: loss-event rate seen by a source whose time-average send rate in
+  /// state i is x[i].
+  [[nodiscard]] double sampled_loss_rate(const std::vector<double>& x) const;
+
+  /// Loss-event rate of a non-adaptive source: p'' = sum_i pi_i p_i.
+  [[nodiscard]] double nonadaptive_loss_rate() const;
+
+  // --- sample-path interface -------------------------------------------
+  /// Advances the chain to time t (t must not decrease between calls).
+  void advance(double t);
+  /// Current state index.
+  [[nodiscard]] std::size_t state() const noexcept { return state_; }
+  /// Loss rate of the current state.
+  [[nodiscard]] double current_loss_rate() const { return states_[state_].loss_rate; }
+  [[nodiscard]] const std::vector<CongestionState>& states() const noexcept { return states_; }
+
+ private:
+  std::vector<CongestionState> states_;
+  std::size_t state_ = 0;
+  double next_transition_ = 0.0;
+  double now_ = 0.0;
+  sim::Rng rng_;
+};
+
+/// Preset: a k-state chain whose loss rates sweep geometrically between
+/// p_good and p_bad with equal sojourns — a simple "network weather" model.
+[[nodiscard]] CongestionProcess make_weather_process(double p_good, double p_bad, int k,
+                                                     double mean_sojourn_s, std::uint64_t seed);
+
+}  // namespace ebrc::loss

@@ -1,0 +1,21 @@
+#include "loss/droppers.hpp"
+
+#include <stdexcept>
+
+namespace ebrc::loss {
+
+BernoulliDropper::BernoulliDropper(double p, std::uint64_t seed) : p_(p), rng_(seed) {
+  if (p < 0 || p > 1) throw std::invalid_argument("BernoulliDropper: p outside [0,1]");
+}
+
+bool BernoulliDropper::drop(double /*t*/) { return rng_.bernoulli(p_); }
+
+ModulatedDropper::ModulatedDropper(CongestionProcess process, std::uint64_t seed)
+    : process_(std::move(process)), rng_(seed) {}
+
+bool ModulatedDropper::drop(double t) {
+  process_.advance(t);
+  return rng_.bernoulli(process_.current_loss_rate());
+}
+
+}  // namespace ebrc::loss

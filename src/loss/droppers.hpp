@@ -1,0 +1,46 @@
+// Per-packet loss modules ("droppers") for packet-level experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "loss/congestion_process.hpp"
+#include "sim/random.hpp"
+
+namespace ebrc::loss {
+
+/// Interface: decides for each packet (at simulated time t) whether it is
+/// lost. Used by the Figure-6 Bernoulli experiment and the Claim-3
+/// many-sources experiments.
+class PacketDropper {
+ public:
+  virtual ~PacketDropper() = default;
+  [[nodiscard]] virtual bool drop(double t) = 0;
+};
+
+/// Fixed-probability Bernoulli dropper (the paper's "loss module ... that
+/// drops a packet with a fixed probability p", Section V-C.1).
+class BernoulliDropper final : public PacketDropper {
+ public:
+  BernoulliDropper(double p, std::uint64_t seed);
+  [[nodiscard]] bool drop(double t) override;
+  [[nodiscard]] double probability() const noexcept { return p_; }
+
+ private:
+  double p_;
+  sim::Rng rng_;
+};
+
+/// Dropper whose per-packet loss probability follows a CongestionProcess —
+/// the sample-path realization of the Section IV-A.1 limit model.
+class ModulatedDropper final : public PacketDropper {
+ public:
+  ModulatedDropper(CongestionProcess process, std::uint64_t seed);
+  [[nodiscard]] bool drop(double t) override;
+  [[nodiscard]] const CongestionProcess& process() const noexcept { return process_; }
+
+ private:
+  CongestionProcess process_;
+  sim::Rng rng_;
+};
+
+}  // namespace ebrc::loss

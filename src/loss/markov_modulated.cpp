@@ -1,0 +1,48 @@
+#include "loss/markov_modulated.hpp"
+
+#include <stdexcept>
+
+namespace ebrc::loss {
+
+MarkovModulatedProcess::MarkovModulatedProcess(std::vector<Phase> phases, std::uint64_t seed)
+    : phases_(std::move(phases)), rng_(seed) {
+  if (phases_.empty()) throw std::invalid_argument("MarkovModulatedProcess: no phases");
+  for (const auto& ph : phases_) {
+    if (ph.mean_interval <= 0 || ph.mean_sojourn < 1.0) {
+      throw std::invalid_argument(
+          "MarkovModulatedProcess: phase needs mean_interval > 0 and mean_sojourn >= 1");
+    }
+  }
+}
+
+double MarkovModulatedProcess::next() {
+  const auto& ph = phases_[phase_];
+  const double theta = rng_.exponential_mean(ph.mean_interval);
+  // Geometric sojourn: leave the phase with probability 1/mean_sojourn after
+  // each event, giving the requested expected number of events per visit.
+  if (rng_.bernoulli(1.0 / ph.mean_sojourn)) {
+    phase_ = (phase_ + 1) % phases_.size();
+  }
+  return theta;
+}
+
+double MarkovModulatedProcess::mean() const {
+  // Stationary phase weights of the cyclic chain are proportional to the
+  // mean sojourns (in events), so the event-stationary interval mean is the
+  // sojourn-weighted mean of the per-phase means.
+  double wsum = 0.0;
+  double msum = 0.0;
+  for (const auto& ph : phases_) {
+    wsum += ph.mean_sojourn;
+    msum += ph.mean_sojourn * ph.mean_interval;
+  }
+  return msum / wsum;
+}
+
+MarkovModulatedProcess make_two_phase(double good_mean, double bad_mean,
+                                      double mean_sojourn_events, std::uint64_t seed) {
+  return MarkovModulatedProcess(
+      {Phase{good_mean, mean_sojourn_events}, Phase{bad_mean, mean_sojourn_events}}, seed);
+}
+
+}  // namespace ebrc::loss

@@ -1,0 +1,60 @@
+// Claim 4 (Section IV-A.2): deterministic analysis of one sender on a link
+// of fixed capacity c, RTT fixed to 1 — AIMD versus equation-based control.
+//
+// AIMD(alpha, beta): rate grows by alpha per RTT; on hitting capacity the
+// rate is cut to beta * rate. Its loss-throughput function is
+//   f(p) = sqrt(alpha (1+beta) / (2 (1-beta))) / sqrt(p),
+// its deterministic loss-event rate on the link is
+//   p' = 2 alpha / ((1 - beta^2) c^2).
+// The equation-based sender using the same f converges to the fixed point
+// with loss-event rate
+//   p  = alpha (1+beta) / (2 (1-beta) c^2),
+// whence p'/p = 4 / (1+beta)^2 (= 16/9 ~ 1.78 for beta = 1/2).
+//
+// NOTE (erratum): the technical report prints p'/p = 4/(1-beta)^2, which
+// contradicts its own p', p and its numeric value 16/9 at beta = 1/2; the
+// quotient of the printed rates is 4/(1+beta)^2, which we implement (and
+// verify against the closed forms in tests).
+#pragma once
+
+namespace ebrc::model {
+
+struct AimdParams {
+  double alpha = 1.0;  // additive increase, packets/RTT per RTT
+  double beta = 0.5;   // multiplicative decrease factor in (0,1)
+};
+
+/// sqrt(alpha (1+beta) / (2 (1-beta))), the constant in the AIMD
+/// loss-throughput law f(p) = k / sqrt(p) (RTT = 1).
+[[nodiscard]] double aimd_sqrt_constant(const AimdParams& a);
+
+/// f(p) for the AIMD law above (packets per RTT; RTT = 1 s).
+[[nodiscard]] double aimd_rate(const AimdParams& a, double p);
+
+/// Deterministic loss-event rate of AIMD alone on capacity c:
+/// p' = 2 alpha / ((1 - beta^2) c^2).
+[[nodiscard]] double aimd_loss_event_rate(const AimdParams& a, double capacity);
+
+/// Time-average rate of the deterministic AIMD sawtooth: (1+beta) c / 2.
+[[nodiscard]] double aimd_time_average_rate(const AimdParams& a, double capacity);
+
+/// Loss-event rate of the equation-based sender (comprehensive control with
+/// the AIMD f) at its fixed point on capacity c:
+/// p = alpha (1+beta) / (2 (1-beta) c^2).
+[[nodiscard]] double ebrc_fixed_point_loss_rate(const AimdParams& a, double capacity);
+
+/// The headline ratio p'/p = 4/(1+beta)^2.
+[[nodiscard]] double claim4_ratio(const AimdParams& a);
+
+/// Deterministic fluid simulation of the AIMD sawtooth on a unit-RTT link:
+/// returns measured (loss_event_rate, time_average_rate) over n_cycles
+/// congestion epochs, cross-checking the closed forms.
+struct FluidAimdResult {
+  double loss_event_rate;
+  double time_average_rate;
+  double cycle_length_rtts;
+};
+[[nodiscard]] FluidAimdResult simulate_fluid_aimd(const AimdParams& a, double capacity,
+                                                  int n_cycles = 64);
+
+}  // namespace ebrc::model

@@ -1,0 +1,90 @@
+#include "model/convex_closure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ebrc::model {
+namespace {
+
+/// Cross product (b - a) x (c - a); >= 0 means c is left of / on line ab,
+/// i.e. the hull turn at b is convex.
+double cross(double ax, double ay, double bx, double by, double cx, double cy) {
+  return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+}
+
+}  // namespace
+
+double ConvexClosure::closure_at(double xq) const {
+  if (x.empty()) throw std::logic_error("ConvexClosure: empty");
+  if (xq <= x.front()) return closure.front();
+  if (xq >= x.back()) return closure.back();
+  // Uniform grid: direct index.
+  const double step = (x.back() - x.front()) / static_cast<double>(x.size() - 1);
+  auto i = static_cast<std::size_t>((xq - x.front()) / step);
+  if (i + 1 >= x.size()) i = x.size() - 2;
+  const double t = (xq - x[i]) / (x[i + 1] - x[i]);
+  return closure[i] + t * (closure[i + 1] - closure[i]);
+}
+
+ConvexClosure convex_closure(const std::function<double(double)>& fn, double lo, double hi,
+                             int n) {
+  if (!(hi > lo)) throw std::invalid_argument("convex_closure: empty interval");
+  if (n < 3) throw std::invalid_argument("convex_closure: need at least 3 samples");
+
+  ConvexClosure out;
+  out.x.resize(static_cast<std::size_t>(n));
+  out.g.resize(static_cast<std::size_t>(n));
+  const double h = (hi - lo) / static_cast<double>(n - 1);
+  for (int i = 0; i < n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    out.x[u] = lo + h * static_cast<double>(i);
+    out.g[u] = fn(out.x[u]);
+  }
+
+  // Lower convex hull over the samples (x sorted already).
+  std::vector<std::size_t> hull;
+  for (std::size_t i = 0; i < out.x.size(); ++i) {
+    while (hull.size() >= 2) {
+      const std::size_t a = hull[hull.size() - 2];
+      const std::size_t b = hull[hull.size() - 1];
+      // Keep b only if it lies strictly below the chord a->i.
+      if (cross(out.x[a], out.g[a], out.x[b], out.g[b], out.x[i], out.g[i]) <= 0.0) {
+        hull.pop_back();
+      } else {
+        break;
+      }
+    }
+    hull.push_back(i);
+  }
+
+  // Piecewise-linear interpolation of the hull back onto the grid.
+  out.closure.resize(out.x.size());
+  std::size_t seg = 0;
+  for (std::size_t i = 0; i < out.x.size(); ++i) {
+    while (seg + 1 < hull.size() && out.x[hull[seg + 1]] < out.x[i]) ++seg;
+    const std::size_t a = hull[seg];
+    const std::size_t b = hull[std::min(seg + 1, hull.size() - 1)];
+    if (a == b || out.x[b] == out.x[a]) {
+      out.closure[i] = out.g[a];
+    } else {
+      const double t = (out.x[i] - out.x[a]) / (out.x[b] - out.x[a]);
+      out.closure[i] = out.g[a] + t * (out.g[b] - out.g[a]);
+    }
+  }
+
+  out.deviation_ratio = 1.0;
+  out.argmax = out.x.front();
+  for (std::size_t i = 0; i < out.x.size(); ++i) {
+    if (out.closure[i] > 0.0) {
+      const double ratio = out.g[i] / out.closure[i];
+      if (ratio > out.deviation_ratio) {
+        out.deviation_ratio = ratio;
+        out.argmax = out.x[i];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ebrc::model

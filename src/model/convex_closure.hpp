@@ -1,0 +1,35 @@
+// Convex closure g** of a sampled function and its deviation-from-convexity
+// ratio r = sup_x g(x)/g**(x) (paper Section III-B.1, Figure 2,
+// Proposition 4). For PFTK-standard the paper reports r = 1.0026.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace ebrc::model {
+
+struct ConvexClosure {
+  /// Sample abscissae (uniform grid over [lo, hi]).
+  std::vector<double> x;
+  /// g sampled on the grid.
+  std::vector<double> g;
+  /// The convex closure g** evaluated on the grid (piecewise linear between
+  /// lower-hull vertices; exact at hull vertices, the tightest convex
+  /// minorant of the samples).
+  std::vector<double> closure;
+  /// Deviation ratio sup g/g** over the grid.
+  double deviation_ratio = 1.0;
+  /// Grid point where the deviation is attained.
+  double argmax = 0.0;
+
+  /// Evaluates the closure at arbitrary x within [front, back] by hull
+  /// interpolation.
+  [[nodiscard]] double closure_at(double xq) const;
+};
+
+/// Computes the convex closure of fn over [lo, hi] from n uniform samples
+/// via the lower convex hull (Andrew's monotone chain).
+[[nodiscard]] ConvexClosure convex_closure(const std::function<double(double)>& fn, double lo,
+                                           double hi, int n = 4096);
+
+}  // namespace ebrc::model

@@ -1,0 +1,50 @@
+#include "model/convexity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ebrc::model {
+
+ConvexityReport probe_convexity(const std::function<double(double)>& fn, double lo, double hi,
+                                int n, double tol) {
+  if (!(hi > lo)) throw std::invalid_argument("probe_convexity: empty interval");
+  if (n < 3) throw std::invalid_argument("probe_convexity: need at least 3 points");
+
+  const double h = (hi - lo) / static_cast<double>(n - 1);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  double scale = 0.0;
+  for (int i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] = fn(lo + h * static_cast<double>(i));
+    scale = std::max(scale, std::abs(v[static_cast<std::size_t>(i)]));
+  }
+  if (scale == 0.0) scale = 1.0;
+
+  ConvexityReport rep;
+  rep.min_second_difference = std::numeric_limits<double>::infinity();
+  rep.max_second_difference = -std::numeric_limits<double>::infinity();
+  for (int i = 1; i + 1 < n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    const double d2 = (v[u - 1] - 2.0 * v[u] + v[u + 1]) / scale;
+    rep.min_second_difference = std::min(rep.min_second_difference, d2);
+    rep.max_second_difference = std::max(rep.max_second_difference, d2);
+  }
+  rep.convex = rep.min_second_difference >= -tol;
+  rep.concave = rep.max_second_difference <= tol;
+  rep.strictly_convex = rep.min_second_difference > tol;
+  rep.strictly_concave = rep.max_second_difference < -tol;
+  return rep;
+}
+
+bool is_convex_on(const std::function<double(double)>& fn, double lo, double hi, int n,
+                  double tol) {
+  return probe_convexity(fn, lo, hi, n, tol).convex;
+}
+
+bool is_concave_on(const std::function<double(double)>& fn, double lo, double hi, int n,
+                   double tol) {
+  return probe_convexity(fn, lo, hi, n, tol).concave;
+}
+
+}  // namespace ebrc::model

@@ -1,0 +1,31 @@
+// Numeric convexity/concavity probes for the conditions (F1), (F2), (F2c).
+#pragma once
+
+#include <functional>
+
+namespace ebrc::model {
+
+struct ConvexityReport {
+  bool convex = false;          // second differences all >= -tol
+  bool concave = false;         // second differences all <= +tol
+  bool strictly_convex = false; // second differences all > +tol
+  bool strictly_concave = false;
+  double min_second_difference = 0.0;  // scaled second differences extrema
+  double max_second_difference = 0.0;
+};
+
+/// Probes fn on a uniform grid of n points over [lo, hi] using normalized
+/// second differences fn(x-h) - 2 fn(x) + fn(x+h), scaled by max|fn| so the
+/// tolerance is dimensionless.
+[[nodiscard]] ConvexityReport probe_convexity(const std::function<double(double)>& fn, double lo,
+                                              double hi, int n = 512, double tol = 1e-9);
+
+/// True when fn is convex on [lo, hi] (within tolerance).
+[[nodiscard]] bool is_convex_on(const std::function<double(double)>& fn, double lo, double hi,
+                                int n = 512, double tol = 1e-9);
+
+/// True when fn is concave on [lo, hi] (within tolerance).
+[[nodiscard]] bool is_concave_on(const std::function<double(double)>& fn, double lo, double hi,
+                                 int n = 512, double tol = 1e-9);
+
+}  // namespace ebrc::model

@@ -1,0 +1,20 @@
+// Numeric integration used by the closed-form checks: adaptive Simpson on a
+// finite interval and expectations under the paper's shifted-exponential
+// loss-interval density.
+#pragma once
+
+#include <functional>
+
+namespace ebrc::model {
+
+/// Adaptive Simpson quadrature of fn over [a, b] to absolute tolerance tol.
+[[nodiscard]] double integrate(const std::function<double(double)>& fn, double a, double b,
+                               double tol = 1e-10, int max_depth = 40);
+
+/// E[h(theta)] when theta = x0 + Exp(a) (the Section V-A.1 density
+/// mu(x) = a exp(-a(x - x0)), x >= x0). Computed by the inverse-CDF
+/// substitution u -> x0 - ln(1-u)/a on (0, 1).
+[[nodiscard]] double expect_shifted_exp(const std::function<double(double)>& h, double x0,
+                                        double a, double tol = 1e-10);
+
+}  // namespace ebrc::model

@@ -1,0 +1,43 @@
+#include "model/solvers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ebrc::model {
+
+double bisect(const std::function<double(double)>& fn, double lo, double hi, double xtol,
+              int max_iter) {
+  double flo = fn(lo);
+  double fhi = fn(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0) == (fhi > 0)) {
+    throw std::invalid_argument("bisect: no sign change over the bracket");
+  }
+  for (int i = 0; i < max_iter && hi - lo > xtol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = fn(mid);
+    if (fmid == 0.0) return mid;
+    if ((fmid > 0) == (flo > 0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double fixed_point(const std::function<double(double)>& fn, double x0, double damping, double tol,
+                   int max_iter) {
+  double x = x0;
+  for (int i = 0; i < max_iter; ++i) {
+    const double fx = fn(x);
+    if (!std::isfinite(fx)) throw std::runtime_error("fixed_point: iterate diverged");
+    if (std::abs(fx - x) <= tol * std::max(1.0, std::abs(x))) return fx;
+    x = (1.0 - damping) * x + damping * fx;
+  }
+  throw std::runtime_error("fixed_point: no convergence");
+}
+
+}  // namespace ebrc::model

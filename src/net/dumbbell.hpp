@@ -1,0 +1,66 @@
+// The canonical experiment topology: N flows share one bottleneck link in
+// the forward direction; acknowledgment/feedback traffic returns over
+// uncongested delay pipes (as in the paper's lab where only the first router
+// was the bottleneck).
+//
+//   sender_i --(prop fwd_i)--> [queue|bottleneck link] --> receiver_i
+//   receiver_i --(prop rev_i)--> sender_i
+//
+// Each flow registers two handlers: data arriving at its receiver, and
+// ack/feedback arriving back at its sender.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace ebrc::net {
+
+class Dumbbell {
+ public:
+  /// The bottleneck: rate, its queue discipline, and the propagation delay of
+  /// the shared segment.
+  Dumbbell(sim::Simulator& sim, std::unique_ptr<Queue> queue, double rate_bps,
+           double shared_prop_delay_s);
+
+  /// Adds a flow whose one-way forward extra propagation is `fwd_prop_s` and
+  /// reverse (receiver->sender) propagation is `rev_prop_s`. Returns the flow
+  /// id to stamp into packets.
+  int add_flow(double fwd_prop_s, double rev_prop_s);
+
+  /// Registers the handler for data packets arriving at flow `id`'s receiver.
+  void on_data_at_receiver(int id, PacketHandler h);
+  /// Registers the handler for ack/feedback packets arriving back at the
+  /// flow's sender.
+  void on_packet_at_sender(int id, PacketHandler h);
+
+  /// Sender-side entry: pushes a data packet towards the bottleneck.
+  void send_data(int id, Packet p);
+  /// Receiver-side entry: returns an ack/feedback packet to the sender.
+  void send_back(int id, Packet p);
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] Link& bottleneck() noexcept { return *bottleneck_; }
+  [[nodiscard]] std::size_t flows() const noexcept { return flows_.size(); }
+
+ private:
+  struct Flow {
+    double fwd_prop;
+    std::unique_ptr<DelayPipe> reverse;
+    PacketHandler at_receiver;
+    PacketHandler at_sender;
+  };
+
+  void deliver_from_bottleneck(const Packet& p);
+
+  sim::Simulator& sim_;
+  std::unique_ptr<Link> bottleneck_;
+  std::vector<std::unique_ptr<Flow>> flows_;
+};
+
+}  // namespace ebrc::net

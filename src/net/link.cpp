@@ -1,0 +1,64 @@
+#include "net/link.hpp"
+
+#include <stdexcept>
+
+namespace ebrc::net {
+
+Link::Link(sim::Simulator& sim, std::unique_ptr<Queue> queue, double rate_bps,
+           double prop_delay_s, PacketHandler deliver)
+    : sim_(sim),
+      queue_(std::move(queue)),
+      rate_bps_(rate_bps),
+      prop_delay_s_(prop_delay_s),
+      deliver_(std::move(deliver)),
+      created_at_(sim.now()) {
+  if (!queue_) throw std::invalid_argument("Link: null queue");
+  if (rate_bps <= 0) throw std::invalid_argument("Link: rate must be > 0");
+  if (prop_delay_s < 0) throw std::invalid_argument("Link: negative delay");
+  if (!deliver_) throw std::invalid_argument("Link: null delivery handler");
+}
+
+void Link::send(const Packet& p) {
+  if (!queue_->enqueue(p, sim_.now())) return;  // dropped by the discipline
+  if (!busy_) start_transmission();
+}
+
+void Link::start_transmission() {
+  auto next = queue_->dequeue(sim_.now());
+  if (!next) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  const double tx = next->size_bytes * 8.0 / rate_bps_;
+  busy_time_ += tx;
+  const Packet p = *next;
+  sim_.schedule(tx, [this, p] { finish_transmission(p); });
+}
+
+void Link::finish_transmission(const Packet& p) {
+  ++delivered_;
+  // Propagation is pipelined: delivery is scheduled while the next packet
+  // begins serialization.
+  const Packet copy = p;
+  sim_.schedule(prop_delay_s_, [this, copy] { deliver_(copy); });
+  start_transmission();
+}
+
+double Link::utilization() const {
+  const double elapsed = sim_.now() - created_at_;
+  return elapsed > 0.0 ? busy_time_ / elapsed : 0.0;
+}
+
+DelayPipe::DelayPipe(sim::Simulator& sim, double delay_s, PacketHandler deliver)
+    : sim_(sim), delay_s_(delay_s), deliver_(std::move(deliver)) {
+  if (delay_s < 0) throw std::invalid_argument("DelayPipe: negative delay");
+  if (!deliver_) throw std::invalid_argument("DelayPipe: null delivery handler");
+}
+
+void DelayPipe::send(const Packet& p) {
+  const Packet copy = p;
+  sim_.schedule(delay_s_, [this, copy] { deliver_(copy); });
+}
+
+}  // namespace ebrc::net

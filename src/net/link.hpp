@@ -1,0 +1,65 @@
+// A fixed-rate output link fed by a queue discipline, plus a pure-delay pipe
+// (the NIST-Net stand-in used to add propagation delay to a path).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace ebrc::net {
+
+using PacketHandler = std::function<void(const Packet&)>;
+
+/// Serializes packets at `rate_bps`, then delivers them after `prop_delay_s`.
+/// Arriving packets pass through the queue discipline; drops are silent
+/// (protocols detect them end-to-end, as on a real router).
+class Link {
+ public:
+  Link(sim::Simulator& sim, std::unique_ptr<Queue> queue, double rate_bps, double prop_delay_s,
+       PacketHandler deliver);
+
+  /// Offers a packet to the link's queue at the current simulated time.
+  void send(const Packet& p);
+
+  [[nodiscard]] Queue& queue() noexcept { return *queue_; }
+  [[nodiscard]] const Queue& queue() const noexcept { return *queue_; }
+  [[nodiscard]] double rate_bps() const noexcept { return rate_bps_; }
+  [[nodiscard]] double prop_delay() const noexcept { return prop_delay_s_; }
+  /// Total packets handed to the delivery handler.
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  /// Utilization: busy transmission time / elapsed time since creation.
+  [[nodiscard]] double utilization() const;
+
+ private:
+  void start_transmission();
+  void finish_transmission(const Packet& p);
+
+  sim::Simulator& sim_;
+  std::unique_ptr<Queue> queue_;
+  double rate_bps_;
+  double prop_delay_s_;
+  PacketHandler deliver_;
+  bool busy_ = false;
+  double busy_time_ = 0.0;
+  double created_at_ = 0.0;
+  std::uint64_t delivered_ = 0;
+};
+
+/// Infinite-capacity fixed-delay pipe (ACK/feedback return paths, added
+/// propagation segments).
+class DelayPipe {
+ public:
+  DelayPipe(sim::Simulator& sim, double delay_s, PacketHandler deliver);
+  void send(const Packet& p);
+  [[nodiscard]] double delay() const noexcept { return delay_s_; }
+
+ private:
+  sim::Simulator& sim_;
+  double delay_s_;
+  PacketHandler deliver_;
+};
+
+}  // namespace ebrc::net

@@ -1,0 +1,35 @@
+// The packet: small, trivially copyable, shared by every protocol module.
+#pragma once
+
+#include <cstdint>
+
+namespace ebrc::net {
+
+enum class PacketKind : std::uint8_t {
+  kData,
+  kAck,       // TCP cumulative acknowledgment
+  kFeedback,  // TFRC receiver report
+};
+
+struct Packet {
+  int flow = 0;                 // flow identifier (index within an experiment)
+  std::int64_t seq = 0;         // per-flow sequence number (data) / echo
+  double size_bytes = 1000.0;   // wire size incl. headers
+  double send_time = 0.0;       // stamped by the sender at transmission
+  PacketKind kind = PacketKind::kData;
+
+  // TCP: cumulative ack sequence (next expected byte/packet).
+  std::int64_t ack_seq = 0;
+
+  // TFRC feedback payload: receiver's loss-interval estimate, receive rate,
+  // and the echoed timestamp for RTT measurement.
+  double fb_mean_interval = 0.0;  // hat-theta reported by the receiver
+  double fb_recv_rate = 0.0;      // packets/s measured over the last RTT
+  double echo_time = 0.0;         // send_time of the packet being echoed
+
+  // Sender's current RTT estimate carried in data packets (TFRC receivers
+  // need it to group losses into loss events and to pace feedback).
+  double rtt_hint = 0.0;
+};
+
+}  // namespace ebrc::net

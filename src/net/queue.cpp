@@ -1,0 +1,118 @@
+#include "net/queue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ebrc::net {
+
+DropTailQueue::DropTailQueue(std::size_t capacity_packets) : capacity_(capacity_packets) {
+  if (capacity_packets == 0) throw std::invalid_argument("DropTailQueue: zero capacity");
+}
+
+bool DropTailQueue::enqueue(const Packet& p, double /*now*/) {
+  if (q_.size() >= capacity_) {
+    ++drops_;
+    return false;
+  }
+  q_.push_back(p);
+  ++accepted_;
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue(double /*now*/) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = q_.front();
+  q_.pop_front();
+  return p;
+}
+
+RedQueue::RedQueue(RedParams params, std::uint64_t seed) : params_(params), rng_(seed) {
+  if (params.min_th <= 0 || params.max_th <= params.min_th) {
+    throw std::invalid_argument("RedQueue: need 0 < min_th < max_th");
+  }
+  if (params.max_p <= 0 || params.max_p > 1) {
+    throw std::invalid_argument("RedQueue: max_p in (0,1]");
+  }
+  if (params.weight <= 0 || params.weight > 1) {
+    throw std::invalid_argument("RedQueue: weight in (0,1]");
+  }
+  if (params.buffer_packets == 0) throw std::invalid_argument("RedQueue: zero buffer");
+}
+
+void RedQueue::update_average(double now) {
+  if (q_.empty() && idle_since_ >= 0.0) {
+    // Decay the average as if (idle / mean_packet_time) empty slots passed.
+    const double m = (now - idle_since_) / params_.mean_packet_time;
+    avg_ *= std::pow(1.0 - params_.weight, std::max(0.0, m));
+    idle_since_ = now;  // keep decaying from here
+  } else {
+    avg_ = (1.0 - params_.weight) * avg_ +
+           params_.weight * static_cast<double>(q_.size());
+  }
+}
+
+bool RedQueue::enqueue(const Packet& p, double now) {
+  update_average(now);
+
+  bool drop = false;
+  if (q_.size() >= params_.buffer_packets) {
+    drop = true;  // physical overflow
+  } else if (avg_ >= params_.max_th) {
+    if (params_.gentle && avg_ < 2.0 * params_.max_th) {
+      const double pb = params_.max_p +
+                        (avg_ - params_.max_th) / params_.max_th * (1.0 - params_.max_p);
+      drop = rng_.bernoulli(std::min(1.0, pb));
+    } else {
+      drop = true;  // forced drop (non-gentle)
+    }
+    count_ = 0;
+  } else if (avg_ >= params_.min_th) {
+    ++count_;
+    const double pb =
+        params_.max_p * (avg_ - params_.min_th) / (params_.max_th - params_.min_th);
+    // Spread drops: pa = pb / (1 - count * pb), Floyd & Jacobson (1993).
+    const double denom = 1.0 - static_cast<double>(count_) * pb;
+    const double pa = denom > 0.0 ? std::min(1.0, pb / denom) : 1.0;
+    if (rng_.bernoulli(pa)) {
+      drop = true;
+      count_ = 0;
+    }
+  } else {
+    count_ = -1;
+  }
+
+  if (drop) {
+    ++drops_;
+    return false;
+  }
+  q_.push_back(p);
+  ++accepted_;
+  idle_since_ = -1.0;
+  return true;
+}
+
+std::optional<Packet> RedQueue::dequeue(double now) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = q_.front();
+  q_.pop_front();
+  if (q_.empty()) idle_since_ = now;
+  return p;
+}
+
+RedParams red_params_for_bdp(double bandwidth_bps, double rtt_s, double packet_bytes) {
+  if (bandwidth_bps <= 0 || rtt_s <= 0 || packet_bytes <= 0) {
+    throw std::invalid_argument("red_params_for_bdp: positive arguments required");
+  }
+  const double bdp_packets = bandwidth_bps / 8.0 * rtt_s / packet_bytes;
+  RedParams prm;
+  prm.buffer_packets = static_cast<std::size_t>(std::max(4.0, 2.5 * bdp_packets));
+  prm.min_th = std::max(1.0, 0.25 * bdp_packets);
+  prm.max_th = std::max(prm.min_th + 1.0, 1.25 * bdp_packets);
+  prm.max_p = 0.10;
+  prm.weight = 0.002;
+  prm.gentle = false;
+  prm.mean_packet_time = packet_bytes * 8.0 / bandwidth_bps;
+  return prm;
+}
+
+}  // namespace ebrc::net

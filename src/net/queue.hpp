@@ -1,0 +1,94 @@
+// Queue disciplines for the bottleneck router: DropTail (FIFO) and RED.
+//
+// The RED implementation follows Floyd & Jacobson's gentle-less variant used
+// by the paper's lab setup: EWMA average queue with idle-time compensation,
+// linear drop probability between min_th and max_th, forced drop above
+// max_th, and the standard count-based spreading of drops.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+
+namespace ebrc::net {
+
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  /// Offers a packet at time `now`; returns true when accepted, false when
+  /// dropped (the caller owns drop accounting).
+  [[nodiscard]] virtual bool enqueue(const Packet& p, double now) = 0;
+
+  /// Removes the head-of-line packet; nullopt when empty.
+  [[nodiscard]] virtual std::optional<Packet> dequeue(double now) = 0;
+
+  [[nodiscard]] virtual std::size_t packets() const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+
+ protected:
+  std::uint64_t drops_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+/// FIFO with a hard packet-count limit.
+class DropTailQueue final : public Queue {
+ public:
+  explicit DropTailQueue(std::size_t capacity_packets);
+  [[nodiscard]] bool enqueue(const Packet& p, double now) override;
+  [[nodiscard]] std::optional<Packet> dequeue(double now) override;
+  [[nodiscard]] std::size_t packets() const noexcept override { return q_.size(); }
+  [[nodiscard]] std::string name() const override { return "DropTail"; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Packet> q_;
+};
+
+struct RedParams {
+  std::size_t buffer_packets = 250;  // hard limit
+  double min_th = 25.0;              // packets
+  double max_th = 125.0;             // packets
+  double max_p = 0.10;               // drop probability at max_th
+  double weight = 0.002;             // EWMA gain w_q
+  bool gentle = false;               // the lab setup could not enable gentle
+  double mean_packet_time = 5e-4;    // s, for idle-time averaging compensation
+};
+
+class RedQueue final : public Queue {
+ public:
+  RedQueue(RedParams params, std::uint64_t seed);
+  [[nodiscard]] bool enqueue(const Packet& p, double now) override;
+  [[nodiscard]] std::optional<Packet> dequeue(double now) override;
+  [[nodiscard]] std::size_t packets() const noexcept override { return q_.size(); }
+  [[nodiscard]] std::string name() const override { return "RED"; }
+
+  [[nodiscard]] double average_queue() const noexcept { return avg_; }
+  [[nodiscard]] const RedParams& params() const noexcept { return params_; }
+
+ private:
+  void update_average(double now);
+
+  RedParams params_;
+  std::deque<Packet> q_;
+  double avg_ = 0.0;
+  std::int64_t count_ = -1;  // packets since last drop (-1 per Floyd's pseudocode)
+  double idle_since_ = -1.0; // time the queue went empty; <0 while busy
+  sim::Rng rng_;
+};
+
+/// Builds the paper's ns-2 RED configuration from a bandwidth-delay product:
+/// buffer 5/2 BDP, min_th 1/4 BDP, max_th 5/4 BDP (Section V-A.2).
+[[nodiscard]] RedParams red_params_for_bdp(double bandwidth_bps, double rtt_s,
+                                           double packet_bytes = 1000.0);
+
+}  // namespace ebrc::net

@@ -1,0 +1,41 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ebrc::sim {
+
+EventHandle Simulator::schedule(Time delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("Simulator::schedule: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Entry{at, next_seq_++, std::move(fn), alive});
+  return EventHandle{std::move(alive)};
+}
+
+void Simulator::run_until(Time horizon) {
+  while (!queue_.empty() && queue_.top().at <= horizon) {
+    // priority_queue::top() is const; move out via const_cast as the entry is
+    // popped immediately after (standard idiom for move-out-of-heap).
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (!*e.alive) continue;  // cancelled
+    assert(e.at >= now_);
+    now_ = e.at;
+    *e.alive = false;  // fired; handle no longer pending
+    ++executed_;
+    e.fn();
+  }
+  if (now_ < horizon && std::isfinite(horizon)) now_ = horizon;
+}
+
+void Simulator::run() {
+  run_until(std::numeric_limits<Time>::infinity());
+}
+
+}  // namespace ebrc::sim

@@ -1,0 +1,90 @@
+// Discrete-event simulation kernel.
+//
+// Events are closures scheduled at absolute simulated times. Ties are broken
+// by insertion order so a run is fully deterministic for a fixed seed. An
+// EventHandle allows O(1) logical cancellation (the event stays in the heap
+// but is skipped when popped), which is how pending retransmit timers and
+// feedback timers are withdrawn.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace ebrc::sim {
+
+/// Simulated time, in seconds.
+using Time = double;
+
+/// Handle to a scheduled event; cancel() is idempotent.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Logically removes the event; a cancelled event never fires.
+  void cancel() const {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True when the event is still pending (not fired, not cancelled).
+  [[nodiscard]] bool pending() const noexcept { return alive_ && *alive_; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// The event-driven simulator: a clock plus a priority queue of closures.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at `now() + delay`. `delay` must be >= 0.
+  EventHandle schedule(Time delay, std::function<void()> fn);
+
+  /// Schedules `fn` at the absolute time `at` (>= now()).
+  EventHandle schedule_at(Time at, std::function<void()> fn);
+
+  /// Runs events until the queue drains or the clock passes `horizon`.
+  /// The clock is left at min(horizon, time of last event).
+  void run_until(Time horizon);
+
+  /// Runs until the queue drains completely.
+  void run();
+
+  /// Number of events executed since construction.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// Number of events currently pending (including cancelled-but-unpopped).
+  [[nodiscard]] std::size_t queue_size() const noexcept { return queue_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace ebrc::sim

@@ -1,0 +1,59 @@
+#include "stats/binned.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ebrc::stats {
+
+double t_quantile_975(std::size_t df) noexcept {
+  // Table of the two-sided 95% Student-t quantiles; beyond 30 df the normal
+  // quantile is accurate to < 2%.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  return 1.96;
+}
+
+BinnedSeries::BinnedSeries(double t_begin, double t_end, std::size_t bins)
+    : t_begin_(t_begin), t_end_(t_end), bins_(bins) {
+  if (bins == 0) throw std::invalid_argument("BinnedSeries: need at least one bin");
+  if (!(t_end > t_begin)) throw std::invalid_argument("BinnedSeries: empty time window");
+}
+
+void BinnedSeries::add(double t, double x) {
+  if (t < t_begin_ || t >= t_end_) return;
+  const double frac = (t - t_begin_) / (t_end_ - t_begin_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(bins_.size()));
+  if (idx >= bins_.size()) idx = bins_.size() - 1;
+  bins_[idx].add(x);
+}
+
+std::vector<double> BinnedSeries::bin_means() const {
+  std::vector<double> means;
+  means.reserve(bins_.size());
+  for (const auto& b : bins_) {
+    if (b.count() > 0) means.push_back(b.mean());
+  }
+  return means;
+}
+
+Estimate BinnedSeries::estimate() const { return estimate_from(bin_means()); }
+
+Estimate estimate_from(const std::vector<double>& values) {
+  Estimate e;
+  e.bins = values.size();
+  if (values.empty()) return e;
+  OnlineMoments m;
+  for (double v : values) m.add(v);
+  e.mean = m.mean();
+  if (values.size() >= 2) {
+    const double sem = m.stddev() / std::sqrt(static_cast<double>(values.size()));
+    e.half_width = t_quantile_975(values.size() - 1) * sem;
+  }
+  return e;
+}
+
+}  // namespace ebrc::stats

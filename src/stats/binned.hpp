@@ -1,0 +1,55 @@
+// Binned long-run estimates with Student-t confidence intervals.
+//
+// Mirrors the paper's measurement methodology (Section V-A.3): discard a
+// warm-up prefix, split the remainder into consecutive equal-duration bins,
+// estimate the quantity per bin, and report the across-bin mean and a 95% CI.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/online.hpp"
+
+namespace ebrc::stats {
+
+/// 97.5% Student-t quantile for `df` degrees of freedom (two-sided 95% CI).
+[[nodiscard]] double t_quantile_975(std::size_t df) noexcept;
+
+struct Estimate {
+  double mean = 0.0;
+  double half_width = 0.0;  // 95% CI half width; 0 when < 2 bins
+  std::size_t bins = 0;
+
+  [[nodiscard]] double lo() const noexcept { return mean - half_width; }
+  [[nodiscard]] double hi() const noexcept { return mean + half_width; }
+};
+
+/// Accumulates scalar samples stamped with a time, assigns them to
+/// equal-duration bins of [t_begin, t_end), and reports per-bin means plus
+/// the across-bin estimate.
+class BinnedSeries {
+ public:
+  BinnedSeries(double t_begin, double t_end, std::size_t bins);
+
+  /// Adds a sample observed at time `t`; samples outside the window are
+  /// dropped (e.g. warm-up).
+  void add(double t, double x);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return bins_.size(); }
+  [[nodiscard]] const OnlineMoments& bin(std::size_t i) const { return bins_.at(i); }
+  /// Per-bin means for bins that received data.
+  [[nodiscard]] std::vector<double> bin_means() const;
+  /// Across-bin mean and 95% Student-t CI.
+  [[nodiscard]] Estimate estimate() const;
+
+ private:
+  double t_begin_;
+  double t_end_;
+  std::vector<OnlineMoments> bins_;
+};
+
+/// Across-sample mean and 95% CI from raw replicate values (one value per
+/// bin/replica), e.g. per-bin ratio estimates computed externally.
+[[nodiscard]] Estimate estimate_from(const std::vector<double>& values);
+
+}  // namespace ebrc::stats

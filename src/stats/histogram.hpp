@@ -1,0 +1,35 @@
+// Fixed-width histogram for distribution summaries in examples and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ebrc::stats {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `bins` equal-width cells; out-of-range samples are
+  /// counted in underflow/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  /// Center of bin i.
+  [[nodiscard]] double center(std::size_t i) const;
+  /// Empirical quantile q in [0,1] (linear within the bin).
+  [[nodiscard]] double quantile(double q) const;
+  /// Multi-line ASCII rendering (for examples).
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace ebrc::stats

@@ -1,0 +1,79 @@
+#include "stats/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ebrc::stats {
+
+void OnlineMoments::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double OnlineMoments::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineMoments::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineMoments::cv() const noexcept {
+  return mean_ == 0.0 ? 0.0 : stddev() / mean_;
+}
+
+void OnlineMoments::merge(const OnlineMoments& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double d = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += d * nb / n;
+  m2_ += other.m2_ + d * d * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void OnlineCovariance::add(double x, double y) noexcept {
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double dx = x - mx_;
+  const double dy = y - my_;
+  mx_ += dx / n;
+  my_ += dy / n;
+  cxy_ += dx * (y - my_);
+  mx2_ += dx * (x - mx_);
+  my2_ += dy * (y - my_);
+}
+
+double OnlineCovariance::covariance() const noexcept {
+  return n_ < 2 ? 0.0 : cxy_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineCovariance::variance_x() const noexcept {
+  return n_ < 2 ? 0.0 : mx2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineCovariance::variance_y() const noexcept {
+  return n_ < 2 ? 0.0 : my2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineCovariance::correlation() const noexcept {
+  const double vx = variance_x();
+  const double vy = variance_y();
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return covariance() / std::sqrt(vx * vy);
+}
+
+}  // namespace ebrc::stats

@@ -1,0 +1,57 @@
+// Online (single-pass, numerically stable) moment estimators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ebrc::stats {
+
+/// Welford mean/variance accumulator.
+class OnlineMoments {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Coefficient of variation stddev/mean; 0 when mean is 0.
+  [[nodiscard]] double cv() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator (parallel Welford combine).
+  void merge(const OnlineMoments& other) noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Online covariance of paired samples (x, y).
+class OnlineCovariance {
+ public:
+  void add(double x, double y) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean_x() const noexcept { return mx_; }
+  [[nodiscard]] double mean_y() const noexcept { return my_; }
+  /// Unbiased sample covariance; 0 when fewer than two samples.
+  [[nodiscard]] double covariance() const noexcept;
+  /// Pearson correlation; 0 when either variance vanishes.
+  [[nodiscard]] double correlation() const noexcept;
+  [[nodiscard]] double variance_x() const noexcept;
+  [[nodiscard]] double variance_y() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mx_ = 0.0, my_ = 0.0;
+  double cxy_ = 0.0, mx2_ = 0.0, my2_ = 0.0;
+};
+
+}  // namespace ebrc::stats

@@ -1,0 +1,4 @@
+#include "stats/time_average.hpp"
+
+// Header-only implementation; this translation unit exists so the target has
+// a concrete archive member and the header stays self-contained under ODR.

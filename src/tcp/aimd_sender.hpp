@@ -1,0 +1,53 @@
+// Rate-based AIMD sender for the Claim-4 numeric experiments: the send rate
+// grows additively by alpha packets/RTT per RTT and is multiplied by beta on
+// each loss event (detected from receiver gap reports, grouped within one
+// RTT). This is the stochastic, packet-level counterpart of
+// model::simulate_fluid_aimd.
+#pragma once
+
+#include <cstdint>
+
+#include "net/dumbbell.hpp"
+#include "sim/random.hpp"
+#include "stats/loss_events.hpp"
+
+namespace ebrc::tcp {
+
+struct AimdSenderConfig {
+  double alpha = 1.0;         // packets/RTT per RTT
+  double beta = 0.5;
+  double rtt_s = 1.0;         // fixed round-trip used for the increase clock
+  double initial_rate = 10.0; // packets/s
+  double packet_bytes = 1000.0;
+};
+
+class AimdSender {
+ public:
+  AimdSender(net::Dumbbell& net, int flow_id, AimdSenderConfig cfg);
+
+  void start(double at);
+  void stop() { running_ = false; }
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] const stats::LossEventRecorder& recorder() const noexcept { return recorder_; }
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+
+ private:
+  void send_next();
+  void increase_tick();
+  void on_arrival(const net::Packet& p);
+
+  net::Dumbbell& net_;
+  int flow_;
+  AimdSenderConfig cfg_;
+  double rate_;
+  bool running_ = false;
+  std::int64_t next_seq_ = 0;
+  std::int64_t expected_seq_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  stats::LossEventRecorder recorder_;
+};
+
+}  // namespace ebrc::tcp

@@ -1,0 +1,226 @@
+#include "tcp/tcp_connection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ebrc::tcp {
+
+TcpConnection::TcpConnection(net::Dumbbell& net, int flow_id, double base_rtt_s, TcpConfig cfg)
+    : net_(net),
+      flow_(flow_id),
+      cfg_(cfg),
+      cwnd_(cfg.initial_cwnd),
+      ssthresh_(cfg.initial_ssthresh),
+      rto_(std::max(cfg.min_rto, 2.0 * base_rtt_s)),
+      recorder_(base_rtt_s) {
+  if (base_rtt_s <= 0) throw std::invalid_argument("TcpConnection: base RTT must be > 0");
+  net_.on_data_at_receiver(flow_, [this](const net::Packet& p) { on_data_at_receiver(p); });
+  net_.on_packet_at_sender(flow_, [this](const net::Packet& p) { on_packet_at_sender(p); });
+}
+
+void TcpConnection::start(double at) {
+  net_.simulator().schedule_at(at, [this] {
+    running_ = true;
+    try_send();
+    arm_rto();
+  });
+}
+
+void TcpConnection::stop() {
+  running_ = false;
+  rto_timer_.cancel();
+  delack_timer_.cancel();
+}
+
+void TcpConnection::reset_counters() {
+  sent_ = 0;
+  delivered_ = 0;
+  timeouts_ = 0;
+  fast_retx_ = 0;
+}
+
+// --------------------------------------------------------------- sender ----
+
+void TcpConnection::try_send() {
+  if (!running_) return;
+  while (flight() < std::min(cwnd_, cfg_.max_cwnd)) {
+    transmit(next_seq_, /*retransmission=*/false);
+    ++next_seq_;
+  }
+}
+
+void TcpConnection::transmit(std::int64_t seq, bool retransmission) {
+  net::Packet p;
+  p.seq = seq;
+  p.size_bytes = cfg_.packet_bytes;
+  p.send_time = net_.simulator().now();
+  p.kind = net::PacketKind::kData;
+  net_.send_data(flow_, p);
+  ++sent_;
+  recorder_.on_packet(p.send_time);
+  if (retransmission) last_retransmit_time_ = p.send_time;
+}
+
+void TcpConnection::on_packet_at_sender(const net::Packet& p) {
+  if (!running_ || p.kind != net::PacketKind::kAck) return;
+  if (p.ack_seq > high_ack_) {
+    on_new_ack(p.ack_seq, p.echo_time);
+  } else {
+    on_dupack();
+  }
+}
+
+void TcpConnection::on_new_ack(std::int64_t ack, double echo_time) {
+  const std::int64_t acked = ack - high_ack_;
+  high_ack_ = ack;
+  dup_count_ = 0;
+
+  // Karn's rule: only sample RTT when the echoed transmission is later than
+  // the last retransmission.
+  if (echo_time > last_retransmit_time_) {
+    note_rtt_sample(net_.simulator().now() - echo_time);
+  }
+  backoff_ = 1;
+
+  if (in_recovery_) {
+    if (ack >= recover_) {
+      // Full acknowledgment: leave recovery, deflate to ssthresh.
+      in_recovery_ = false;
+      cwnd_ = ssthresh_;
+    } else {
+      // Partial ack: the next hole is lost too — retransmit it, deflate by
+      // the amount acked (NewReno).
+      transmit(high_ack_, /*retransmission=*/true);
+      cwnd_ = std::max(1.0, cwnd_ - static_cast<double>(acked) + 1.0);
+      arm_rto();
+      try_send();
+      return;
+    }
+  } else if (cwnd_ < ssthresh_) {
+    cwnd_ += static_cast<double>(acked);  // slow start (with delayed acks)
+  } else {
+    cwnd_ += static_cast<double>(acked) / cwnd_;  // congestion avoidance
+  }
+  recorder_.note_rate(srtt_ > 0 ? cwnd_ / srtt_ : 0.0);
+
+  if (high_ack_ == next_seq_) {
+    rto_timer_.cancel();  // everything acked
+  } else {
+    arm_rto();
+  }
+  try_send();
+}
+
+void TcpConnection::on_dupack() {
+  if (in_recovery_) {
+    cwnd_ += 1.0;  // window inflation per extra dupack
+    try_send();
+    return;
+  }
+  if (++dup_count_ >= cfg_.dupack_threshold) {
+    enter_recovery();
+  }
+}
+
+void TcpConnection::enter_recovery() {
+  ++fast_retx_;
+  record_loss_event();
+  ssthresh_ = std::max(2.0, flight() / 2.0);
+  recover_ = next_seq_;
+  in_recovery_ = true;
+  transmit(high_ack_, /*retransmission=*/true);
+  cwnd_ = ssthresh_ + static_cast<double>(cfg_.dupack_threshold);
+  recorder_.note_rate(srtt_ > 0 ? ssthresh_ / srtt_ : 0.0);
+  arm_rto();
+}
+
+void TcpConnection::on_timeout() {
+  if (!running_) return;
+  ++timeouts_;
+  record_loss_event();
+  ssthresh_ = std::max(2.0, flight() / 2.0);
+  cwnd_ = 1.0;
+  dup_count_ = 0;
+  in_recovery_ = false;
+  recover_ = next_seq_;
+  backoff_ = std::min(backoff_ * 2, 64);
+  recorder_.note_rate(srtt_ > 0 ? 1.0 / srtt_ : 0.0);
+  transmit(high_ack_, /*retransmission=*/true);
+  arm_rto();
+}
+
+void TcpConnection::arm_rto() {
+  rto_timer_.cancel();
+  const double timeout = std::min(cfg_.max_rto, rto_ * static_cast<double>(backoff_));
+  rto_timer_ = net_.simulator().schedule(timeout, [this] { on_timeout(); });
+}
+
+void TcpConnection::note_rtt_sample(double sample) {
+  if (sample <= 0) return;
+  if (!have_rtt_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2.0;
+    have_rtt_ = true;
+  } else {
+    rttvar_ += (std::abs(sample - srtt_) - rttvar_) / 4.0;
+    srtt_ += (sample - srtt_) / 8.0;
+  }
+  rto_ = std::clamp(srtt_ + 4.0 * rttvar_, cfg_.min_rto, cfg_.max_rto);
+  recorder_.set_rtt_window(srtt_);
+  // The paper's r: the event-average RTT, sampled once per round trip.
+  const double now = net_.simulator().now();
+  if (now >= next_rtt_sample_at_) {
+    rtt_stats_.add(sample);
+    next_rtt_sample_at_ = now + srtt_;
+  }
+}
+
+void TcpConnection::record_loss_event() {
+  recorder_.on_loss(net_.simulator().now());
+}
+
+// ------------------------------------------------------------- receiver ----
+
+void TcpConnection::on_data_at_receiver(const net::Packet& p) {
+  last_echo_ = p.send_time;
+  bool out_of_order = false;
+  if (p.seq == expected_) {
+    ++expected_;
+    ++delivered_;
+    // Drain any buffered continuation.
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && *it == expected_) {
+      ++expected_;
+      ++delivered_;
+      it = out_of_order_.erase(it);
+    }
+  } else if (p.seq > expected_) {
+    out_of_order_.insert(p.seq);
+    out_of_order = true;
+  } else {
+    out_of_order = true;  // duplicate of already-delivered data: ack at once
+  }
+
+  ++pending_acks_;
+  if (out_of_order || pending_acks_ >= cfg_.ack_every) {
+    send_ack(p.send_time);
+  } else if (!delack_timer_.pending()) {
+    delack_timer_ = net_.simulator().schedule(cfg_.delayed_ack_timeout,
+                                              [this] { send_ack(last_echo_); });
+  }
+}
+
+void TcpConnection::send_ack(double echo_time) {
+  delack_timer_.cancel();
+  pending_acks_ = 0;
+  net::Packet ack;
+  ack.kind = net::PacketKind::kAck;
+  ack.ack_seq = expected_;
+  ack.echo_time = echo_time;
+  ack.size_bytes = 40.0;
+  ack.send_time = net_.simulator().now();
+  net_.send_back(flow_, ack);
+}
+
+}  // namespace ebrc::tcp

@@ -1,0 +1,115 @@
+// A window-based TCP model: slow start, congestion avoidance, fast
+// retransmit / NewReno fast recovery, Jacobson/Karels RTO with Karn's rule
+// and exponential backoff, delayed ACKs (every b = 2 packets, matching the
+// PFTK formulas' acknowledgment model), and a greedy (long-lived bulk)
+// application.
+//
+// Loss events are measured with the same LossEventRecorder (one-RTT
+// grouping) that TFRC uses, so the p'-vs-p comparisons of Figures 7, 12-15,
+// 17-19 compare like with like.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "net/dumbbell.hpp"
+#include "stats/loss_events.hpp"
+#include "stats/online.hpp"
+
+namespace ebrc::tcp {
+
+struct TcpConfig {
+  double packet_bytes = 1000.0;
+  double initial_cwnd = 2.0;       // packets
+  double initial_ssthresh = 64.0;  // packets
+  int dupack_threshold = 3;
+  int ack_every = 2;               // delayed ACK factor b
+  double delayed_ack_timeout = 0.1;  // s
+  double min_rto = 0.2;            // s (ns-2 / Linux floor)
+  double max_rto = 60.0;           // s
+  double max_cwnd = 1e9;           // receiver window; huge = never limiting
+};
+
+class TcpConnection {
+ public:
+  /// Wires the connection onto flow `flow_id` of the dumbbell. `base_rtt_s`
+  /// seeds the RTO before the first measurement.
+  TcpConnection(net::Dumbbell& net, int flow_id, double base_rtt_s, TcpConfig cfg = {});
+
+  void start(double at);
+  void stop();
+
+  // --- measurement ---------------------------------------------------------
+  [[nodiscard]] const stats::LossEventRecorder& recorder() const noexcept { return recorder_; }
+  /// New in-order packets accepted by the receiver (goodput counter).
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  /// Data packets put on the wire (incl. retransmissions).
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] double cwnd() const noexcept { return cwnd_; }
+  [[nodiscard]] double srtt() const noexcept { return srtt_; }
+  /// Event-averaged RTT (sampled once per smoothed RTT, the paper's r).
+  [[nodiscard]] const stats::OnlineMoments& rtt_stats() const noexcept { return rtt_stats_; }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  [[nodiscard]] std::uint64_t fast_retransmits() const noexcept { return fast_retx_; }
+  /// Resets counters (recorder excepted) at the end of warm-up.
+  void reset_counters();
+
+ private:
+  // sender side
+  void try_send();
+  void transmit(std::int64_t seq, bool retransmission);
+  void on_packet_at_sender(const net::Packet& p);
+  void on_new_ack(std::int64_t ack, double echo_time);
+  void on_dupack();
+  void enter_recovery();
+  void on_timeout();
+  void arm_rto();
+  void note_rtt_sample(double sample);
+  void record_loss_event();
+  [[nodiscard]] double flight() const noexcept {
+    return static_cast<double>(next_seq_ - high_ack_);
+  }
+
+  // receiver side
+  void on_data_at_receiver(const net::Packet& p);
+  void send_ack(double echo_time);
+
+  net::Dumbbell& net_;
+  int flow_;
+  TcpConfig cfg_;
+
+  // sender state
+  bool running_ = false;
+  double cwnd_;
+  double ssthresh_;
+  std::int64_t next_seq_ = 0;   // next NEW sequence to transmit
+  std::int64_t high_ack_ = 0;   // highest cumulative ack (next expected)
+  int dup_count_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recover_ = 0;    // NewReno recovery point
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  bool have_rtt_ = false;
+  double rto_;
+  int backoff_ = 1;
+  double last_retransmit_time_ = -1.0;  // Karn's rule cutoff
+  sim::EventHandle rto_timer_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t fast_retx_ = 0;
+
+  // receiver state
+  std::int64_t expected_ = 0;
+  std::set<std::int64_t> out_of_order_;
+  int pending_acks_ = 0;
+  double last_echo_ = 0.0;
+  sim::EventHandle delack_timer_;
+  std::uint64_t delivered_ = 0;
+
+  // measurement
+  stats::LossEventRecorder recorder_;
+  stats::OnlineMoments rtt_stats_;
+  double next_rtt_sample_at_ = 0.0;
+};
+
+}  // namespace ebrc::tcp

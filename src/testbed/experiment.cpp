@@ -1,0 +1,233 @@
+#include "testbed/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/conditions.hpp"
+#include "core/weights.hpp"
+#include "model/throughput_function.hpp"
+#include "net/dumbbell.hpp"
+#include "net/probe_senders.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_connection.hpp"
+#include "tfrc/tfrc_connection.hpp"
+#include "util/math.hpp"
+
+namespace ebrc::testbed {
+namespace {
+
+constexpr double kSharedProp = 0.001;  // s, propagation of the shared segment
+
+struct RecorderSnapshot {
+  std::uint64_t packets = 0;
+  std::uint64_t losses = 0;
+  std::uint64_t events = 0;
+  std::size_t intervals = 0;
+};
+
+RecorderSnapshot snap(const stats::LossEventRecorder& rec) {
+  return {rec.packets(), rec.losses(), rec.events(), rec.intervals_packets().size()};
+}
+
+/// Loss-event rate over the measurement window: new events / new packets
+/// (arrived + lost), the empirical Eq. (1).
+double delta_loss_rate(const stats::LossEventRecorder& rec, const RecorderSnapshot& s0) {
+  const auto packets = (rec.packets() - s0.packets) + (rec.losses() - s0.losses);
+  const auto events = rec.events() - s0.events;
+  if (packets == 0 || events == 0) return 0.0;
+  return static_cast<double>(events) / static_cast<double>(packets);
+}
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+std::unique_ptr<net::Queue> make_queue(const Scenario& sc) {
+  if (sc.queue == QueueKind::kDropTail) {
+    return std::make_unique<net::DropTailQueue>(sc.droptail_buffer);
+  }
+  const net::RedParams prm = sc.red ? *sc.red
+                                    : net::red_params_for_bdp(sc.bottleneck_bps, sc.base_rtt_s,
+                                                              sc.tfrc.packet_bytes);
+  return std::make_unique<net::RedQueue>(prm, sim::hash_seed(sc.seed, "red"));
+}
+
+}  // namespace
+
+std::vector<const FlowStats*> ExperimentResult::of_kind(const std::string& kind) const {
+  std::vector<const FlowStats*> out;
+  for (const auto& f : flows) {
+    if (f.kind == kind) out.push_back(&f);
+  }
+  return out;
+}
+
+ExperimentResult run_experiment(const Scenario& sc) {
+  if (sc.duration_s <= sc.warmup_s) {
+    throw std::invalid_argument("run_experiment: duration must exceed warmup");
+  }
+  sim::Simulator sim;
+  sim::Rng rng(sim::hash_seed(sc.seed, "experiment"));
+
+  net::Dumbbell net(sim, make_queue(sc), sc.bottleneck_bps, kSharedProp);
+
+  // Per-flow RTT spread (the lab/Internet flows never share exactly one RTT).
+  const auto flow_rtt = [&]() {
+    const double jitter = sc.rtt_spread > 0 ? sc.rtt_spread * (rng.uniform() - 0.5) : 0.0;
+    return sc.base_rtt_s * (1.0 + jitter);
+  };
+  const auto add_flow = [&](double rtt) {
+    const double one_way = std::max(0.0, rtt / 2.0 - kSharedProp);
+    return net.add_flow(one_way, rtt / 2.0);
+  };
+
+  std::vector<std::unique_ptr<tfrc::TfrcConnection>> tfrcs;
+  std::vector<std::unique_ptr<tcp::TcpConnection>> tcps;
+  std::vector<std::unique_ptr<net::ProbeSender>> probes;
+  std::vector<std::unique_ptr<net::OnOffSender>> onoffs;
+
+  for (int i = 0; i < sc.n_tfrc; ++i) {
+    const double rtt = flow_rtt();
+    const int id = add_flow(rtt);
+    auto conn = std::make_unique<tfrc::TfrcConnection>(net, id, rtt, sc.tfrc);
+    conn->start(rng.uniform(0.0, 1.0));
+    tfrcs.push_back(std::move(conn));
+  }
+  for (int i = 0; i < sc.n_tcp; ++i) {
+    const double rtt = flow_rtt();
+    const int id = add_flow(rtt);
+    auto conn = std::make_unique<tcp::TcpConnection>(net, id, rtt, sc.tcp);
+    conn->start(rng.uniform(0.0, 1.0));
+    tcps.push_back(std::move(conn));
+  }
+  for (int i = 0; i < sc.n_poisson; ++i) {
+    const double rtt = flow_rtt();
+    const int id = add_flow(rtt);
+    auto probe = std::make_unique<net::ProbeSender>(
+        net, id, sc.poisson_rate_pps, sc.tfrc.packet_bytes, net::ProbePattern::kPoisson, rtt,
+        sim::hash_seed(sc.seed, "poisson" + std::to_string(i)));
+    probe->start(rng.uniform(0.0, 1.0));
+    probes.push_back(std::move(probe));
+  }
+  for (int i = 0; i < sc.n_onoff; ++i) {
+    const double rtt = flow_rtt();
+    const int id = add_flow(rtt);
+    auto bg = std::make_unique<net::OnOffSender>(
+        net, id, sc.onoff_peak_pps, sc.tfrc.packet_bytes, sc.onoff_mean_on_s,
+        sc.onoff_mean_off_s, sim::hash_seed(sc.seed, "onoff" + std::to_string(i)));
+    bg->start(rng.uniform(0.0, 1.0));
+    onoffs.push_back(std::move(bg));
+  }
+
+  // Warm-up, snapshot, measure.
+  sim.run_until(sc.warmup_s);
+  std::vector<RecorderSnapshot> tfrc_s, tcp_s, probe_s;
+  std::vector<std::uint64_t> tfrc_d0, tcp_d0;
+  for (auto& c : tfrcs) {
+    tfrc_s.push_back(snap(c->recorder()));
+    tfrc_d0.push_back(c->delivered());
+  }
+  for (auto& c : tcps) {
+    tcp_s.push_back(snap(c->recorder()));
+    tcp_d0.push_back(c->delivered());
+  }
+  for (auto& p : probes) probe_s.push_back(snap(p->recorder()));
+
+  sim.run_until(sc.duration_s);
+  const double window = sc.duration_s - sc.warmup_s;
+
+  ExperimentResult out;
+  out.scenario_name = sc.name;
+  out.bottleneck_utilization = net.bottleneck().utilization();
+
+  const auto analyze = [&](const std::string& kind, int flow_id,
+                           const stats::LossEventRecorder& rec, const RecorderSnapshot& s0,
+                           double goodput, double mean_rtt) {
+    FlowStats fs;
+    fs.kind = kind;
+    fs.flow_id = flow_id;
+    fs.throughput_pps = goodput;
+    fs.p = delta_loss_rate(rec, s0);
+    fs.mean_rtt_s = mean_rtt;
+    fs.loss_events = rec.events() - s0.events;
+    if (fs.p > 0.0 && mean_rtt > 0.0) {
+      const auto f = model::make_throughput_function(sc.tfrc.formula, mean_rtt);
+      fs.formula_rate = f->rate(std::min(1.0, fs.p));
+      fs.normalized = fs.throughput_pps / fs.formula_rate;
+      const auto& all = rec.intervals_packets();
+      if (all.size() > s0.intervals + 2 * sc.tfrc.history_length) {
+        const std::vector<double> tail(all.begin() + static_cast<long>(s0.intervals),
+                                       all.end());
+        const auto cov = core::check_covariance_conditions(
+            *f, tail, core::tfrc_weights(sc.tfrc.history_length));
+        fs.cov_theta_thetahat = cov.cov_theta_thetahat;
+        fs.normalized_cov = cov.cov_theta_thetahat * util::sq(fs.p);
+      }
+    }
+    out.flows.push_back(fs);
+  };
+
+  for (std::size_t i = 0; i < tfrcs.size(); ++i) {
+    auto& c = *tfrcs[i];
+    const double goodput = static_cast<double>(c.delivered() - tfrc_d0[i]) / window;
+    analyze("tfrc", i < tfrc_s.size() ? static_cast<int>(i) : 0, c.recorder(), tfrc_s[i],
+            goodput, c.rtt_stats().count() > 0 ? c.rtt_stats().mean() : c.srtt());
+  }
+  for (std::size_t i = 0; i < tcps.size(); ++i) {
+    auto& c = *tcps[i];
+    const double goodput = static_cast<double>(c.delivered() - tcp_d0[i]) / window;
+    analyze("tcp", static_cast<int>(i), c.recorder(), tcp_s[i], goodput,
+            c.rtt_stats().count() > 0 ? c.rtt_stats().mean() : c.srtt());
+  }
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    auto& p = *probes[i];
+    FlowStats fs;
+    fs.kind = "poisson";
+    fs.flow_id = static_cast<int>(i);
+    fs.p = delta_loss_rate(p.recorder(), probe_s[i]);
+    fs.loss_events = p.recorder().events() - probe_s[i].events;
+    out.flows.push_back(fs);
+  }
+
+  // Aggregates and the breakdown.
+  std::vector<double> tfrc_x, tcp_x, tfrc_p, tcp_p, poisson_p, tfrc_r, tcp_r, tfrc_norm,
+      tcp_norm;
+  for (const auto& f : out.flows) {
+    if (f.kind == "tfrc") {
+      tfrc_x.push_back(f.throughput_pps);
+      if (f.p > 0) tfrc_p.push_back(f.p);
+      tfrc_r.push_back(f.mean_rtt_s);
+      if (f.normalized > 0) tfrc_norm.push_back(f.normalized);
+    } else if (f.kind == "tcp") {
+      tcp_x.push_back(f.throughput_pps);
+      if (f.p > 0) tcp_p.push_back(f.p);
+      tcp_r.push_back(f.mean_rtt_s);
+      if (f.normalized > 0) tcp_norm.push_back(f.normalized);
+    } else if (f.p > 0) {
+      poisson_p.push_back(f.p);
+    }
+  }
+  out.tfrc_throughput = mean_of(tfrc_x);
+  out.tcp_throughput = mean_of(tcp_x);
+  out.tfrc_p = mean_of(tfrc_p);
+  out.tcp_p = mean_of(tcp_p);
+  out.poisson_p = mean_of(poisson_p);
+  out.tfrc_rtt = mean_of(tfrc_r);
+  out.tcp_rtt = mean_of(tcp_r);
+
+  out.breakdown.conservativeness = mean_of(tfrc_norm);
+  out.breakdown.tcp_formula_ratio = mean_of(tcp_norm);
+  out.breakdown.loss_rate_ratio = out.tfrc_p > 0 ? out.tcp_p / out.tfrc_p : 0.0;
+  out.breakdown.rtt_ratio = out.tfrc_rtt > 0 ? out.tcp_rtt / out.tfrc_rtt : 0.0;
+  out.breakdown.friendliness =
+      out.tcp_throughput > 0 ? out.tfrc_throughput / out.tcp_throughput : 0.0;
+  return out;
+}
+
+}  // namespace ebrc::testbed

@@ -1,0 +1,63 @@
+// The experiment runner: builds the dumbbell, attaches the flow population,
+// runs with warm-up truncation, and evaluates the paper's per-flow metrics
+// and the four-way TCP-friendliness breakdown (Section I-A):
+//
+//   (1) conservativeness      x̄  / f(p, r)       (TFRC)
+//   (2) loss-event rates      p' / p              (TCP vs TFRC)
+//   (3) round-trip times      r' / r
+//   (4) TCP formula obedience x̄' / f(p', r')
+//
+// plus the headline friendliness ratio x̄ / x̄'.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "testbed/scenario.hpp"
+
+namespace ebrc::testbed {
+
+struct FlowStats {
+  std::string kind;          // "tfrc" | "tcp" | "poisson"
+  int flow_id = 0;
+  double throughput_pps = 0.0;  // goodput over the measurement window
+  double p = 0.0;               // loss-event rate (one-RTT grouping)
+  double mean_rtt_s = 0.0;      // event-average RTT
+  double formula_rate = 0.0;    // f(p, r) at this flow's p and r
+  double normalized = 0.0;      // throughput / formula_rate
+  double cov_theta_thetahat = 0.0;  // replayed with the scenario's weights
+  double normalized_cov = 0.0;      // cov * p^2 (Figures 5 and 10)
+  std::uint64_t loss_events = 0;
+};
+
+struct Breakdown {
+  double conservativeness = 0.0;  // x̄/f(p,r), TFRC aggregate
+  double loss_rate_ratio = 0.0;   // p'/p
+  double rtt_ratio = 0.0;         // r'/r
+  double tcp_formula_ratio = 0.0; // x̄'/f(p',r')
+  double friendliness = 0.0;      // x̄/x̄'
+};
+
+struct ExperimentResult {
+  std::string scenario_name;
+  std::vector<FlowStats> flows;
+
+  // population aggregates (means over flows of the kind)
+  double tfrc_throughput = 0.0;
+  double tcp_throughput = 0.0;
+  double tfrc_p = 0.0;
+  double tcp_p = 0.0;
+  double poisson_p = 0.0;
+  double tfrc_rtt = 0.0;
+  double tcp_rtt = 0.0;
+  double bottleneck_utilization = 0.0;
+
+  Breakdown breakdown;
+
+  [[nodiscard]] std::vector<const FlowStats*> of_kind(const std::string& kind) const;
+};
+
+/// Runs the scenario to completion and computes all metrics.
+[[nodiscard]] ExperimentResult run_experiment(const Scenario& scenario);
+
+}  // namespace ebrc::testbed

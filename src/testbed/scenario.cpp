@@ -1,0 +1,52 @@
+#include "testbed/scenario.hpp"
+
+namespace ebrc::testbed {
+
+Scenario ns2_scenario(int n_tfrc, int n_tcp, std::size_t history_length, std::uint64_t seed) {
+  Scenario s;
+  s.name = "ns2-red-15mbps";
+  s.bottleneck_bps = 15e6;
+  s.base_rtt_s = 0.050;
+  s.queue = QueueKind::kRed;
+  s.n_tfrc = n_tfrc;
+  s.n_tcp = n_tcp;
+  s.tfrc.history_length = history_length;
+  s.tfrc.comprehensive = true;   // ns-2 TFRC implements the comprehensive law
+  s.tfrc.formula = "pftk";       // PFTK-standard, as in the experiments
+  s.seed = seed;
+  return s;
+}
+
+Scenario lab_scenario(QueueKind queue, std::size_t buffer_packets, int n_each,
+                      std::uint64_t seed) {
+  Scenario s;
+  s.name = queue == QueueKind::kDropTail
+               ? "lab-droptail-" + std::to_string(buffer_packets)
+               : "lab-red";
+  s.bottleneck_bps = 10e6;   // the 10 Mb/s hub
+  s.base_rtt_s = 0.050;      // NIST Net added 25 ms each way
+  s.queue = queue;
+  s.droptail_buffer = buffer_packets;
+  if (queue == QueueKind::kRed) {
+    // Matches the lab: buffer 5/2 U, thresholds 3/20 U and 5/4 U for
+    // U = 62500 B (in 1000-byte packets), weight 0.002, max_p 1/10.
+    net::RedParams prm;
+    prm.buffer_packets = 156;  // 2.5 * 62.5
+    prm.min_th = 9.375;        // 0.15 * 62.5
+    prm.max_th = 78.125;       // 1.25 * 62.5
+    prm.max_p = 0.10;
+    prm.weight = 0.002;
+    prm.gentle = false;        // not available in the lab's tc module
+    prm.mean_packet_time = 1000.0 * 8.0 / 10e6;
+    s.red = prm;
+  }
+  s.n_tfrc = n_each;
+  s.n_tcp = n_each;
+  s.tfrc.history_length = 8;
+  s.tfrc.comprehensive = false;  // disabled in the lab experiments
+  s.tfrc.formula = "pftk";
+  s.seed = seed;
+  return s;
+}
+
+}  // namespace ebrc::testbed

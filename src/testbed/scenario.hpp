@@ -1,0 +1,63 @@
+// Experiment scenarios: the knobs of the paper's ns-2, lab, and Internet
+// setups, expressed against our simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/queue.hpp"
+#include "tcp/tcp_connection.hpp"
+#include "tfrc/tfrc_connection.hpp"
+
+namespace ebrc::testbed {
+
+enum class QueueKind { kDropTail, kRed };
+
+struct Scenario {
+  std::string name = "scenario";
+
+  // Bottleneck.
+  double bottleneck_bps = 15e6;       // the paper's ns-2 link
+  double base_rtt_s = 0.050;          // two-way propagation (no queueing)
+  QueueKind queue = QueueKind::kRed;
+  std::size_t droptail_buffer = 100;  // packets (DropTail only)
+  std::optional<net::RedParams> red;  // derived from BDP when unset
+
+  // Flow population.
+  int n_tfrc = 1;
+  int n_tcp = 1;
+  int n_poisson = 0;            // Poisson probe flows (Figure 7's p'')
+  double poisson_rate_pps = 8.0;
+
+  // Background (cross) traffic for the WAN emulations.
+  int n_onoff = 0;
+  double onoff_peak_pps = 200.0;
+  double onoff_mean_on_s = 0.5;
+  double onoff_mean_off_s = 0.5;
+
+  // Protocol configuration.
+  tfrc::TfrcConfig tfrc{};
+  tcp::TcpConfig tcp{};
+
+  // Measurement window.
+  double duration_s = 300.0;  // total simulated time
+  double warmup_s = 50.0;     // discarded prefix (the paper truncates 200 s)
+  std::uint64_t seed = 1;
+
+  /// Fractional spread of per-flow RTTs around base_rtt_s (0 = identical).
+  double rtt_spread = 0.1;
+};
+
+/// The paper's ns-2 setup (Section V-A.2): 15 Mb/s RED bottleneck, RTT about
+/// 50 ms, RED thresholds from the bandwidth-delay product.
+[[nodiscard]] Scenario ns2_scenario(int n_tfrc, int n_tcp, std::size_t history_length,
+                                    std::uint64_t seed);
+
+/// The paper's lab setup (Section V-A.3): 10 Mb/s bottleneck, 25 ms added
+/// propagation each way, DropTail(64|100) or RED, PFTK-standard, L = 8,
+/// comprehensive control disabled.
+[[nodiscard]] Scenario lab_scenario(QueueKind queue, std::size_t buffer_packets, int n_each,
+                                    std::uint64_t seed);
+
+}  // namespace ebrc::testbed

@@ -1,0 +1,52 @@
+#include "testbed/wan_paths.hpp"
+
+#include <cmath>
+
+namespace ebrc::testbed {
+
+std::vector<WanPath> table1_paths() {
+  // Access class and RTT from Table I; background load tuned so the ambient
+  // loss-event rates land in the per-path ranges of Figures 12-15
+  // (INRIA ~4e-3, KTH ~2e-4, UMASS ~1e-3, UMELB ~4e-3).
+  return {
+      WanPath{"INRIA", 20e6, 0.030, 0.55},
+      WanPath{"UMASS", 20e6, 0.097, 0.45},
+      WanPath{"KTH", 6e6, 0.046, 0.18},
+      WanPath{"UMELB", 6e6, 0.350, 0.80},
+  };
+}
+
+Scenario wan_scenario(const WanPath& path, int n_each, std::uint64_t seed) {
+  Scenario s;
+  s.name = "wan-" + path.name + "-n" + std::to_string(n_each);
+  s.bottleneck_bps = path.access_bps;
+  s.base_rtt_s = path.base_rtt_s;
+  s.queue = QueueKind::kDropTail;
+  // A WAN router buffer on the order of the bandwidth-delay product.
+  const double bdp_packets = path.access_bps / 8.0 * std::max(0.05, path.base_rtt_s) / 1000.0;
+  s.droptail_buffer = static_cast<std::size_t>(std::max(30.0, bdp_packets));
+  s.n_tfrc = n_each;
+  s.n_tcp = n_each;
+  s.n_poisson = 0;
+  s.tfrc.history_length = 8;
+  s.tfrc.comprehensive = true;  // the Internet runs enabled it
+  s.tfrc.formula = "pftk";
+  s.rtt_spread = 0.15;
+
+  // Cross traffic: enough on/off sources to hold the target average load,
+  // each bursting at ~1/8 of the bottleneck. Long-RTT paths (UMELB) get
+  // burstier sources: their loss arrives in batches, which is also what
+  // produced the negative covariance the paper observed there (Figure 10).
+  const double bottleneck_pps = path.access_bps / 8.0 / 1000.0;
+  s.n_onoff = 8;
+  s.onoff_mean_on_s = path.base_rtt_s > 0.2 ? 1.5 : 0.5;
+  s.onoff_mean_off_s = s.onoff_mean_on_s;
+  s.onoff_peak_pps = 2.0 * path.background_load * bottleneck_pps / s.n_onoff;
+
+  s.duration_s = 240.0;
+  s.warmup_s = 40.0;
+  s.seed = seed;
+  return s;
+}
+
+}  // namespace ebrc::testbed

@@ -1,0 +1,35 @@
+// Emulated wide-area paths standing in for the paper's Internet experiments
+// (Table I): per-path access rate and base RTT from the table, with on/off
+// background traffic supplying the bursty ambient loss that a real WAN path
+// exhibits.
+//
+// Substitution note (see DESIGN.md): the paper used live paths from EPFL to
+// INRIA / UMASS / KTH / UMELB purely as sources of diverse RTTs and low
+// loss-event rates. We reproduce the rate class and RTT of each receiver and
+// generate losses with cross traffic through the same bottleneck the test
+// flows use; the access rates are scaled down (100 -> 20 Mb/s, 10 -> 6 Mb/s)
+// to keep packet-event counts tractable, which preserves every ratio the
+// figures report (all quantities are normalized per path).
+#pragma once
+
+#include <vector>
+
+#include "testbed/scenario.hpp"
+
+namespace ebrc::testbed {
+
+struct WanPath {
+  std::string name;       // receiver site
+  double access_bps;      // emulated bottleneck rate
+  double base_rtt_s;      // Table I RTT
+  double background_load; // fraction of the bottleneck eaten by cross traffic
+};
+
+/// The four Table-I receivers.
+[[nodiscard]] std::vector<WanPath> table1_paths();
+
+/// Builds the scenario for `path` with `n_each` TCP and TFRC test flows
+/// (the paper ran n in {1, 2, 4, 6, 8, 10}).
+[[nodiscard]] Scenario wan_scenario(const WanPath& path, int n_each, std::uint64_t seed);
+
+}  // namespace ebrc::testbed

@@ -1,0 +1,168 @@
+#include "tfrc/tfrc_connection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "model/solvers.hpp"
+
+namespace ebrc::tfrc {
+namespace {
+
+/// Inverts h(x) = f(1/x) at a target rate by bisection (h is increasing).
+double invert_rate(const model::ThroughputFunction& f, double target_rate) {
+  double lo = 1.0;
+  double hi = 2.0;
+  while (f.rate_from_interval(lo) > target_rate && lo > 1e-9) lo *= 0.5;
+  while (f.rate_from_interval(hi) < target_rate && hi < 1e12) hi *= 2.0;
+  return model::bisect([&](double x) { return f.rate_from_interval(x) - target_rate; }, lo, hi,
+                       1e-9 * hi);
+}
+
+}  // namespace
+
+TfrcConnection::TfrcConnection(net::Dumbbell& net, int flow_id, double base_rtt_s, TfrcConfig cfg)
+    : net_(net),
+      flow_(flow_id),
+      cfg_(std::move(cfg)),
+      unit_formula_(model::make_throughput_function(cfg_.formula, 1.0)),  // q = 4r implied
+      rate_(cfg_.initial_rate_pps),
+      srtt_(base_rtt_s),
+      history_(core::tfrc_weights(cfg_.history_length), cfg_.comprehensive,
+               cfg_.history_discounting),
+      rtt_hint_(base_rtt_s),
+      recorder_(base_rtt_s) {
+  if (base_rtt_s <= 0) throw std::invalid_argument("TfrcConnection: base RTT must be > 0");
+  if (cfg_.initial_rate_pps <= 0 || cfg_.packet_bytes <= 0) {
+    throw std::invalid_argument("TfrcConnection: bad configuration");
+  }
+  net_.on_data_at_receiver(flow_, [this](const net::Packet& p) { on_data(p); });
+  net_.on_packet_at_sender(flow_, [this](const net::Packet& p) { on_feedback(p); });
+}
+
+void TfrcConnection::start(double at) {
+  net_.simulator().schedule_at(at, [this] {
+    running_ = true;
+    send_next();
+  });
+}
+
+void TfrcConnection::stop() { running_ = false; }
+
+void TfrcConnection::reset_counters() {
+  sent_ = 0;
+  delivered_ = 0;
+}
+
+double TfrcConnection::formula_rate() const {
+  if (!saw_loss_) return 0.0;
+  const double p = std::min(1.0, history_.loss_event_rate());
+  if (p <= 0.0) return 0.0;
+  return unit_formula_->rate(p) / srtt_;
+}
+
+// --------------------------------------------------------------- sender ----
+
+void TfrcConnection::send_next() {
+  if (!running_) return;
+  net::Packet p;
+  p.seq = next_seq_++;
+  p.size_bytes = cfg_.packet_bytes;
+  p.send_time = net_.simulator().now();
+  p.rtt_hint = srtt_;
+  net_.send_data(flow_, p);
+  ++sent_;
+  net_.simulator().schedule(1.0 / rate_, [this] { send_next(); });
+}
+
+void TfrcConnection::on_feedback(const net::Packet& p) {
+  if (!running_ || p.kind != net::PacketKind::kFeedback) return;
+  const double now = net_.simulator().now();
+
+  const double sample = now - p.echo_time;
+  if (sample > 0) {
+    if (!have_rtt_) {
+      srtt_ = sample;
+      have_rtt_ = true;
+    } else {
+      srtt_ = cfg_.rtt_smoothing * srtt_ + (1.0 - cfg_.rtt_smoothing) * sample;
+    }
+    if (now >= next_rtt_sample_at_) {
+      rtt_stats_.add(sample);
+      next_rtt_sample_at_ = now + srtt_;
+    }
+  }
+
+  double new_rate;
+  if (p.fb_mean_interval > 0.0) {
+    saw_loss_ = true;
+    const double loss_rate = std::min(1.0, 1.0 / p.fb_mean_interval);
+    // f(p, r) = f(p, 1) / r, exact under the q = 4r recommendation.
+    new_rate = unit_formula_->rate(loss_rate) / srtt_;
+    if (cfg_.receive_rate_cap && p.fb_recv_rate > 0.0) {
+      new_rate = std::min(new_rate, 2.0 * p.fb_recv_rate);
+    }
+  } else {
+    // Slow-start phase: double per feedback, capped by twice the receive
+    // rate (RFC 3448 Section 4.3).
+    new_rate = 2.0 * rate_;
+    if (p.fb_recv_rate > 0.0) new_rate = std::min(new_rate, 2.0 * p.fb_recv_rate);
+  }
+  rate_ = std::max(cfg_.min_rate_pps, new_rate);
+  recorder_.note_rate(rate_);
+}
+
+// ------------------------------------------------------------- receiver ----
+
+void TfrcConnection::on_data(const net::Packet& p) {
+  const double now = net_.simulator().now();
+  if (p.rtt_hint > 0) rtt_hint_ = p.rtt_hint;
+  recorder_.set_rtt_window(rtt_hint_);
+
+  const std::int64_t missing = std::max<std::int64_t>(0, p.seq - expected_seq_);
+  if (p.seq >= expected_seq_) expected_seq_ = p.seq + 1;
+
+  if (missing > 0 && !history_.has_loss()) {
+    // First loss event: seed the history so that the reported rate matches
+    // the rate the connection actually achieved so far (RFC 3448 6.3.1).
+    const double elapsed = std::max(1e-9, now - last_feedback_time_);
+    const double recv_rate =
+        recv_since_feedback_ > 0 ? static_cast<double>(recv_since_feedback_) / elapsed : rate_;
+    const double theta0 = invert_rate(*unit_formula_, recv_rate * rtt_hint_);
+    history_.seed(std::max(1.0, theta0));
+  }
+  history_.on_packet(missing, now, rtt_hint_);
+
+  for (std::int64_t i = 0; i < missing; ++i) recorder_.on_loss(now);
+  recorder_.on_packet(now);
+  ++delivered_;
+  ++recv_since_feedback_;
+  last_data_send_time_ = p.send_time;
+
+  if (!receiver_started_) {
+    receiver_started_ = true;
+    last_feedback_time_ = now;
+    net_.simulator().schedule(std::max(1e-3, rtt_hint_), [this] { feedback_tick(); });
+  }
+}
+
+void TfrcConnection::feedback_tick() {
+  if (!running_) return;
+  const double now = net_.simulator().now();
+  if (recv_since_feedback_ > 0) {
+    net::Packet fb;
+    fb.kind = net::PacketKind::kFeedback;
+    fb.size_bytes = 40.0;
+    fb.send_time = now;
+    fb.echo_time = last_data_send_time_;
+    fb.fb_mean_interval = history_.has_loss() ? history_.mean_interval() : 0.0;
+    const double elapsed = std::max(1e-9, now - last_feedback_time_);
+    fb.fb_recv_rate = static_cast<double>(recv_since_feedback_) / elapsed;
+    net_.send_back(flow_, fb);
+    recv_since_feedback_ = 0;
+    last_feedback_time_ = now;
+  }
+  net_.simulator().schedule(std::max(1e-3, rtt_hint_), [this] { feedback_tick(); });
+}
+
+}  // namespace ebrc::tfrc

@@ -1,0 +1,110 @@
+// Packet-level TFRC: a rate-paced sender driven by receiver feedback.
+//
+// Receiver: detects losses from sequence gaps, maintains the RFC 3448 loss
+// history (LossHistory), measures the receive rate, and sends one feedback
+// packet per RTT carrying (hat-theta, receive rate, echo timestamp).
+//
+// Sender: before the first loss event it slow-starts (rate doubles each
+// feedback, capped at twice the receive rate); afterwards it applies the
+// equation X = f(p, r) with p = 1/hat-theta from feedback and r the smoothed
+// measured RTT, optionally capped at twice the receive rate (the TFRC
+// standard behavior; can be disabled to study the pure control).
+//
+// The formulas are used with the TFRC recommendation q = 4r, under which
+// every formula in this library scales exactly as f(p, r) = f(p, 1)/r; the
+// sender therefore evaluates the unit-RTT formula and divides by the
+// measured smoothed RTT.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/weights.hpp"
+#include "model/throughput_function.hpp"
+#include "net/dumbbell.hpp"
+#include "stats/loss_events.hpp"
+#include "stats/online.hpp"
+#include "tfrc/loss_history.hpp"
+
+namespace ebrc::tfrc {
+
+struct TfrcConfig {
+  /// Loss-interval estimator window L (TFRC default 8).
+  std::size_t history_length = 8;
+  /// Comprehensive control (include the open interval). The lab experiments
+  /// of the paper disable this.
+  bool comprehensive = true;
+  /// RFC 3448 history discounting (off by default: the paper's analysis and
+  /// its experimental TFRC omit it).
+  bool history_discounting = false;
+  /// Cap the computed rate at 2x the reported receive rate (TFRC standard).
+  bool receive_rate_cap = true;
+  /// Throughput formula family: "sqrt" | "pftk" | "pftk-simplified".
+  std::string formula = "pftk";
+  double packet_bytes = 1000.0;
+  double initial_rate_pps = 2.0;
+  /// EWMA coefficient for the RTT estimate (RFC 3448 q = 0.9).
+  double rtt_smoothing = 0.9;
+  double min_rate_pps = 0.1;
+};
+
+class TfrcConnection {
+ public:
+  TfrcConnection(net::Dumbbell& net, int flow_id, double base_rtt_s, TfrcConfig cfg = {});
+
+  void start(double at);
+  void stop();
+
+  // --- measurement -----------------------------------------------------
+  [[nodiscard]] const stats::LossEventRecorder& recorder() const noexcept { return recorder_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] double srtt() const noexcept { return srtt_; }
+  [[nodiscard]] const stats::OnlineMoments& rtt_stats() const noexcept { return rtt_stats_; }
+  [[nodiscard]] const LossHistory& loss_history() const noexcept { return history_; }
+  /// f(p, r) evaluated at this connection's current estimates (the paper's
+  /// conservativeness reference).
+  [[nodiscard]] double formula_rate() const;
+  void reset_counters();
+
+ private:
+  // sender side
+  void send_next();
+  void on_feedback(const net::Packet& p);
+  // receiver side
+  void on_data(const net::Packet& p);
+  void feedback_tick();
+
+  net::Dumbbell& net_;
+  int flow_;
+  TfrcConfig cfg_;
+  std::shared_ptr<const model::ThroughputFunction> unit_formula_;  // rtt = 1, q = 4
+
+  // sender state
+  bool running_ = false;
+  double rate_;
+  double srtt_;
+  bool have_rtt_ = false;
+  bool saw_loss_ = false;
+  std::int64_t next_seq_ = 0;
+  std::uint64_t sent_ = 0;
+
+  // receiver state
+  LossHistory history_;
+  std::int64_t expected_seq_ = 0;
+  double rtt_hint_ = 0.0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t recv_since_feedback_ = 0;
+  double last_feedback_time_ = 0.0;
+  double last_data_send_time_ = 0.0;
+  bool receiver_started_ = false;
+
+  // measurement
+  stats::LossEventRecorder recorder_;
+  stats::OnlineMoments rtt_stats_;
+  double next_rtt_sample_at_ = 0.0;
+};
+
+}  // namespace ebrc::tfrc

@@ -1,0 +1,84 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ebrc::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    if (arg.empty()) throw std::invalid_argument("bare '--' is not a valid flag");
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--flag value` form: consume the next token only when it parses as a
+    // number — otherwise `--verbose input.txt` would swallow the positional.
+    const auto is_number = [](const std::string& s) {
+      if (s.empty()) return false;
+      char* end = nullptr;
+      (void)std::strtod(s.c_str(), &end);
+      return end == s.c_str() + s.size();
+    };
+    if (i + 1 < argc && is_number(argv[i + 1])) {
+      flags_[arg] = std::string(argv[++i]);
+    } else {
+      flags_[arg] = std::nullopt;
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || !it->second) return fallback;
+  return *it->second;
+}
+
+double Cli::get(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || !it->second) return fallback;
+  return std::stod(*it->second);
+}
+
+int Cli::get(const std::string& name, int fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || !it->second) return fallback;
+  return std::stoi(*it->second);
+}
+
+bool Cli::get(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (!it->second) return true;  // bare `--flag` means true
+  const std::string& v = *it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+Cli& Cli::know(const std::string& name) {
+  known_.push_back(name);
+  return *this;
+}
+
+void Cli::finish() const {
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (std::find(known_.begin(), known_.end(), name) == known_.end()) {
+      throw std::invalid_argument("unknown flag --" + name);
+    }
+  }
+}
+
+}  // namespace ebrc::util

@@ -1,0 +1,49 @@
+// Minimal command-line flag parser used by the bench and example binaries.
+//
+// Supports `--flag`, `--flag=value` and `--flag value` forms. Unknown flags
+// raise an error so typos in experiment scripts do not silently run the
+// default configuration.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ebrc::util {
+
+class Cli {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  /// True when `--name` was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of `--name` or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] double get(const std::string& name, double fallback) const;
+  [[nodiscard]] int get(const std::string& name, int fallback) const;
+  [[nodiscard]] bool get(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+  /// Declares a flag as known; returns *this for chaining. Calling
+  /// `finish()` afterwards rejects any flag never declared.
+  Cli& know(const std::string& name);
+
+  /// Throws std::invalid_argument if an undeclared flag was passed.
+  void finish() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::optional<std::string>> flags_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> known_;
+};
+
+}  // namespace ebrc::util

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ebrc::util {
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) throw std::invalid_argument("Table: row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::row(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(fmt(v, precision));
+  row(std::move(cells));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? "  " : "");
+      os << cells[c];
+      os << std::string(width[c] - cells[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print(const std::string& caption) const {
+  if (!caption.empty()) std::cout << caption << '\n';
+  std::cout << str() << std::flush;
+}
+
+}  // namespace ebrc::util

@@ -1,0 +1,37 @@
+// Aligned console tables: the bench binaries print paper figures as tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ebrc::util {
+
+/// Collects rows of cells and prints them with column alignment, in the
+/// style the paper's tables/figure series are reported.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row of preformatted cells (arity must match header).
+  void row(std::vector<std::string> cells);
+
+  /// Appends a row of doubles formatted with `precision` significant digits.
+  void row(const std::vector<double>& values, int precision = 5);
+
+  /// Renders the table (header, rule, rows) to a string.
+  [[nodiscard]] std::string str() const;
+
+  /// Prints to stdout with an optional caption line.
+  void print(const std::string& caption = "") const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` significant digits (%.{p}g).
+[[nodiscard]] std::string fmt(double v, int precision = 5);
+
+}  // namespace ebrc::util

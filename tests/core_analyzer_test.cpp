@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analyzer.hpp"
+#include "core/weights.hpp"
+#include "loss/loss_process.hpp"
+#include "model/throughput_function.hpp"
+
+namespace {
+
+using namespace ebrc::core;
+using ebrc::loss::DeterministicProcess;
+using ebrc::loss::ShiftedExponentialProcess;
+
+constexpr double kRtt = 1.0;
+
+TEST(BasicControl, DeterministicProcessGivesExactlyF) {
+  // With theta_n == m the estimator is constant: X == f(1/m) == f(p).
+  auto f = ebrc::model::make_throughput_function("pftk-simplified", kRtt);
+  DeterministicProcess proc(50.0);
+  const auto r = run_basic_control(*f, proc, tfrc_weights(8), {.events = 1000, .warmup = 10});
+  EXPECT_NEAR(r.normalized, 1.0, 1e-9);
+  EXPECT_NEAR(r.throughput, f->rate(0.02), 1e-9);
+  EXPECT_NEAR(r.p, 0.02, 1e-12);
+  EXPECT_DOUBLE_EQ(r.cov_theta_thetahat, 0.0);
+  EXPECT_DOUBLE_EQ(r.cv_thetahat, 0.0);
+}
+
+TEST(BasicControl, EstimatorIsUnbiased) {
+  // Assumption (E): E[hat-theta] == E[theta] == 1/p.
+  auto f = ebrc::model::make_throughput_function("sqrt", kRtt);
+  ShiftedExponentialProcess proc(0.05, 0.9, 21);
+  const auto r = run_basic_control(*f, proc, tfrc_weights(8), {.events = 400000, .warmup = 100});
+  EXPECT_NEAR(r.mean_thetahat / r.mean_theta, 1.0, 0.01);
+}
+
+TEST(BasicControl, MonteCarloMatchesQuadratureForL1) {
+  // For L = 1 and i.i.d. intervals, Prop. 1 reduces to x̄/f(p) = g(m)/E[g],
+  // computable by quadrature — an independent check of the MC engine.
+  for (const char* name : {"sqrt", "pftk-simplified"}) {
+    auto f = ebrc::model::make_throughput_function(name, kRtt);
+    const double p = 0.1, cv = 0.7;
+    ShiftedExponentialProcess proc(p, cv, 99);
+    const auto mc =
+        run_basic_control(*f, proc, tfrc_weights(1), {.events = 2000000, .warmup = 100});
+    const double quad = quadrature_normalized_L1(*f, p, cv);
+    EXPECT_NEAR(mc.normalized, quad, 0.01) << name;
+  }
+}
+
+TEST(BasicControl, CovXSNegativeForIidDrivingProcess) {
+  // S_n = theta_n / X_n with theta independent of X_n: larger rate at the
+  // event means proportionally shorter interval in real time, so (C2) holds.
+  auto f = ebrc::model::make_throughput_function("sqrt", kRtt);
+  ShiftedExponentialProcess proc(0.05, 0.9, 5);
+  const auto r = run_basic_control(*f, proc, tfrc_weights(4), {.events = 300000, .warmup = 100});
+  EXPECT_LT(r.cov_x_s, 0.0);
+}
+
+TEST(Proposition3, MatchesComprehensiveSimulationExactly) {
+  // S_n = theta_n/f(1/hat) - V_n 1{hat_{n+1} > hat_n} is an identity, so the
+  // Prop-3 evaluator and the closed-form comprehensive simulator must agree
+  // to floating-point accuracy on the same sample path (same seed).
+  for (const char* name : {"sqrt", "pftk-simplified"}) {
+    auto f = ebrc::model::make_throughput_function(name, kRtt);
+    ShiftedExponentialProcess proc_a(0.05, 0.9, 31);
+    ShiftedExponentialProcess proc_b(0.05, 0.9, 31);
+    const RunConfig cfg{.events = 50000, .warmup = 50};
+    const auto sim = run_comprehensive_control(*f, proc_a, tfrc_weights(8), cfg);
+    const auto p3 = run_proposition3(*f, proc_b, tfrc_weights(8), cfg);
+    EXPECT_NEAR(sim.throughput, p3.throughput, 1e-9 * sim.throughput) << name;
+  }
+}
+
+TEST(Proposition3, RequiresSimplifiedFamily) {
+  auto f = ebrc::model::make_throughput_function("pftk", kRtt);
+  ShiftedExponentialProcess proc(0.05, 0.9, 31);
+  EXPECT_THROW((void)run_proposition3(*f, proc, tfrc_weights(8), {}), std::invalid_argument);
+}
+
+TEST(Proposition2, ComprehensiveAtLeastBasic) {
+  // Proposition 2: the comprehensive control's throughput is lower-bounded
+  // by the basic control's expression, for every formula incl. the
+  // quadrature fallback path (PFTK-standard).
+  for (const char* name : {"sqrt", "pftk-simplified", "pftk"}) {
+    auto f = ebrc::model::make_throughput_function(name, kRtt);
+    ShiftedExponentialProcess pa(0.08, 0.9, 77);
+    ShiftedExponentialProcess pb(0.08, 0.9, 77);
+    const RunConfig cfg{.events = 100000, .warmup = 100};
+    const auto basic = run_basic_control(*f, pa, tfrc_weights(8), cfg);
+    const auto comp = run_comprehensive_control(*f, pb, tfrc_weights(8), cfg);
+    EXPECT_GE(comp.throughput, basic.throughput * (1 - 1e-9)) << name;
+  }
+}
+
+TEST(ComprehensiveControl, ClosedFormMatchesQuadratureFallback) {
+  // PFTK-standard has our piecewise closed-form antiderivative; a wrapper
+  // hiding it forces the quadrature path. Both must agree.
+  class HideClosedForm final : public ebrc::model::ThroughputFunction {
+   public:
+    explicit HideClosedForm(std::shared_ptr<const ThroughputFunction> inner)
+        : inner_(std::move(inner)) {}
+    double rate(double p) const override { return inner_->rate(p); }
+    std::string name() const override { return inner_->name() + "-no-closed-form"; }
+    double rtt() const override { return inner_->rtt(); }
+
+   private:
+    std::shared_ptr<const ThroughputFunction> inner_;
+  };
+
+  auto f = ebrc::model::make_throughput_function("pftk", kRtt);
+  HideClosedForm fq(f);
+  ShiftedExponentialProcess pa(0.1, 0.9, 13);
+  ShiftedExponentialProcess pb(0.1, 0.9, 13);
+  const RunConfig cfg{.events = 20000, .warmup = 50};
+  const auto exact = run_comprehensive_control(*f, pa, tfrc_weights(8), cfg);
+  const auto quad = run_comprehensive_control(fq, pb, tfrc_weights(8), cfg);
+  EXPECT_NEAR(exact.throughput, quad.throughput, 1e-6 * exact.throughput);
+}
+
+TEST(Claim1, MoreConvexMeansMoreConservative) {
+  // Figure 3's headline: at the same (p, cv, L), PFTK-simplified (strongly
+  // convex g) is more conservative than SQRT; and conservativeness grows
+  // with p for PFTK.
+  const double cv = 1.0 - 1.0 / 1000.0;
+  auto fs = ebrc::model::make_throughput_function("sqrt", kRtt);
+  auto fp = ebrc::model::make_throughput_function("pftk-simplified", kRtt);
+  const RunConfig cfg{.events = 300000, .warmup = 100};
+
+  ShiftedExponentialProcess p1(0.2, cv, 1);
+  ShiftedExponentialProcess p2(0.2, cv, 1);
+  const auto sqrt_02 = run_basic_control(*fs, p1, tfrc_weights(4), cfg);
+  const auto pftk_02 = run_basic_control(*fp, p2, tfrc_weights(4), cfg);
+  EXPECT_LT(pftk_02.normalized, sqrt_02.normalized);
+
+  ShiftedExponentialProcess p3(0.02, cv, 1);
+  const auto pftk_002 = run_basic_control(*fp, p3, tfrc_weights(4), cfg);
+  EXPECT_LT(pftk_02.normalized, pftk_002.normalized);  // heavier loss, more conservative
+}
+
+TEST(Claim1, LargerWindowLessConservative) {
+  // Larger L smooths the estimator -> less variability -> less conservative.
+  const double cv = 1.0 - 1.0 / 1000.0;
+  auto fp = ebrc::model::make_throughput_function("pftk-simplified", kRtt);
+  const RunConfig cfg{.events = 300000, .warmup = 200};
+  double prev = 0.0;
+  for (std::size_t L : {1u, 4u, 16u}) {
+    ShiftedExponentialProcess proc(0.1, cv, 55);
+    const auto r = run_basic_control(*fp, proc, tfrc_weights(L), cfg);
+    EXPECT_GT(r.normalized, prev) << "L=" << L;
+    prev = r.normalized;
+  }
+}
+
+TEST(Claim1, SqrtNormalizedThroughputInvariantInP) {
+  // For SQRT and the scale-family density of Sec. V-A.1 the normalized
+  // throughput does not depend on p (paper, Sec. V-B.1).
+  const double cv = 1.0 - 1.0 / 1000.0;
+  auto fs = ebrc::model::make_throughput_function("sqrt", kRtt);
+  const RunConfig cfg{.events = 400000, .warmup = 200};
+  ShiftedExponentialProcess pa(0.01, cv, 3);
+  ShiftedExponentialProcess pb(0.35, cv, 3);
+  const auto lo = run_basic_control(*fs, pa, tfrc_weights(4), cfg);
+  const auto hi = run_basic_control(*fs, pb, tfrc_weights(4), cfg);
+  EXPECT_NEAR(lo.normalized, hi.normalized, 0.015);
+}
+
+TEST(AudioControl, ConservativeForSqrtEverywhere) {
+  // Claim 2, first bullet: f(1/x) concave (SQRT) + cov[X,S] ~ 0 ->
+  // conservative, at every loss rate.
+  auto fs = ebrc::model::make_throughput_function("sqrt", kRtt);
+  for (double p : {0.02, 0.1, 0.25}) {
+    const auto r = run_audio_control(*fs, 50.0, p, tfrc_weights(4), false, 7,
+                                     {.events = 200000, .warmup = 100});
+    EXPECT_LE(r.normalized, 1.005) << "p=" << p;
+    EXPECT_NEAR(r.cov_x_s, 0.0, 0.05 * std::abs(r.mean_rate));  // (C2c) with equality
+  }
+}
+
+TEST(AudioControl, NonConservativeForPftkHeavyLoss) {
+  // Claim 2, second bullet (the Figure-6 shape): with PFTK and heavy loss
+  // the estimator lives where f(1/x) is strictly convex -> non-conservative.
+  auto fp = ebrc::model::make_throughput_function("pftk-simplified", kRtt);
+  const auto heavy = run_audio_control(*fp, 50.0, 0.22, tfrc_weights(4), false, 7,
+                                       {.events = 200000, .warmup = 100});
+  EXPECT_GT(heavy.normalized, 1.02);
+  // ... and conservative for light loss (concave region).
+  const auto light = run_audio_control(*fp, 50.0, 0.01, tfrc_weights(4), false, 7,
+                                       {.events = 200000, .warmup = 100});
+  EXPECT_LE(light.normalized, 1.0);
+}
+
+TEST(AudioControl, ComprehensiveAtLeastBasic) {
+  auto fp = ebrc::model::make_throughput_function("pftk-simplified", kRtt);
+  const auto basic = run_audio_control(*fp, 50.0, 0.05, tfrc_weights(8), false, 3,
+                                       {.events = 100000, .warmup = 100});
+  const auto comp = run_audio_control(*fp, 50.0, 0.05, tfrc_weights(8), true, 3,
+                                      {.events = 100000, .warmup = 100});
+  EXPECT_GE(comp.mean_rate, basic.mean_rate * (1 - 1e-9));
+}
+
+TEST(Analyzer, Validation) {
+  auto f = ebrc::model::make_throughput_function("sqrt", kRtt);
+  ShiftedExponentialProcess proc(0.1, 0.5, 1);
+  EXPECT_THROW((void)run_basic_control(*f, proc, tfrc_weights(4), {.events = 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_audio_control(*f, 0.0, 0.1, tfrc_weights(4), false, 1, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_audio_control(*f, 10.0, 0.0, tfrc_weights(4), false, 1, {}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/many_sources.hpp"
+#include "loss/congestion_process.hpp"
+#include "loss/droppers.hpp"
+#include "model/throughput_function.hpp"
+
+namespace {
+
+using namespace ebrc;
+using core::analyze_many_sources;
+
+loss::CongestionProcess two_state(double p_good, double p_bad, std::uint64_t seed = 3) {
+  return loss::CongestionProcess({{p_good, 1.0}, {p_bad, 1.0}}, seed);
+}
+
+TEST(ManySources, NonAdaptiveEqualsTimeAverage) {
+  const auto z = two_state(0.01, 0.09);
+  const auto f = model::make_throughput_function("sqrt", 0.1);
+  const auto r = analyze_many_sources(z, *f, 0.0);
+  // Lambda = 0: both states perceive p_bar, x_i constant, Eq. 13 collapses.
+  EXPECT_NEAR(r.sampled_loss_rate, 0.05, 1e-12);
+  EXPECT_NEAR(r.nonadaptive_loss_rate, 0.05, 1e-12);
+  EXPECT_NEAR(r.per_state_rate[0], r.per_state_rate[1], 1e-12);
+}
+
+TEST(ManySources, FullyResponsiveHandComputed) {
+  // pi = (1/2, 1/2), p = (0.01, 0.09), x_i = f(p_i) with SQRT:
+  // x_i proportional to 1/sqrt(p_i) -> weights 10 and 10/3.
+  const auto z = two_state(0.01, 0.09);
+  const auto f = model::make_throughput_function("sqrt", 0.1);
+  const auto r = analyze_many_sources(z, *f, 1.0);
+  const double w0 = 1.0 / std::sqrt(0.01);
+  const double w1 = 1.0 / std::sqrt(0.09);
+  const double expected = (0.01 * w0 + 0.09 * w1) / (w0 + w1);
+  EXPECT_NEAR(r.sampled_loss_rate, expected, 1e-12);
+  EXPECT_LT(r.sampled_loss_rate, 0.05);  // below the time average
+}
+
+TEST(ManySources, Claim3OrderingAndMonotonicity) {
+  // p' = p(1) <= p(lambda) <= p(0) = p'', monotonically in lambda.
+  const auto z = two_state(0.005, 0.12);
+  const auto f = model::make_throughput_function("pftk-simplified", 0.05);
+  double prev = -1.0;
+  for (double lambda : {1.0, 0.75, 0.5, 0.25, 0.0}) {
+    const auto r = analyze_many_sources(z, *f, lambda);
+    EXPECT_GE(r.sampled_loss_rate, prev) << "lambda=" << lambda;
+    EXPECT_GE(r.sampled_loss_rate, r.responsive_loss_rate - 1e-12);
+    EXPECT_LE(r.sampled_loss_rate, r.nonadaptive_loss_rate + 1e-12);
+    prev = r.sampled_loss_rate;
+  }
+}
+
+TEST(ManySources, LargerWindowMeansLessResponsive) {
+  // Figure 7's L-dependence through the responsiveness map: larger L =>
+  // smaller responsiveness => larger sampled loss rate.
+  const auto z = two_state(0.01, 0.10);
+  const auto f = model::make_throughput_function("pftk-simplified", 0.05);
+  const double events_per_state = 16.0;
+  double prev = -1.0;
+  for (std::size_t L : {2u, 4u, 8u, 16u, 32u}) {
+    const double lambda = core::responsiveness_for_window(events_per_state, L);
+    const auto r = analyze_many_sources(z, *f, lambda);
+    EXPECT_GE(r.sampled_loss_rate, prev) << "L=" << L;
+    prev = r.sampled_loss_rate;
+  }
+}
+
+TEST(ManySources, MatchesModulatedDropperSimulation) {
+  // Monte-Carlo cross-check of Eq. 13: a CBR source through a modulated
+  // dropper measures p'' = the analytic nonadaptive rate.
+  loss::CongestionProcess z({{0.02, 5.0}, {0.10, 5.0}}, 11);
+  const double analytic = z.nonadaptive_loss_rate();
+  loss::ModulatedDropper dropper(std::move(z), 13);
+  int drops = 0;
+  constexpr int kN = 400000;
+  const double rate = 100.0;  // packets/s
+  for (int i = 0; i < kN; ++i) {
+    drops += dropper.drop(static_cast<double>(i) / rate);
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / kN, analytic, 0.004);
+}
+
+TEST(ManySources, Validation) {
+  const auto z = two_state(0.01, 0.09);
+  const auto f = model::make_throughput_function("sqrt", 0.1);
+  EXPECT_THROW((void)analyze_many_sources(z, *f, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)analyze_many_sources(z, *f, 1.1), std::invalid_argument);
+  EXPECT_THROW((void)core::responsiveness_for_window(0.0, 8), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/dumbbell.hpp"
+#include "net/link.hpp"
+#include "net/probe_senders.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace ebrc::net;
+using ebrc::sim::Simulator;
+
+Packet data_packet(std::int64_t seq, double bytes = 1000.0) {
+  Packet p;
+  p.seq = seq;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(DropTail, AcceptsUpToCapacityThenDrops) {
+  DropTailQueue q(3);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.enqueue(data_packet(i), 0.0));
+  EXPECT_FALSE(q.enqueue(data_packet(3), 0.0));
+  EXPECT_EQ(q.packets(), 3u);
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.accepted(), 3u);
+  // FIFO order.
+  EXPECT_EQ(q.dequeue(0.0)->seq, 0);
+  EXPECT_EQ(q.dequeue(0.0)->seq, 1);
+  EXPECT_TRUE(q.enqueue(data_packet(4), 0.0));  // room again
+  EXPECT_THROW(DropTailQueue(0), std::invalid_argument);
+}
+
+TEST(Red, NeverDropsBelowMinThreshold) {
+  RedParams prm;
+  prm.buffer_packets = 100;
+  prm.min_th = 20;
+  prm.max_th = 60;
+  RedQueue q(prm, 1);
+  // Alternate enqueue/dequeue keeping the instantaneous (and thus average)
+  // queue well below min_th: no drops may occur.
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(q.enqueue(data_packet(i), t));
+    if (q.packets() > 5) (void)q.dequeue(t);
+    t += 1e-3;
+  }
+  EXPECT_EQ(q.drops(), 0u);
+}
+
+TEST(Red, DropsEverythingAboveMaxThresholdNonGentle) {
+  RedParams prm;
+  prm.buffer_packets = 200;
+  prm.min_th = 5;
+  prm.max_th = 20;
+  prm.weight = 1.0;  // average == instantaneous, forces the regime
+  RedQueue q(prm, 1);
+  double t = 0.0;
+  int accepted_above = 0;
+  for (int i = 0; i < 100; ++i) {
+    const bool ok = q.enqueue(data_packet(i), t);
+    if (q.average_queue() >= prm.max_th && ok) ++accepted_above;
+    t += 1e-4;
+  }
+  EXPECT_EQ(accepted_above, 0);  // forced drop region
+  EXPECT_GT(q.drops(), 0u);
+}
+
+TEST(Red, ProbabilisticRegionDropsSome) {
+  RedParams prm;
+  prm.buffer_packets = 400;
+  prm.min_th = 10;
+  prm.max_th = 300;
+  prm.max_p = 0.2;
+  prm.weight = 1.0;
+  RedQueue q(prm, 7);
+  double t = 0.0;
+  // Hold the queue between thresholds.
+  for (int i = 0; i < 4000; ++i) {
+    (void)q.enqueue(data_packet(i), t);
+    if (q.packets() > 100) (void)q.dequeue(t);
+    t += 1e-4;
+  }
+  EXPECT_GT(q.drops(), 0u);
+  EXPECT_GT(q.accepted(), 0u);
+  EXPECT_LT(static_cast<double>(q.drops()) / static_cast<double>(q.accepted()), 0.5);
+}
+
+TEST(Red, BdpParameterDerivation) {
+  // The paper's ns-2 setup: 15 Mb/s, 50 ms, 1000-B packets -> BDP ~ 93.75
+  // packets; buffer 5/2, thresholds 1/4 and 5/4 of that.
+  const auto prm = red_params_for_bdp(15e6, 0.050);
+  EXPECT_NEAR(static_cast<double>(prm.buffer_packets), 234.0, 1.0);
+  EXPECT_NEAR(prm.min_th, 23.4, 0.1);
+  EXPECT_NEAR(prm.max_th, 117.2, 0.2);
+  EXPECT_THROW((void)red_params_for_bdp(-1, 0.05), std::invalid_argument);
+}
+
+TEST(Red, Validation) {
+  RedParams bad;
+  bad.min_th = 10;
+  bad.max_th = 5;
+  EXPECT_THROW(RedQueue(bad, 1), std::invalid_argument);
+}
+
+TEST(Link, SerializationAndPropagationTiming) {
+  Simulator sim;
+  std::vector<double> arrivals;
+  // 8000-bit packets at 1 Mb/s -> 8 ms serialization; 10 ms propagation.
+  Link link(sim, std::make_unique<DropTailQueue>(100), 1e6, 0.010,
+            [&](const Packet&) { arrivals.push_back(sim.now()); });
+  link.send(data_packet(0));
+  link.send(data_packet(1));  // queued behind packet 0
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 0.018, 1e-9);  // 8 ms + 10 ms
+  EXPECT_NEAR(arrivals[1], 0.026, 1e-9);  // back-to-back serialization
+  EXPECT_EQ(link.delivered(), 2u);
+}
+
+TEST(Link, UtilizationUnderLoad) {
+  Simulator sim;
+  Link link(sim, std::make_unique<DropTailQueue>(10000), 1e6, 0.0, [](const Packet&) {});
+  // Offer exactly 50% load: one 1000-B packet every 16 ms against 8 ms tx.
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_at(i * 0.016, [&link, i] { link.send(data_packet(i)); });
+  }
+  sim.run();
+  EXPECT_NEAR(link.utilization(), 0.5, 0.02);
+}
+
+TEST(DelayPipe, FixedDelay) {
+  Simulator sim;
+  double arrival = -1.0;
+  DelayPipe pipe(sim, 0.025, [&](const Packet&) { arrival = sim.now(); });
+  sim.schedule_at(1.0, [&] { pipe.send(data_packet(0)); });
+  sim.run();
+  EXPECT_NEAR(arrival, 1.025, 1e-12);
+  EXPECT_THROW(DelayPipe(sim, -0.1, [](const Packet&) {}), std::invalid_argument);
+}
+
+TEST(Dumbbell, RoutesPerFlowAndMeasuresRtt) {
+  Simulator sim;
+  Dumbbell net(sim, std::make_unique<DropTailQueue>(100), 10e6, 0.001);
+  const int a = net.add_flow(0.004, 0.005);
+  const int b = net.add_flow(0.009, 0.010);
+  int got_a = 0, got_b = 0;
+  double echo_back_at = -1.0;
+  net.on_data_at_receiver(a, [&](const Packet& p) {
+    ++got_a;
+    Packet ack;
+    ack.kind = PacketKind::kAck;
+    ack.echo_time = p.send_time;
+    net.send_back(a, ack);
+  });
+  net.on_data_at_receiver(b, [&](const Packet&) { ++got_b; });
+  net.on_packet_at_sender(a, [&](const Packet&) { echo_back_at = sim.now(); });
+
+  Packet p = data_packet(0);
+  p.send_time = 0.0;
+  net.send_data(a, p);
+  net.send_data(b, data_packet(0));
+  sim.run();
+  EXPECT_EQ(got_a, 1);
+  EXPECT_EQ(got_b, 1);
+  // RTT of flow a: 4 ms access + 0.8 ms tx + 1 ms shared prop + 5 ms back.
+  EXPECT_NEAR(echo_back_at, 0.004 + 0.0008 + 0.001 + 0.005, 1e-9);
+}
+
+TEST(ProbeSender, MeasuresLossOnCongestedLink) {
+  Simulator sim;
+  // 1 Mb/s bottleneck = 125 pkt/s of 1000 B; probe at 250 pkt/s with a tiny
+  // buffer loses roughly half its packets.
+  Dumbbell net(sim, std::make_unique<DropTailQueue>(4), 1e6, 0.001);
+  const int id = net.add_flow(0.001, 0.001);
+  ProbeSender probe(net, id, 250.0, 1000.0, ProbePattern::kCbr, 0.01, 3);
+  probe.start(0.0);
+  sim.run_until(60.0);
+  probe.stop();
+  sim.run_until(61.0);
+  EXPECT_GT(probe.sent(), 10000u);
+  const double delivered_frac =
+      static_cast<double>(probe.received()) / static_cast<double>(probe.sent());
+  EXPECT_NEAR(delivered_frac, 0.5, 0.05);
+  EXPECT_GT(probe.recorder().events(), 100u);
+}
+
+TEST(ProbeSender, NoLossOnUncongestedLink) {
+  Simulator sim;
+  Dumbbell net(sim, std::make_unique<DropTailQueue>(100), 10e6, 0.001);
+  const int id = net.add_flow(0.001, 0.001);
+  ProbeSender probe(net, id, 50.0, 1000.0, ProbePattern::kPoisson, 0.01, 3);
+  probe.start(0.0);
+  sim.run_until(30.0);
+  EXPECT_EQ(probe.recorder().losses(), 0u);
+  EXPECT_NEAR(static_cast<double>(probe.received()), static_cast<double>(probe.sent()), 3.0);
+}
+
+TEST(OnOff, AverageRateIsHalfPeakForSymmetricPeriods) {
+  Simulator sim;
+  Dumbbell net(sim, std::make_unique<DropTailQueue>(100000), 100e6, 0.0);
+  const int id = net.add_flow(0.0, 0.0);
+  OnOffSender bg(net, id, 400.0, 1000.0, 0.5, 0.5, 11);
+  bg.start(0.0);
+  sim.run_until(200.0);
+  const double avg_rate = static_cast<double>(bg.sent()) / 200.0;
+  EXPECT_NEAR(avg_rate, 200.0, 20.0);
+}
+
+}  // namespace

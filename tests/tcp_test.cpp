@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "model/aimd.hpp"
+#include "model/throughput_function.hpp"
+#include "net/dumbbell.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/aimd_sender.hpp"
+#include "tcp/tcp_connection.hpp"
+
+namespace {
+
+using namespace ebrc;
+
+struct TcpWorld {
+  sim::Simulator sim;
+  std::unique_ptr<net::Dumbbell> net;
+  std::unique_ptr<tcp::TcpConnection> conn;
+
+  TcpWorld(double rate_bps, std::size_t buffer, double rtt_s, tcp::TcpConfig cfg = {}) {
+    net = std::make_unique<net::Dumbbell>(
+        sim, std::make_unique<net::DropTailQueue>(buffer), rate_bps, 0.001);
+    const int id = net->add_flow(rtt_s / 2.0 - 0.001, rtt_s / 2.0);
+    conn = std::make_unique<tcp::TcpConnection>(*net, id, rtt_s, cfg);
+  }
+};
+
+TEST(Tcp, FillsAnUncongestedPipe) {
+  // 4 Mb/s, large buffer: TCP should reach high utilization quickly.
+  TcpWorld w(4e6, 200, 0.040);
+  w.conn->start(0.0);
+  w.sim.run_until(30.0);
+  const double capacity_pps = 4e6 / 8.0 / 1000.0;  // 500 pkt/s
+  const double goodput = static_cast<double>(w.conn->delivered()) / 30.0;
+  EXPECT_GT(goodput, 0.85 * capacity_pps);
+  EXPECT_LE(goodput, 1.01 * capacity_pps);
+}
+
+TEST(Tcp, MeasuresRttCloseToPathRtt) {
+  TcpWorld w(8e6, 400, 0.060);
+  w.conn->start(0.0);
+  w.sim.run_until(20.0);
+  // Smoothed RTT must be at least the propagation RTT and within queueing
+  // slack of it.
+  EXPECT_GE(w.conn->srtt(), 0.058);
+  EXPECT_LT(w.conn->srtt(), 0.25);
+  EXPECT_GT(w.conn->rtt_stats().count(), 10u);
+}
+
+TEST(Tcp, ExperiencesLossEventsWithSmallBuffer) {
+  TcpWorld w(2e6, 10, 0.040);
+  w.conn->start(0.0);
+  w.sim.run_until(60.0);
+  EXPECT_GT(w.conn->recorder().events(), 20u);
+  EXPECT_GT(w.conn->fast_retransmits(), 10u);
+  // Loss-event rate is sane (not every packet, not never).
+  const double p = w.conn->recorder().loss_event_rate();
+  EXPECT_GT(p, 1e-4);
+  EXPECT_LT(p, 0.2);
+}
+
+TEST(Tcp, DeliversEverythingInOrderDespiteLosses) {
+  // Goodput == delivered in-order packets; with retransmissions the receiver
+  // must still advance: delivered keeps growing and approaches capacity.
+  TcpWorld w(2e6, 8, 0.030);
+  w.conn->start(0.0);
+  w.sim.run_until(30.0);
+  const auto d30 = w.conn->delivered();
+  w.sim.run_until(60.0);
+  const auto d60 = w.conn->delivered();
+  EXPECT_GT(d60, d30 + 100);
+  const double goodput = static_cast<double>(d60 - d30) / 30.0;
+  EXPECT_GT(goodput, 0.5 * 250.0);  // at least half of the 250 pkt/s capacity
+}
+
+TEST(Tcp, ThroughputTracksPftkWithinFactorTwo) {
+  // The PFTK formula was derived for exactly this kind of AIMD/timeout
+  // dynamics: at the measured (p, r) the formula should predict the measured
+  // throughput within a small factor (Figure 9 studies the residual bias).
+  TcpWorld w(4e6, 25, 0.050);
+  w.conn->start(0.0);
+  w.sim.run_until(120.0);
+  const double p = w.conn->recorder().loss_event_rate();
+  ASSERT_GT(p, 0.0);
+  const double r = w.conn->rtt_stats().mean();
+  const auto f = model::make_throughput_function("pftk", r);
+  const double predicted = f->rate(p);
+  const double measured = static_cast<double>(w.conn->delivered()) / 120.0;
+  EXPECT_GT(measured, 0.4 * predicted);
+  EXPECT_LT(measured, 2.5 * predicted);
+}
+
+TEST(Tcp, TwoConnectionsShareFairly) {
+  sim::Simulator sim;
+  net::Dumbbell net(sim, std::make_unique<net::DropTailQueue>(50), 4e6, 0.001);
+  const int a = net.add_flow(0.019, 0.020);
+  const int b = net.add_flow(0.019, 0.020);
+  tcp::TcpConnection ca(net, a, 0.040);
+  tcp::TcpConnection cb(net, b, 0.040);
+  ca.start(0.0);
+  cb.start(0.3);
+  sim.run_until(120.0);
+  const double xa = static_cast<double>(ca.delivered());
+  const double xb = static_cast<double>(cb.delivered());
+  EXPECT_GT(xa / xb, 0.6);
+  EXPECT_LT(xa / xb, 1.7);
+}
+
+TEST(Tcp, Validation) {
+  sim::Simulator sim;
+  net::Dumbbell net(sim, std::make_unique<net::DropTailQueue>(10), 1e6, 0.001);
+  const int id = net.add_flow(0.01, 0.01);
+  EXPECT_THROW(tcp::TcpConnection(net, id, -1.0), std::invalid_argument);
+}
+
+TEST(AimdSender, ConvergesToClosedFormLossRate) {
+  // One AIMD sender alone on a small-buffer link approximates the Claim-4
+  // deterministic model: p' ~ 2 alpha / ((1-beta^2) c^2).
+  sim::Simulator sim;
+  const double capacity_pps = 125.0;  // 1 Mb/s
+  net::Dumbbell net(sim, std::make_unique<net::DropTailQueue>(5), 1e6, 0.0005);
+  const int id = net.add_flow(0.0005, 0.001);
+  tcp::AimdSenderConfig cfg;
+  cfg.alpha = 50.0;  // fast sawtooth so many cycles fit
+  cfg.beta = 0.5;
+  cfg.rtt_s = 0.1;
+  cfg.initial_rate = 60.0;
+  tcp::AimdSender sender(net, id, cfg);
+  sender.start(0.0);
+  sim.run_until(400.0);
+  const double p_measured = sender.recorder().loss_event_rate();
+  // alpha in packets/RTT^2 with RTT 0.1 s: the model's alpha (per unit time
+  // normalized to RTT = 1) is alpha * rtt = 5 packets per RTT of rate gain...
+  // in rate units the closed form uses alpha per RTT: the sender gains
+  // alpha/rtt pps per rtt; express the model with RTT = 1 by rescaling:
+  // effective alpha = cfg.alpha * cfg.rtt = 5 pkt/RTT, capacity in pkt/RTT =
+  // capacity_pps * rtt = 12.5.
+  const model::AimdParams a{cfg.alpha * cfg.rtt_s, cfg.beta};
+  const double c_rtt = capacity_pps * cfg.rtt_s;
+  const double p_model = model::aimd_loss_event_rate(a, c_rtt);
+  EXPECT_GT(sender.recorder().events(), 50u);
+  EXPECT_GT(p_measured, 0.3 * p_model);
+  EXPECT_LT(p_measured, 3.0 * p_model);
+}
+
+TEST(AimdSender, RateOscillatesBetweenBetaCAndC) {
+  sim::Simulator sim;
+  net::Dumbbell net(sim, std::make_unique<net::DropTailQueue>(3), 1e6, 0.0005);
+  const int id = net.add_flow(0.0005, 0.001);
+  tcp::AimdSenderConfig cfg;
+  cfg.alpha = 1.0;  // gentle slope so the detection lag's overshoot is small
+  cfg.beta = 0.5;
+  cfg.rtt_s = 0.05;
+  cfg.initial_rate = 50.0;
+  tcp::AimdSender sender(net, id, cfg);
+  sender.start(0.0);
+  sim.run_until(300.0);
+  // After warm-up the rate should live in roughly [beta*c, ~c+slack].
+  EXPECT_GT(sender.rate(), 0.3 * 125.0);
+  EXPECT_LT(sender.rate(), 2.0 * 125.0);
+  EXPECT_THROW(tcp::AimdSender(net, id, tcp::AimdSenderConfig{-1.0, 0.5, 1.0, 1.0, 1000.0}),
+               std::invalid_argument);
+}
+
+}  // namespace

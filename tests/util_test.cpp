@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ebrc::util;
+
+TEST(Math, SquareAndCube) {
+  EXPECT_DOUBLE_EQ(sq(3.0), 9.0);
+  EXPECT_DOUBLE_EQ(cube(2.0), 8.0);
+  EXPECT_EQ(sq(-4), 16);
+}
+
+TEST(Math, Close) {
+  EXPECT_TRUE(close(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(close(1.0, 1.001));
+  EXPECT_TRUE(close(1e12, 1e12 + 1.0, 1e-9));  // relative scaling
+}
+
+TEST(Math, ClampAndLerp) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.5), 3.0);
+}
+
+TEST(Cli, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--alpha=1.5", "--beta", "2", "--verbose", "input.txt"};
+  Cli cli(6, argv);
+  EXPECT_TRUE(cli.has("alpha"));
+  EXPECT_DOUBLE_EQ(cli.get("alpha", 0.0), 1.5);
+  EXPECT_EQ(cli.get("beta", 0), 2);
+  EXPECT_TRUE(cli.get("verbose", false));
+  EXPECT_FALSE(cli.get("quiet", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+}
+
+TEST(Cli, BooleanForms) {
+  const char* argv[] = {"prog", "--a=true", "--b=off", "--c"};
+  Cli cli(4, argv);
+  EXPECT_TRUE(cli.get("a", false));
+  EXPECT_FALSE(cli.get("b", true));
+  EXPECT_TRUE(cli.get("c", false));
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  const char* argv[] = {"prog", "--oops"};
+  Cli cli(2, argv);
+  cli.know("fine");
+  EXPECT_THROW(cli.finish(), std::invalid_argument);
+}
+
+TEST(Cli, KnownFlagsPass) {
+  const char* argv[] = {"prog", "--fine=1"};
+  Cli cli(2, argv);
+  cli.know("fine");
+  EXPECT_NO_THROW(cli.finish());
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/ebrc_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row({1.0, 2.5});
+    csv.raw_row({"x", "y"});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line.substr(0, 2), "1,");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowArityEnforced) {
+  const std::string path = ::testing::TempDir() + "/ebrc_csv_arity.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row({1.0}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row({std::string("x"), std::string("1")});
+  t.row({1.23456789, 2.0}, 3);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Table, RejectsBadArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.row({std::string("only-one")}), std::invalid_argument);
+}
+
+TEST(Fmt, SignificantDigits) {
+  EXPECT_EQ(fmt(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(fmt(1234.0, 2), "1.2e+03");
+}
+
+}  // namespace
