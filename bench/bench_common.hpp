@@ -2,10 +2,15 @@
 //
 // Every binary accepts:
 //   --full        paper-scale sample sizes (default: reduced but meaningful)
-//   --seed=N      root seed (default 1)
+//   --seed=N      root seed, full 64-bit range (default 1)
 //   --csv=path    additionally dump the series as CSV
 // and prints its series as an aligned table with the same rows/columns the
-// paper's figure reports.
+// paper's figure reports. Binaries ported onto the batch engine (those
+// passing kBatchFlags) additionally accept:
+//   --reps=N      independent replications per configuration (default 1)
+//   --jobs=N      worker threads for the batch engine (default 0 = all cores)
+// Multi-rep runs aggregate with mean and a 95% CI; per-run numbers depend
+// only on --seed, never on --jobs.
 #pragma once
 
 #include <iostream>
@@ -14,22 +19,40 @@
 #include <string>
 #include <vector>
 
+#include "testbed/batch.hpp"
+#include "testbed/wan_paths.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace ebrc::bench {
 
+/// Tag for binaries ported onto the batch engine; enables --reps/--jobs.
+inline constexpr bool kBatchFlags = true;
+
 struct BenchArgs {
   bool full = false;
   std::uint64_t seed = 1;
+  int reps = 1;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
   std::optional<std::string> csv_path;
   util::Cli cli;
 
-  BenchArgs(int argc, char** argv) : cli(argc, argv) {
+  /// --reps/--jobs are only registered when the binary opts in with
+  /// kBatchFlags: a binary that still runs its own serial loop must keep
+  /// rejecting them loudly rather than silently running one replication.
+  BenchArgs(int argc, char** argv, bool batch_flags = false) : cli(argc, argv) {
     cli.know("full").know("seed").know("csv").know("help");
     full = cli.get("full", false);
-    seed = static_cast<std::uint64_t>(cli.get("seed", 1));
+    seed = cli.get("seed", std::uint64_t{1});
+    if (batch_flags) {
+      cli.know("reps").know("jobs");
+      reps = cli.get("reps", 1);
+      if (reps < 1) throw std::invalid_argument("--reps must be >= 1");
+      const int jobs_flag = cli.get("jobs", 0);
+      if (jobs_flag < 0) throw std::invalid_argument("--jobs must be >= 0");
+      jobs = static_cast<std::size_t>(jobs_flag);
+    }
     if (cli.has("csv")) csv_path = cli.get("csv", std::string{});
   }
 
@@ -40,11 +63,75 @@ struct BenchArgs {
   [[nodiscard]] double seconds(double reduced, double paper) const {
     return full ? paper : reduced;
   }
+
+  /// Batch engine sized by --jobs.
+  [[nodiscard]] testbed::BatchRunner runner() const { return testbed::BatchRunner(jobs); }
 };
 
 /// Prints the banner every figure binary starts with.
 inline void banner(const std::string& figure, const std::string& what) {
   std::cout << "=== " << figure << " — " << what << " ===\n";
+}
+
+/// One-line note on the batch configuration, printed under the banner.
+inline void batch_note(const BenchArgs& args) {
+  std::cout << "[batch] reps=" << args.reps << " jobs="
+            << (args.jobs == 0 ? std::string("auto") : std::to_string(args.jobs))
+            << " seed=" << args.seed << "\n";
+}
+
+/// Mixed-radix decoder for the flat cell grids the analyzer-style figures
+/// fan out through BatchRunner::map. Axes are listed outermost-first and the
+/// replication index is innermost, matching a nested
+/// `for (axis0) for (axis1) ... for (rep)` fill/consume order.
+class CellGrid {
+ public:
+  CellGrid(std::vector<std::size_t> axes, std::size_t reps)
+      : axes_(std::move(axes)), reps_(reps) {
+    size_ = reps_;
+    for (std::size_t a : axes_) size_ *= a;
+  }
+
+  /// Total number of cells: reps × product of the axis sizes.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Replication index of a flat cell index.
+  [[nodiscard]] std::size_t rep(std::size_t idx) const noexcept { return idx % reps_; }
+
+  /// Index along `axis` (0 = outermost) of a flat cell index.
+  [[nodiscard]] std::size_t at(std::size_t axis, std::size_t idx) const noexcept {
+    std::size_t stride = reps_;
+    for (std::size_t a = axes_.size(); a-- > axis + 1;) stride *= axes_[a];
+    return (idx / stride) % axes_[axis];
+  }
+
+ private:
+  std::vector<std::size_t> axes_;
+  std::size_t reps_;
+  std::size_t size_;
+};
+
+/// The WAN figures' shared batch layout: (path × population) grid with the
+/// figure's duration (warmup = duration/6), expanded to `reps` replications
+/// per point. Path-major, population-middle, replication-minor — so the
+/// result at grid point (path_idx, pop_idx), replication rep sits at index
+/// ((path_idx * populations.size()) + pop_idx) * reps + rep.
+inline std::vector<testbed::Scenario> wan_batch(const std::vector<testbed::WanPath>& paths,
+                                                const std::vector<int>& populations,
+                                                double duration, std::uint64_t root_seed,
+                                                int reps) {
+  std::vector<testbed::Scenario> batch;
+  batch.reserve(paths.size() * populations.size() * static_cast<std::size_t>(reps));
+  for (const auto& path : paths) {
+    for (int n : populations) {
+      auto base = testbed::wan_scenario(path, n, /*seed=*/0);
+      base.duration_s = duration;
+      base.warmup_s = duration / 6.0;
+      const auto runs = testbed::replicate(base, root_seed, reps);
+      batch.insert(batch.end(), runs.begin(), runs.end());
+    }
+  }
+  return batch;
 }
 
 /// Writes the table to CSV when --csv was given.

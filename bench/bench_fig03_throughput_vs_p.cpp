@@ -6,49 +6,75 @@
 // Paper shape to verify: SQRT is flat in p; PFTK-simplified drops sharply as
 // p grows (the famous TFRC throughput-drop under heavy loss), and smaller L
 // is more conservative.
+//
+// The (formula × p × L × rep) grid is one flat BatchRunner::map — every cell
+// owns its loss process and analyzer run, so the fan-out is deterministic
+// for a fixed --seed under any --jobs.
 #include "bench_common.hpp"
 #include "core/analyzer.hpp"
 #include "core/weights.hpp"
 #include "loss/loss_process.hpp"
 #include "model/throughput_function.hpp"
+#include "sim/random.hpp"
+#include "stats/online.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
   args.cli.know("comprehensive");
   args.cli.finish();
   const bool comprehensive = args.cli.get("comprehensive", false);
   bench::banner("Figure 3",
                 std::string("normalized throughput vs p, cv = 1 - 1/1000, ") +
                     (comprehensive ? "comprehensive" : "basic") + " control");
+  bench::batch_note(args);
 
   const double cv = 1.0 - 1.0 / 1000.0;
+  const std::vector<std::string> formulas{"sqrt", "pftk-simplified"};
   const std::vector<std::size_t> windows{1, 2, 4, 8, 16};
   const std::vector<double> ps{0.005, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30,
                                0.35, 0.40};
   const core::RunConfig cfg{.events = args.events(150000, 2000000), .warmup = 500};
 
+  // Flat cell grid, replication-minor. Each invocation is self-contained.
+  const std::size_t reps = static_cast<std::size_t>(args.reps);
+  const bench::CellGrid grid({formulas.size(), ps.size(), windows.size()}, reps);
+  const auto cell = [&](std::size_t idx) {
+    const std::size_t rep = grid.rep(idx);
+    const std::string& fname = formulas[grid.at(0, idx)];
+    const double p = ps[grid.at(1, idx)];
+    const std::size_t L = windows[grid.at(2, idx)];
+    const std::uint64_t seed =
+        sim::hash_seed(args.seed, fname + "/p=" + std::to_string(p) + "/L=" +
+                                      std::to_string(L) + "#rep" + std::to_string(rep));
+    const auto f = model::make_throughput_function(fname, 1.0);
+    loss::ShiftedExponentialProcess proc(p, cv, seed);
+    const auto r = comprehensive
+                       ? core::run_comprehensive_control(*f, proc, core::tfrc_weights(L), cfg)
+                       : core::run_basic_control(*f, proc, core::tfrc_weights(L), cfg);
+    return r.normalized;
+  };
+  const auto normalized = args.runner().map<double>(grid.size(), cell);
+
   std::vector<std::vector<double>> csv_rows;
-  for (const char* name : {"sqrt", "pftk-simplified"}) {
-    const auto f = model::make_throughput_function(name, 1.0);
+  std::size_t idx = 0;
+  for (const auto& fname : formulas) {
     util::Table t({"p", "L=1", "L=2", "L=4", "L=8", "L=16"});
     for (double p : ps) {
       std::vector<double> row{p};
-      for (std::size_t L : windows) {
-        loss::ShiftedExponentialProcess proc(p, cv, args.seed + L);
-        const auto r = comprehensive
-                           ? core::run_comprehensive_control(*f, proc, core::tfrc_weights(L), cfg)
-                           : core::run_basic_control(*f, proc, core::tfrc_weights(L), cfg);
-        row.push_back(r.normalized);
+      for (std::size_t w = 0; w < windows.size(); ++w) {
+        stats::OnlineMoments m;
+        for (std::size_t rep = 0; rep < reps; ++rep) m.add(normalized[idx++]);
+        row.push_back(m.mean());
       }
       t.row(row);
-      std::vector<double> csv_row{name == std::string("sqrt") ? 0.0 : 1.0};
+      std::vector<double> csv_row{fname == "sqrt" ? 0.0 : 1.0};
       csv_row.insert(csv_row.end(), row.begin(), row.end());
       csv_rows.push_back(csv_row);
     }
-    t.print("\n" + std::string(name == std::string("sqrt") ? "(Left) SQRT" :
-                               "(Right) PFTK-simplified, q = 4r") +
-            " — x̄/f(p) versus p:");
+    const std::string panel =
+        fname == "sqrt" ? "(Left) SQRT" : "(Right) PFTK-simplified, q = 4r";
+    t.print("\n" + panel + " — x̄/f(p) versus p:");
   }
 
   std::cout << "\nPaper shape: SQRT columns are flat in p; PFTK columns fall with p\n"

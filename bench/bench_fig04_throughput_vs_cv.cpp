@@ -5,32 +5,55 @@
 //
 // Paper shape: the larger the variability, the more conservative; larger L
 // smooths it away.
+//
+// The (p × cv × L × rep) grid runs as one BatchRunner::map fan-out.
 #include "bench_common.hpp"
 #include "core/analyzer.hpp"
 #include "core/weights.hpp"
 #include "loss/loss_process.hpp"
 #include "model/throughput_function.hpp"
+#include "sim/random.hpp"
+#include "stats/online.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
   args.cli.finish();
   bench::banner("Figure 4", "normalized throughput vs cv[theta], PFTK-simplified, q = 4r");
+  bench::batch_note(args);
 
-  const auto f = model::make_throughput_function("pftk-simplified", 1.0);
   const std::vector<std::size_t> windows{1, 2, 4, 8, 16};
   const std::vector<double> cvs{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.999};
+  const std::vector<double> ps{1.0 / 100.0, 1.0 / 10.0};
   const core::RunConfig cfg{.events = args.events(150000, 2000000), .warmup = 500};
 
+  const std::size_t reps = static_cast<std::size_t>(args.reps);
+  const bench::CellGrid grid({ps.size(), cvs.size(), windows.size()}, reps);
+  const auto cell = [&](std::size_t idx) {
+    const std::size_t rep = grid.rep(idx);
+    const double p = ps[grid.at(0, idx)];
+    const double cv = cvs[grid.at(1, idx)];
+    const std::size_t L = windows[grid.at(2, idx)];
+    const std::uint64_t seed =
+        sim::hash_seed(args.seed, "fig04/p=" + std::to_string(p) + "/cv=" +
+                                      std::to_string(cv) + "/L=" + std::to_string(L) +
+                                      "#rep" + std::to_string(rep));
+    const auto f = model::make_throughput_function("pftk-simplified", 1.0);
+    loss::ShiftedExponentialProcess proc(p, cv, seed);
+    return core::run_basic_control(*f, proc, core::tfrc_weights(L), cfg).normalized;
+  };
+  const auto normalized = args.runner().map<double>(grid.size(), cell);
+
   std::vector<std::vector<double>> csv_rows;
-  for (double p : {1.0 / 100.0, 1.0 / 10.0}) {
+  std::size_t idx = 0;
+  for (double p : ps) {
     util::Table t({"cv", "L=1", "L=2", "L=4", "L=8", "L=16"});
     for (double cv : cvs) {
       std::vector<double> row{cv};
-      for (std::size_t L : windows) {
-        loss::ShiftedExponentialProcess proc(p, cv, args.seed + L);
-        const auto r = core::run_basic_control(*f, proc, core::tfrc_weights(L), cfg);
-        row.push_back(r.normalized);
+      for (std::size_t w = 0; w < windows.size(); ++w) {
+        stats::OnlineMoments m;
+        for (std::size_t rep = 0; rep < reps; ++rep) m.add(normalized[idx++]);
+        row.push_back(m.mean());
       }
       t.row(row);
       std::vector<double> csv_row{p};

@@ -6,41 +6,55 @@
 // Paper shape: for small p (few competing senders) the ratio rises well
 // above 1 — significant non-TCP-friendliness — driven by p' > p and by TCP
 // undershooting its formula (Figures 12-15 break this down).
+//
+// The (path × n × rep) grid is expanded up front and fanned out through
+// BatchRunner; --reps averages independent replications per point and
+// --jobs sets the worker count (per-run numbers depend only on --seed).
 #include "bench_common.hpp"
+#include "testbed/batch.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/wan_paths.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
   args.cli.finish();
   bench::banner("Figure 11", "TFRC/TCP throughput ratio vs p over the Table-I WAN paths");
+  bench::batch_note(args);
 
   const std::vector<int> populations =
       args.full ? std::vector<int>{1, 2, 4, 6, 8, 10} : std::vector<int>{1, 3, 8};
   const double duration = args.seconds(180.0, 3600.0);
+  const auto paths = testbed::table1_paths();
 
-  util::Table t({"path", "n/dir", "p (tfrc)", "x/x' (tfrc/tcp)"});
+  // One batch over the whole grid: cell (path, n) × replications.
+  const auto batch = bench::wan_batch(paths, populations, duration, args.seed, args.reps);
+  const auto results = args.runner().run(batch);
+
+  util::Table t({"path", "n/dir", "p (tfrc)", "x/x' (tfrc/tcp)", "ci95"});
   std::vector<std::vector<double>> csv_rows;
-  int path_idx = 0;
-  for (const auto& path : testbed::table1_paths()) {
+  std::size_t idx = 0;
+  for (std::size_t path_idx = 0; path_idx < paths.size(); ++path_idx) {
     for (int n : populations) {
-      auto s = testbed::wan_scenario(path, n, args.seed + 13 * n);
-      s.duration_s = duration;
-      s.warmup_s = duration / 6.0;
-      const auto r = testbed::run_experiment(s);
-      if (r.breakdown.friendliness <= 0) continue;
-      t.row({path.name, util::fmt(n, 3), util::fmt(r.tfrc_p, 4),
-             util::fmt(r.breakdown.friendliness, 4)});
-      csv_rows.push_back({static_cast<double>(path_idx), static_cast<double>(n), r.tfrc_p,
-                          r.breakdown.friendliness});
+      stats::OnlineMoments p_m, friendliness_m;
+      for (int rep = 0; rep < args.reps; ++rep) {
+        const auto& r = results[idx++];
+        if (r.breakdown.friendliness <= 0) continue;
+        p_m.add(r.tfrc_p);
+        friendliness_m.add(r.breakdown.friendliness);
+      }
+      if (friendliness_m.count() == 0) continue;
+      t.row({paths[path_idx].name, util::fmt(n, 3), util::fmt(p_m.mean(), 4),
+             util::fmt(friendliness_m.mean(), 4),
+             util::fmt(friendliness_m.ci_halfwidth(), 3)});
+      csv_rows.push_back({static_cast<double>(path_idx), static_cast<double>(n), p_m.mean(),
+                          friendliness_m.mean(), friendliness_m.ci_halfwidth()});
     }
-    ++path_idx;
   }
   t.print("\nTCP-friendliness check (values > 1 = non-TCP-friendly):");
 
   std::cout << "\nPaper shape: ratios well above 1 at the smallest p (fewest senders) on\n"
             << "most paths, approaching 1 as the population grows.\n";
-  bench::maybe_csv(args, {"path", "n", "p", "friendliness"}, csv_rows);
+  bench::maybe_csv(args, {"path", "n", "p", "friendliness", "ci95"}, csv_rows);
   return 0;
 }

@@ -9,40 +9,54 @@
 // Paper shape: (1) ~ 1 (mild conservativeness), (2) well above 1 for few
 // senders, (3) ~ 1, (4) below 1 for few senders — so the non-TCP-
 // friendliness of Figure 11 is explained by (2) and (4), not by (1).
+//
+// The whole (path × n × rep) grid runs as one BatchRunner batch; breakdown
+// columns are means over the valid replications of each point.
 #include "bench_common.hpp"
+#include "testbed/batch.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/wan_paths.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
   args.cli.finish();
   bench::banner("Figures 12-15", "TCP-friendliness breakdown per WAN path");
+  bench::batch_note(args);
 
   const std::vector<int> populations =
       args.full ? std::vector<int>{1, 2, 4, 6, 8, 10} : std::vector<int>{1, 3, 8};
   const double duration = args.seconds(180.0, 3600.0);
+  const auto paths = testbed::table1_paths();
+
+  const auto batch = bench::wan_batch(paths, populations, duration, args.seed, args.reps);
+  const auto results = args.runner().run(batch);
 
   std::vector<std::vector<double>> csv_rows;
-  int path_idx = 0;
-  for (const auto& path : testbed::table1_paths()) {
+  std::size_t idx = 0;
+  for (std::size_t path_idx = 0; path_idx < paths.size(); ++path_idx) {
+    const auto& path = paths[path_idx];
     util::Table t({"n/dir", "p (tfrc)", "x/f(p,r)", "p'/p", "r'/r", "x'/f(p',r')"});
     for (int n : populations) {
-      auto s = testbed::wan_scenario(path, n, args.seed + 13 * n);
-      s.duration_s = duration;
-      s.warmup_s = duration / 6.0;
-      const auto r = testbed::run_experiment(s);
-      if (r.tfrc_p <= 0 || r.tcp_p <= 0) continue;
-      t.row({static_cast<double>(n), r.tfrc_p, r.breakdown.conservativeness,
-             r.breakdown.loss_rate_ratio, r.breakdown.rtt_ratio,
-             r.breakdown.tcp_formula_ratio});
-      csv_rows.push_back({static_cast<double>(path_idx), static_cast<double>(n), r.tfrc_p,
-                          r.breakdown.conservativeness, r.breakdown.loss_rate_ratio,
-                          r.breakdown.rtt_ratio, r.breakdown.tcp_formula_ratio});
+      // Fold the replications of this grid point; runs without both loss
+      // rates measured are discarded as before.
+      std::vector<testbed::ExperimentResult> valid;
+      for (int rep = 0; rep < args.reps; ++rep) {
+        const auto& r = results[idx++];
+        if (r.tfrc_p > 0 && r.tcp_p > 0) valid.push_back(r);
+      }
+      if (valid.empty()) continue;
+      const auto agg = testbed::aggregate(valid);
+      t.row({static_cast<double>(n), agg.mean("tfrc_p"), agg.mean("conservativeness"),
+             agg.mean("loss_rate_ratio"), agg.mean("rtt_ratio"),
+             agg.mean("tcp_formula_ratio")});
+      csv_rows.push_back({static_cast<double>(path_idx), static_cast<double>(n),
+                          agg.mean("tfrc_p"), agg.mean("conservativeness"),
+                          agg.mean("loss_rate_ratio"), agg.mean("rtt_ratio"),
+                          agg.mean("tcp_formula_ratio")});
     }
     t.print("\n" + path.name + " (access " + util::fmt(path.access_bps / 1e6, 3) +
             " Mb/s, RTT " + util::fmt(path.base_rtt_s * 1e3, 3) + " ms):");
-    ++path_idx;
   }
 
   std::cout << "\nPaper shape per panel: x̄/f(p,r) hugs 1; p'/p > 1 especially for small\n"

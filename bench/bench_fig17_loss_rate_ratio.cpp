@@ -4,26 +4,37 @@
 // TCP and one TFRC compete. Claim 4's deterministic model predicts
 // p'/p = 4/(1+beta)^2 = 16/9 ~ 1.78 in the idealized case; the simulations
 // show the deviation holds but is less pronounced.
+//
+// Each grid point expands to three scenarios (TCP alone, TFRC alone,
+// competing) × --reps replications, all fanned out in one BatchRunner batch.
 #include "bench_common.hpp"
 #include "model/aimd.hpp"
+#include "sim/random.hpp"
+#include "testbed/batch.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
   args.cli.finish();
   bench::banner("Figure 17", "p'/p over DropTail(b): isolation and competition");
+
+  // Single-flow loss statistics are noisy; the paper averages over bins, we
+  // average over replications. --reps overrides the figure's default.
+  if (!args.cli.has("reps")) args.reps = args.full ? 5 : 3;
+  const int reps = args.reps;
+  bench::batch_note(args);
 
   const std::vector<std::size_t> buffers =
       args.full ? std::vector<std::size_t>{5, 10, 25, 50, 100, 150, 200, 250}
                 : std::vector<std::size_t>{10, 25, 50, 100};
   const double duration = args.seconds(400.0, 1600.0);
-  const int reps = args.full ? 5 : 3;
 
-  const auto run = [&](int n_tcp, int n_tfrc, std::size_t buffer, std::uint64_t salt) {
+  const auto make = [&](int n_tcp, int n_tfrc, std::size_t buffer, const char* variant,
+                        int rep) {
     auto s = testbed::lab_scenario(testbed::QueueKind::kDropTail, buffer,
-                                   /*n_each=*/1, args.seed + salt);
+                                   /*n_each=*/1, /*seed=*/0);
     s.n_tcp = n_tcp;
     s.n_tfrc = n_tfrc;
     // This figure is an ns-2 experiment in the paper: the TFRC runs the full
@@ -32,34 +43,38 @@ int main(int argc, char** argv) {
     s.tfrc.comprehensive = true;
     s.duration_s = duration;
     s.warmup_s = duration / 6.0;
-    return testbed::run_experiment(s);
+    s.seed = sim::hash_seed(args.seed, "fig17/b=" + std::to_string(buffer) + "/" + variant +
+                                           "#rep" + std::to_string(rep));
+    return s;
   };
+
+  // Flat batch: (buffer × rep) × {tcp-alone, tfrc-alone, competing}.
+  std::vector<testbed::Scenario> batch;
+  for (std::size_t b : buffers) {
+    for (int rep = 0; rep < reps; ++rep) {
+      batch.push_back(make(1, 0, b, "tcp-alone", rep));
+      batch.push_back(make(0, 1, b, "tfrc-alone", rep));
+      batch.push_back(make(1, 1, b, "competing", rep));
+    }
+  }
+  const auto results = args.runner().run(batch);
 
   util::Table t({"buffer b", "p'/p isolated", "p'/p competing"});
   std::vector<std::vector<double>> csv_rows;
+  std::size_t idx = 0;
   for (std::size_t b : buffers) {
-    // Single-flow loss statistics are noisy; average the ratio estimates
-    // over independent replicas (as the paper averages over bins).
-    double iso_sum = 0, comp_sum = 0;
-    int iso_n = 0, comp_n = 0;
+    stats::OnlineMoments iso, comp;
     for (int rep = 0; rep < reps; ++rep) {
-      const std::uint64_t salt = 17 * b + 1000 * static_cast<std::uint64_t>(rep);
-      const auto tcp_alone = run(1, 0, b, salt + 1);
-      const auto tfrc_alone = run(0, 1, b, salt + 2);
-      const auto both = run(1, 1, b, salt + 3);
+      const auto& tcp_alone = results[idx++];
+      const auto& tfrc_alone = results[idx++];
+      const auto& both = results[idx++];
       if (tcp_alone.tcp_p > 0 && tfrc_alone.tfrc_p > 0) {
-        iso_sum += tcp_alone.tcp_p / tfrc_alone.tfrc_p;
-        ++iso_n;
+        iso.add(tcp_alone.tcp_p / tfrc_alone.tfrc_p);
       }
-      if (both.breakdown.loss_rate_ratio > 0) {
-        comp_sum += both.breakdown.loss_rate_ratio;
-        ++comp_n;
-      }
+      if (both.breakdown.loss_rate_ratio > 0) comp.add(both.breakdown.loss_rate_ratio);
     }
-    const double iso = iso_n > 0 ? iso_sum / iso_n : 0.0;
-    const double comp = comp_n > 0 ? comp_sum / comp_n : 0.0;
-    t.row({static_cast<double>(b), iso, comp});
-    csv_rows.push_back({static_cast<double>(b), iso, comp});
+    t.row({static_cast<double>(b), iso.mean(), comp.mean()});
+    csv_rows.push_back({static_cast<double>(b), iso.mean(), comp.mean()});
   }
   t.print("\nRatio of TCP's to TFRC's loss-event rate:");
 

@@ -2,18 +2,19 @@
 // the emulated counterpart of each path and validate in simulation that a
 // single unimpeded probe measures the configured RTT, and that the ambient
 // (cross-traffic-induced) loss-event rate lands in the paper's per-path
-// range.
+// range. The validation runs (paths × replications) go through BatchRunner;
+// --reps tightens the ambient-p estimate with a 95% CI.
 #include "bench_common.hpp"
-#include "net/probe_senders.hpp"
-#include "sim/simulator.hpp"
+#include "testbed/batch.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/wan_paths.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
   args.cli.finish();
   bench::banner("Table I", "emulated WAN paths vs the paper's receiver hosts");
+  bench::batch_note(args);
 
   util::Table spec({"Receiver", "paper Mb/s", "emulated Mb/s", "paper RTT ms",
                     "emulated RTT ms", "bg load"});
@@ -30,20 +31,24 @@ int main(int argc, char** argv) {
 
   // In-simulation validation with one TFRC + one TCP test flow per path.
   const double duration = args.seconds(120.0, 600.0);
-  util::Table meas({"Receiver", "tfrc RTT ms", "ambient p (tfrc)", "paper p range"});
+  const auto batch = bench::wan_batch(paths, {1}, duration, args.seed, args.reps);
+  const auto results = args.runner().run(batch);
+
+  util::Table meas({"Receiver", "tfrc RTT ms", "ambient p (tfrc)", "p ci95", "paper p range"});
   const char* ranges[] = {"0.000-0.008", "0.0005-0.002", "0.0001-0.0006", "0.002-0.008"};
   std::vector<std::vector<double>> csv_rows;
   for (std::size_t i = 0; i < paths.size(); ++i) {
-    auto s = testbed::wan_scenario(paths[i], 1, args.seed + i);
-    s.duration_s = duration;
-    s.warmup_s = duration / 6.0;
-    const auto r = testbed::run_experiment(s);
-    meas.row({paths[i].name, util::fmt(r.tfrc_rtt * 1e3, 4), util::fmt(r.tfrc_p, 3),
-              ranges[i]});
-    csv_rows.push_back({static_cast<double>(i), r.tfrc_rtt, r.tfrc_p});
+    const std::vector<testbed::ExperimentResult> runs(
+        results.begin() + static_cast<long>(i) * args.reps,
+        results.begin() + static_cast<long>(i + 1) * args.reps);
+    const auto agg = testbed::aggregate(runs);
+    meas.row({paths[i].name, util::fmt(agg.mean("tfrc_rtt") * 1e3, 4),
+              util::fmt(agg.mean("tfrc_p"), 3), util::fmt(agg.ci("tfrc_p"), 2), ranges[i]});
+    csv_rows.push_back({static_cast<double>(i), agg.mean("tfrc_rtt"), agg.mean("tfrc_p"),
+                        agg.ci("tfrc_p")});
   }
   meas.print("\nMeasured on the emulated paths (1 TFRC + 1 TCP + cross traffic):");
 
-  bench::maybe_csv(args, {"path", "rtt", "p"}, csv_rows);
+  bench::maybe_csv(args, {"path", "rtt", "p", "p_ci95"}, csv_rows);
   return 0;
 }

@@ -10,9 +10,11 @@
 //
 // With no file argument a demo trace is generated from a two-phase
 // (congested / clear) loss process — the predictability scenario of
-// Section III-B.2.
+// Section III-B.2. `--reps=N` then analyzes N independently seeded demo
+// traces fanned out through the BatchRunner thread pool (`--jobs`) and
+// reports each headline metric as mean ± 95% CI across replications.
 //
-// Build & run:  ./build/examples/trace_analysis [trace.txt] [--L 8]
+// Build & run:  ./build/trace_analysis [trace.txt] [--L 8] [--reps 8 --jobs 4]
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -23,8 +25,10 @@
 #include "core/weights.hpp"
 #include "loss/markov_modulated.hpp"
 #include "model/throughput_function.hpp"
+#include "sim/random.hpp"
 #include "stats/autocovariance.hpp"
 #include "stats/online.hpp"
+#include "testbed/batch.hpp"
 #include "util/cli.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
@@ -42,14 +46,56 @@ std::vector<double> load_trace(const std::string& path) {
   return v;
 }
 
-std::vector<double> demo_trace() {
+std::vector<double> demo_trace(std::uint64_t seed) {
   // Two-phase network weather: long clear stretches, short congested bursts.
   auto proc = ebrc::loss::make_two_phase(/*good=*/120.0, /*bad=*/8.0,
-                                         /*mean_sojourn_events=*/60.0, /*seed=*/17);
+                                         /*mean_sojourn_events=*/60.0, seed);
   std::vector<double> v;
   v.reserve(200000);
   for (int i = 0; i < 200000; ++i) v.push_back(proc.next());
   return v;
+}
+
+// Headline metrics of one trace under the chosen estimator and formula.
+struct TraceDiagnosis {
+  double p = 0.0;
+  double mean_interval = 0.0;
+  double interval_cv = 0.0;
+  double cov = 0.0;             // cov[theta_0, hat-theta_0]
+  double normalized = 0.0;      // Proposition-1 replay x/f(p)
+  double theorem1 = 0.0;        // Theorem-1 bound, normalized
+  bool c1 = false;
+};
+
+TraceDiagnosis diagnose(const std::vector<double>& trace, std::size_t L,
+                        const ebrc::model::ThroughputFunction& f) {
+  using namespace ebrc;
+  TraceDiagnosis d;
+  stats::OnlineMoments m;
+  for (double th : trace) m.add(th);
+  d.p = 1.0 / m.mean();
+  d.mean_interval = m.mean();
+  d.interval_cv = m.cv();
+
+  const auto weights = core::tfrc_weights(L);
+  const auto cov = core::check_covariance_conditions(f, trace, weights);
+  d.cov = cov.cov_theta_thetahat;
+  d.c1 = cov.C1;
+
+  // Proposition-1 prediction by replaying the trace through the control.
+  core::MovingAverageEstimator est(weights);
+  double sum_theta = 0, sum_s = 0;
+  for (double th : trace) {
+    if (est.history_size() >= L) {
+      sum_theta += th;
+      sum_s += th / f.rate_from_interval(est.value());
+    }
+    est.push(th);
+  }
+  const double fp = f.rate(std::min(1.0, d.p));
+  d.normalized = (sum_theta / sum_s) / fp;
+  d.theorem1 = core::theorem1_bound(f, std::min(1.0, d.p), d.cov) / fp;
+  return d;
 }
 
 }  // namespace
@@ -57,36 +103,59 @@ std::vector<double> demo_trace() {
 int main(int argc, char** argv) {
   using namespace ebrc;
   util::Cli cli(argc, argv);
-  cli.know("L").know("formula").know("rtt");
+  cli.know("L").know("formula").know("rtt").know("reps").know("jobs").know("seed");
   cli.finish();
   const auto L = static_cast<std::size_t>(cli.get("L", 8));
   const double rtt = cli.get("rtt", 0.1);
   const std::string fname = cli.get("formula", std::string("pftk-simplified"));
+  const std::uint64_t seed = cli.get("seed", std::uint64_t{17});
+  const int jobs_flag = cli.get("jobs", 0);
+  if (jobs_flag < 0) throw std::invalid_argument("--jobs must be >= 0");
+  const auto jobs = static_cast<std::size_t>(jobs_flag);
 
   const bool demo = cli.positional().empty();
-  const std::vector<double> trace = demo ? demo_trace() : load_trace(cli.positional()[0]);
-  if (trace.size() < 10 * L) {
-    std::cerr << "trace too short (" << trace.size() << " intervals)\n";
+  // A measured trace is one fixed sample path; only demo mode replicates.
+  if (!demo && cli.has("reps")) {
+    std::cerr << "note: --reps only applies to generated demo traces; analyzing the given "
+                 "trace once\n";
+  }
+  const int reps = demo ? cli.get("reps", 1) : 1;
+  if (reps < 1) throw std::invalid_argument("--reps must be >= 1");
+
+  const auto f = model::make_throughput_function(fname, rtt);
+  const testbed::BatchRunner runner(jobs);
+
+  // Fan the replications out; each worker generates and diagnoses its own
+  // trace. The first trace is kept for the detailed per-lag tables below.
+  std::vector<double> first_trace =
+      demo ? demo_trace(sim::hash_seed(seed, "trace#rep0")) : load_trace(cli.positional()[0]);
+  if (first_trace.size() < 10 * L) {
+    std::cerr << "trace too short (" << first_trace.size() << " intervals)\n";
     return 1;
   }
-  std::cout << (demo ? "Demo trace: two-phase congestion weather, " : "Trace: ")
-            << trace.size() << " loss-event intervals\n\n";
+  const auto diagnoses = runner.map<TraceDiagnosis>(
+      static_cast<std::size_t>(reps), [&](std::size_t rep) {
+        if (rep == 0) return diagnose(first_trace, L, *f);
+        return diagnose(demo_trace(sim::hash_seed(seed, "trace#rep" + std::to_string(rep))),
+                        L, *f);
+      });
+  const TraceDiagnosis& d0 = diagnoses.front();
 
-  // Marginal statistics.
-  stats::OnlineMoments m;
-  stats::LaggedAutocovariance ac(L);
-  for (double th : trace) {
-    m.add(th);
-    ac.add(th);
-  }
-  const double p = 1.0 / m.mean();
+  std::cout << (demo ? "Demo trace: two-phase congestion weather, " : "Trace: ")
+            << first_trace.size() << " loss-event intervals";
+  if (reps > 1) std::cout << " × " << reps << " replications (jobs=" << runner.jobs() << ")";
+  std::cout << "\n\n";
+
+  // Marginal statistics (first replication).
   util::Table stat({"metric", "value"});
-  stat.row({std::string("loss-event rate p"), util::fmt(p, 4)});
-  stat.row({std::string("mean interval (pkts)"), util::fmt(m.mean(), 5)});
-  stat.row({std::string("interval cv (conventional)"), util::fmt(m.cv(), 4)});
+  stat.row({std::string("loss-event rate p"), util::fmt(d0.p, 4)});
+  stat.row({std::string("mean interval (pkts)"), util::fmt(d0.mean_interval, 5)});
+  stat.row({std::string("interval cv (conventional)"), util::fmt(d0.interval_cv, 4)});
   stat.print("Marginal statistics:");
 
   // Correlation structure: Eq. (11) decomposition of cov[theta, hat-theta].
+  stats::LaggedAutocovariance ac(L);
+  for (double th : first_trace) ac.add(th);
   const auto weights = core::tfrc_weights(L);
   util::Table lagt({"lag l", "autocorrelation", "weight w_l", "contribution"});
   for (std::size_t l = 1; l <= L; ++l) {
@@ -95,36 +164,38 @@ int main(int argc, char** argv) {
   }
   lagt.print("\nEq. (11): cov[theta_0, hat-theta_0] = sum_l w_l cov[theta_0, theta_-l]:");
 
-  const auto f = model::make_throughput_function(fname, rtt);
-  const auto cov = core::check_covariance_conditions(*f, trace, weights);
-  std::cout << "\n  cov[theta_0, hat-theta_0] = " << util::fmt(cov.cov_theta_thetahat, 4)
-            << "  -> normalized cov*p^2 = "
-            << util::fmt(cov.cov_theta_thetahat * util::sq(p), 4) << "\n"
-            << "  condition (C1) cov <= 0:  " << (cov.C1 ? "HOLDS" : "VIOLATED") << "\n";
+  std::cout << "\n  cov[theta_0, hat-theta_0] = " << util::fmt(d0.cov, 4)
+            << "  -> normalized cov*p^2 = " << util::fmt(d0.cov * util::sq(d0.p), 4) << "\n"
+            << "  condition (C1) cov <= 0:  " << (d0.c1 ? "HOLDS" : "VIOLATED") << "\n";
 
-  // Proposition-1 prediction by replaying the trace through the control.
-  core::MovingAverageEstimator est(weights);
-  double sum_theta = 0, sum_s = 0;
-  for (double th : trace) {
-    if (est.history_size() >= L) {
-      sum_theta += th;
-      sum_s += th / f->rate_from_interval(est.value());
-    }
-    est.push(th);
-  }
-  const double normalized = (sum_theta / sum_s) / f->rate(std::min(1.0, p));
   std::cout << "\nProposition 1 replay (" << f->name() << ", r = " << rtt << " s):\n"
-            << "  predicted normalized throughput x/f(p) = " << util::fmt(normalized, 4) << "\n"
-            << "  Theorem-1 bound at the measured covariance: "
-            << util::fmt(core::theorem1_bound(*f, std::min(1.0, p), cov.cov_theta_thetahat) /
-                             f->rate(std::min(1.0, p)),
-                         4)
+            << "  predicted normalized throughput x/f(p) = " << util::fmt(d0.normalized, 4)
+            << "\n  Theorem-1 bound at the measured covariance: " << util::fmt(d0.theorem1, 4)
             << "\n";
 
-  if (!cov.C1 && normalized > 1.0) {
+  if (reps > 1) {
+    stats::OnlineMoments p_m, cov_m, norm_m;
+    int c1_holds = 0;
+    for (const auto& d : diagnoses) {
+      p_m.add(d.p);
+      cov_m.add(d.cov);
+      norm_m.add(d.normalized);
+      c1_holds += d.c1 ? 1 : 0;
+    }
+    util::Table agg({"metric", "mean", "ci95"});
+    agg.row({std::string("p"), util::fmt(p_m.mean(), 4), util::fmt(p_m.ci_halfwidth(), 3)});
+    agg.row({std::string("cov[theta, hat-theta]"), util::fmt(cov_m.mean(), 4),
+             util::fmt(cov_m.ci_halfwidth(), 3)});
+    agg.row({std::string("normalized x/f(p)"), util::fmt(norm_m.mean(), 4),
+             util::fmt(norm_m.ci_halfwidth(), 3)});
+    agg.print("\nAcross " + std::to_string(reps) + " independent demo traces:");
+    std::cout << "  (C1) held in " << c1_holds << "/" << reps << " replications\n";
+  }
+
+  if (!d0.c1 && d0.normalized > 1.0) {
     std::cout << "\nDiagnosis: the loss process is PREDICTABLE (phases), (C1) fails, and\n"
               << "the control overshoots its formula — the Section III-B.2 scenario.\n";
-  } else if (normalized <= 1.0) {
+  } else if (d0.normalized <= 1.0) {
     std::cout << "\nDiagnosis: conservative under this trace. More estimator smoothing\n"
               << "(larger --L) would move x/f(p) towards 1.\n";
   }

@@ -13,9 +13,9 @@ EventHandle Simulator::schedule(Time delay, std::function<void()> fn) {
 
 EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
   if (at < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Entry{at, next_seq_++, std::move(fn), alive});
-  return EventHandle{std::move(alive)};
+  const EventSlab::Ticket ticket = slab_->acquire();
+  queue_.push(Entry{at, next_seq_++, std::move(fn), ticket});
+  return EventHandle{slab_, ticket};
 }
 
 void Simulator::run_until(Time horizon) {
@@ -24,10 +24,14 @@ void Simulator::run_until(Time horizon) {
     // popped immediately after (standard idiom for move-out-of-heap).
     Entry e = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
-    if (!*e.alive) continue;  // cancelled
+    const bool live = slab_->alive(e.ticket);
+    // Recycle the slot before running: a handle must report !pending() from
+    // inside its own callback, and new events may reuse the slot under a
+    // fresh generation without confusing stale handles.
+    slab_->retire(e.ticket.index);
+    if (!live) continue;  // cancelled
     assert(e.at >= now_);
     now_ = e.at;
-    *e.alive = false;  // fired; handle no longer pending
     ++executed_;
     e.fn();
   }

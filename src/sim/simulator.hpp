@@ -5,6 +5,13 @@
 // EventHandle allows O(1) logical cancellation (the event stays in the heap
 // but is skipped when popped), which is how pending retransmit timers and
 // feedback timers are withdrawn.
+//
+// Liveness tracking uses a pooled generation slab shared by the simulator and
+// its handles: scheduling recycles slots from a free list instead of paying a
+// heap allocation per event (the old shared_ptr<bool> design), which matters
+// on the hot path when BatchRunner drives one simulator per worker thread.
+// Each Simulator owns its own slab, so independent instances never share
+// mutable state and are safe to run concurrently on separate threads.
 #pragma once
 
 #include <cassert>
@@ -19,6 +26,62 @@ namespace ebrc::sim {
 /// Simulated time, in seconds.
 using Time = double;
 
+/// Pool of event-liveness slots. A slot is identified by (index, generation);
+/// retiring a slot bumps its generation, so handles to a recycled slot go
+/// stale instead of observing the next event that reuses it.
+class EventSlab {
+ public:
+  struct Ticket {
+    std::uint32_t index = 0;
+    std::uint32_t generation = 0;
+  };
+
+  /// Reserves a live slot, recycling a retired one when available.
+  Ticket acquire() {
+    if (!free_.empty()) {
+      const std::uint32_t idx = free_.back();
+      free_.pop_back();
+      slots_[idx].alive = true;
+      return {idx, slots_[idx].generation};
+    }
+    slots_.push_back(Slot{0, true});
+    return {static_cast<std::uint32_t>(slots_.size() - 1), 0};
+  }
+
+  /// True while the ticket's event is pending (not fired, not cancelled).
+  [[nodiscard]] bool alive(Ticket t) const noexcept {
+    return t.index < slots_.size() && slots_[t.index].generation == t.generation &&
+           slots_[t.index].alive;
+  }
+
+  /// Marks the ticket's event as no longer pending; stale tickets are ignored.
+  void cancel(Ticket t) noexcept {
+    if (t.index < slots_.size() && slots_[t.index].generation == t.generation) {
+      slots_[t.index].alive = false;
+    }
+  }
+
+  /// Returns the slot to the free list once its queue entry has been popped.
+  /// Only the simulator calls this — a slot is owned by exactly one entry.
+  void retire(std::uint32_t index) noexcept {
+    assert(index < slots_.size());
+    slots_[index].alive = false;
+    ++slots_[index].generation;
+    free_.push_back(index);
+  }
+
+  /// Number of slots ever created (capacity watermark, for tests).
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::uint32_t generation = 0;
+    bool alive = false;
+  };
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+};
+
 /// Handle to a scheduled event; cancel() is idempotent.
 class EventHandle {
  public:
@@ -26,22 +89,24 @@ class EventHandle {
 
   /// Logically removes the event; a cancelled event never fires.
   void cancel() const {
-    if (alive_) *alive_ = false;
+    if (slab_) slab_->cancel(ticket_);
   }
 
   /// True when the event is still pending (not fired, not cancelled).
-  [[nodiscard]] bool pending() const noexcept { return alive_ && *alive_; }
+  [[nodiscard]] bool pending() const noexcept { return slab_ && slab_->alive(ticket_); }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(std::shared_ptr<EventSlab> slab, EventSlab::Ticket ticket)
+      : slab_(std::move(slab)), ticket_(ticket) {}
+  std::shared_ptr<EventSlab> slab_;  // shared with the simulator, not per-event
+  EventSlab::Ticket ticket_;
 };
 
 /// The event-driven simulator: a clock plus a priority queue of closures.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() : slab_(std::make_shared<EventSlab>()) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -67,12 +132,15 @@ class Simulator {
   /// Number of events currently pending (including cancelled-but-unpopped).
   [[nodiscard]] std::size_t queue_size() const noexcept { return queue_.size(); }
 
+  /// Liveness slab (exposed for allocation-churn tests).
+  [[nodiscard]] const EventSlab& slab() const noexcept { return *slab_; }
+
  private:
   struct Entry {
     Time at;
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
     std::function<void()> fn;
-    std::shared_ptr<bool> alive;
+    EventSlab::Ticket ticket;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
@@ -84,6 +152,7 @@ class Simulator {
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::shared_ptr<EventSlab> slab_;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 

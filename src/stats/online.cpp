@@ -28,6 +28,12 @@ double OnlineMoments::cv() const noexcept {
   return mean_ == 0.0 ? 0.0 : stddev() / mean_;
 }
 
+double OnlineMoments::stderr_mean() const noexcept {
+  return n_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double OnlineMoments::ci_halfwidth(double z) const noexcept { return z * stderr_mean(); }
+
 void OnlineMoments::merge(const OnlineMoments& other) noexcept {
   if (other.n_ == 0) return;
   if (n_ == 0) {

@@ -18,6 +18,11 @@ class OnlineMoments {
   [[nodiscard]] double stddev() const noexcept;
   /// Coefficient of variation stddev/mean; 0 when mean is 0.
   [[nodiscard]] double cv() const noexcept;
+  /// Standard error of the mean stddev/sqrt(n); 0 when fewer than two samples.
+  [[nodiscard]] double stderr_mean() const noexcept;
+  /// Half-width of the normal-approximation confidence interval on the mean;
+  /// z = 1.96 gives the usual 95% interval. 0 when fewer than two samples.
+  [[nodiscard]] double ci_halfwidth(double z = 1.96) const noexcept;
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
   [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }

@@ -1,0 +1,110 @@
+#include "testbed/batch.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace ebrc::testbed {
+
+std::vector<Scenario> replicate(const Scenario& base, std::uint64_t root_seed, int reps) {
+  if (reps < 1) throw std::invalid_argument("replicate: reps must be >= 1");
+  std::vector<Scenario> out;
+  out.reserve(static_cast<std::size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    Scenario s = base;
+    // Seed from (root, name, rep) only: adding replications or reordering the
+    // batch never perturbs another replication's sample path.
+    s.seed = sim::hash_seed(root_seed, base.name + "#rep" + std::to_string(rep));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+const stats::OnlineMoments& BatchResult::metric(const std::string& name) const {
+  const auto it = metrics.find(name);
+  if (it == metrics.end()) {
+    std::string msg = "BatchResult: no metric '" + name + "' (known:";
+    for (const auto& [k, v] : metrics) {
+      (void)v;
+      msg += " " + k;
+    }
+    msg += ")";
+    throw std::out_of_range(msg);
+  }
+  return it->second;
+}
+
+BatchResult aggregate(const std::vector<ExperimentResult>& runs) {
+  BatchResult out;
+  out.runs = runs.size();
+  for (const auto& r : runs) {
+    out.metrics["tfrc_throughput"].add(r.tfrc_throughput);
+    out.metrics["tcp_throughput"].add(r.tcp_throughput);
+    out.metrics["tfrc_p"].add(r.tfrc_p);
+    out.metrics["tcp_p"].add(r.tcp_p);
+    out.metrics["poisson_p"].add(r.poisson_p);
+    out.metrics["tfrc_rtt"].add(r.tfrc_rtt);
+    out.metrics["tcp_rtt"].add(r.tcp_rtt);
+    out.metrics["bottleneck_utilization"].add(r.bottleneck_utilization);
+    out.metrics["conservativeness"].add(r.breakdown.conservativeness);
+    out.metrics["loss_rate_ratio"].add(r.breakdown.loss_rate_ratio);
+    out.metrics["rtt_ratio"].add(r.breakdown.rtt_ratio);
+    out.metrics["tcp_formula_ratio"].add(r.breakdown.tcp_formula_ratio);
+    out.metrics["friendliness"].add(r.breakdown.friendliness);
+  }
+  return out;
+}
+
+BatchRunner::BatchRunner(std::size_t jobs) : jobs_(jobs) {
+  if (jobs_ == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs_ = hw > 0 ? hw : 1;
+  }
+}
+
+void BatchRunner::for_indices(std::size_t n, const std::function<void(std::size_t)>& body) const {
+  if (n == 0) return;
+  const std::size_t workers = std::min(jobs_, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      // Stop claiming work once any index has thrown: a failing batch should
+      // rethrow in one run's time, not after finishing the whole sweep.
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scenarios) const {
+  return map<ExperimentResult>(scenarios.size(),
+                               [&](std::size_t i) { return run_experiment(scenarios[i]); });
+}
+
+BatchResult BatchRunner::run_aggregate(const std::vector<Scenario>& scenarios) const {
+  return aggregate(run(scenarios));
+}
+
+}  // namespace ebrc::testbed

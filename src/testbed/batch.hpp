@@ -1,0 +1,91 @@
+// Batch execution engine: fans a vector of scenarios (scenarios × seeds) out
+// across a bounded team of worker threads and aggregates the per-run
+// metrics. Workers are spawned per run()/map() call and joined before it
+// returns — there is no persistent pool, so a BatchRunner is cheap to
+// construct and carries no state beyond its job count. Every run owns its Simulator and Rng, and every Scenario carries a
+// seed assigned BEFORE the batch is launched (see replicate() and the sweep
+// generators in scenario_registry.hpp), so per-run results are bit-identical
+// regardless of how many workers the pool has — --jobs only changes
+// wall-clock time, never numbers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stats/online.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/scenario.hpp"
+
+namespace ebrc::testbed {
+
+/// Expands `base` into `reps` replications whose seeds are derived
+/// deterministically from `root_seed` and the replication index (not from the
+/// scenario's own seed field, which is overwritten).
+[[nodiscard]] std::vector<Scenario> replicate(const Scenario& base, std::uint64_t root_seed,
+                                              int reps);
+
+/// Per-metric summary of a batch: mean/stddev/CI across runs via
+/// stats::OnlineMoments. Metric keys are the ExperimentResult aggregate names
+/// ("tfrc_throughput", "friendliness", "conservativeness", ...).
+struct BatchResult {
+  std::size_t runs = 0;
+  std::map<std::string, stats::OnlineMoments> metrics;
+
+  /// Accumulator for `name`; throws std::out_of_range with the known keys
+  /// listed when the metric was never recorded.
+  [[nodiscard]] const stats::OnlineMoments& metric(const std::string& name) const;
+  [[nodiscard]] double mean(const std::string& name) const { return metric(name).mean(); }
+  /// 95% normal-approximation half-width on the mean of `name`.
+  [[nodiscard]] double ci(const std::string& name) const {
+    return metric(name).ci_halfwidth();
+  }
+};
+
+/// Folds the per-run aggregates (and four-way breakdown) of `runs` into one
+/// BatchResult. Runs with a zero metric still contribute zeros — callers that
+/// want "valid runs only" should filter first.
+[[nodiscard]] BatchResult aggregate(const std::vector<ExperimentResult>& runs);
+
+/// Bounded parallel executor over self-contained simulation runs; at most
+/// `jobs` worker threads live at a time, spawned per call.
+class BatchRunner {
+ public:
+  /// `jobs` = 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit BatchRunner(std::size_t jobs = 0);
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+  /// Runs every scenario through run_experiment(); results in input order.
+  [[nodiscard]] std::vector<ExperimentResult> run(const std::vector<Scenario>& scenarios) const;
+
+  /// run() followed by aggregate().
+  [[nodiscard]] BatchResult run_aggregate(const std::vector<Scenario>& scenarios) const;
+
+  /// Deterministic parallel map: evaluates fn(i) for i in [0, n) across the
+  /// pool and returns the results in index order. fn must be self-contained
+  /// (its own Simulator/Rng/loss process) — it runs concurrently with other
+  /// indices. The first exception thrown by any fn is rethrown here after
+  /// all workers have stopped.
+  template <typename T>
+  [[nodiscard]] std::vector<T> map(std::size_t n,
+                                   const std::function<T(std::size_t)>& fn) const {
+    std::vector<T> out(n);
+    for_indices(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  /// Shared work-queue driver behind run() and map().
+  void for_indices(std::size_t n, const std::function<void(std::size_t)>& body) const;
+
+  std::size_t jobs_;
+};
+
+}  // namespace ebrc::testbed

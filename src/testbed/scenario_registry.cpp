@@ -1,0 +1,117 @@
+#include "testbed/scenario_registry.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+#include "testbed/batch.hpp"
+#include "testbed/wan_paths.hpp"
+
+namespace ebrc::testbed {
+
+void ScenarioRegistry::add(const std::string& name, const std::string& description,
+                           Factory factory) {
+  if (!factory) throw std::invalid_argument("ScenarioRegistry::add: null factory for " + name);
+  if (!entries_.emplace(name, Entry{description, std::move(factory)}).second) {
+    throw std::invalid_argument("ScenarioRegistry::add: duplicate scenario '" + name + "'");
+  }
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+Scenario ScenarioRegistry::make(const std::string& name, std::uint64_t seed) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string msg = "ScenarioRegistry: unknown scenario '" + name + "' (registered:";
+    for (const auto& [k, e] : entries_) {
+      (void)e;
+      msg += " " + k;
+    }
+    msg += ")";
+    throw std::invalid_argument(msg);
+  }
+  return it->second.factory(seed);
+}
+
+const std::string& ScenarioRegistry::description(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("ScenarioRegistry: unknown scenario '" + name + "'");
+  }
+  return it->second.description;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, e] : entries_) {
+    (void)e;
+    out.push_back(k);
+  }
+  return out;
+}
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry reg = [] {
+    ScenarioRegistry r;
+    r.add("ns2", "paper ns-2 setup: 15 Mb/s RED, 1 TFRC + 1 TCP, L=8, comprehensive",
+          [](std::uint64_t seed) { return ns2_scenario(1, 1, 8, seed); });
+    r.add("lab-droptail-64", "lab hub: 10 Mb/s DropTail(64), 1 TFRC + 1 TCP",
+          [](std::uint64_t seed) { return lab_scenario(QueueKind::kDropTail, 64, 1, seed); });
+    r.add("lab-droptail-100", "lab hub: 10 Mb/s DropTail(100), 1 TFRC + 1 TCP",
+          [](std::uint64_t seed) { return lab_scenario(QueueKind::kDropTail, 100, 1, seed); });
+    r.add("lab-red", "lab hub: 10 Mb/s RED (tc parameters), 1 TFRC + 1 TCP",
+          [](std::uint64_t seed) { return lab_scenario(QueueKind::kRed, 100, 1, seed); });
+    for (const auto& path : table1_paths()) {
+      std::string lower = path.name;
+      for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      r.add("wan-" + lower,
+            "Table-I emulated path to " + path.name + ", 1 TFRC + 1 TCP + cross traffic",
+            [path](std::uint64_t seed) { return wan_scenario(path, 1, seed); });
+    }
+    return r;
+  }();
+  return reg;
+}
+
+std::vector<Scenario> sweep(const ScenarioRegistry& registry,
+                            const std::vector<std::string>& names, std::uint64_t root_seed,
+                            int reps) {
+  if (reps < 1) throw std::invalid_argument("sweep: reps must be >= 1");
+  std::vector<Scenario> out;
+  out.reserve(names.size() * static_cast<std::size_t>(reps));
+  for (const auto& name : names) {
+    // Delegate to replicate() so both batch entry points key seeds off
+    // Scenario::name — the same logical scenario gets the same sample paths
+    // whether the batch came from the registry or a hand-built Scenario.
+    const auto runs = replicate(registry.make(name, /*seed=*/0), root_seed, reps);
+    out.insert(out.end(), runs.begin(), runs.end());
+  }
+  return out;
+}
+
+std::vector<Scenario> grid_sweep(const ScenarioRegistry& registry, const std::string& name,
+                                 std::uint64_t root_seed, int reps,
+                                 const std::vector<double>& values,
+                                 const std::function<void(Scenario&, double)>& apply) {
+  if (reps < 1) throw std::invalid_argument("grid_sweep: reps must be >= 1");
+  if (!apply) throw std::invalid_argument("grid_sweep: null apply");
+  std::vector<Scenario> out;
+  out.reserve(values.size() * static_cast<std::size_t>(reps));
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    for (int rep = 0; rep < reps; ++rep) {
+      Scenario s = registry.make(name, /*seed=*/0);
+      apply(s, values[v]);
+      // Keyed off Scenario::name like replicate(), with the value index
+      // distinguishing grid points whose apply() does not rename.
+      s.seed = sim::hash_seed(root_seed, s.name + "#v" + std::to_string(v) + "#rep" +
+                                             std::to_string(rep));
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace ebrc::testbed

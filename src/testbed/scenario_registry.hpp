@@ -1,0 +1,75 @@
+// Named scenario factories and sweep generators.
+//
+// The registry maps a stable name ("ns2", "lab-red", "wan-umelb", ...) to a
+// factory producing the corresponding Scenario for a given seed. Benches,
+// tests, and future drivers address experiment setups by name instead of
+// hand-constructing them, and the sweep generators expand (names × reps) or
+// (parameter grid × reps) into the flat std::vector<Scenario> that
+// BatchRunner consumes — with every seed derived up front from the root seed,
+// so batches stay deterministic under any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "testbed/scenario.hpp"
+
+namespace ebrc::testbed {
+
+class ScenarioRegistry {
+ public:
+  using Factory = std::function<Scenario(std::uint64_t seed)>;
+
+  /// Registers `factory` under `name`; throws std::invalid_argument on a
+  /// duplicate name.
+  void add(const std::string& name, const std::string& description, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Builds the named scenario; unknown names throw with the registered
+  /// names listed.
+  [[nodiscard]] Scenario make(const std::string& name, std::uint64_t seed) const;
+
+  [[nodiscard]] const std::string& description(const std::string& name) const;
+
+  /// Registered names in sorted order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// The paper's setups, preloaded:
+  ///   ns2                      Section V-A.2 (15 Mb/s RED, 1 TFRC + 1 TCP)
+  ///   lab-droptail-64          Section V-A.3 lab hub, DropTail(64)
+  ///   lab-droptail-100         ... DropTail(100)
+  ///   lab-red                  ... lab RED parameters
+  ///   wan-inria|kth|umass|umelb  the Table-I emulated paths (1 flow each)
+  [[nodiscard]] static const ScenarioRegistry& builtin();
+
+ private:
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Expands names × reps into a flat batch (name-major, replication-minor),
+/// seeding each run from (root_seed, name, rep).
+[[nodiscard]] std::vector<Scenario> sweep(const ScenarioRegistry& registry,
+                                          const std::vector<std::string>& names,
+                                          std::uint64_t root_seed, int reps);
+
+/// Parameterized sweep over one named scenario: for every value in `values`
+/// and every replication, builds the scenario and applies
+/// `apply(scenario, value)`. Seeds depend on (root_seed, name, value index,
+/// rep), never on batch order, so extending the grid does not perturb
+/// existing points. Layout is value-major: index = v * reps + rep.
+[[nodiscard]] std::vector<Scenario> grid_sweep(
+    const ScenarioRegistry& registry, const std::string& name, std::uint64_t root_seed,
+    int reps, const std::vector<double>& values,
+    const std::function<void(Scenario&, double)>& apply);
+
+}  // namespace ebrc::testbed

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace ebrc::util {
@@ -54,7 +55,36 @@ double Cli::get(const std::string& name, double fallback) const {
 int Cli::get(const std::string& name, int fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end() || !it->second) return fallback;
-  return std::stoi(*it->second);
+  const std::string& v = *it->second;
+  // Whole-token parse: std::stoi would silently read "1e2" as 1.
+  try {
+    std::size_t pos = 0;
+    const long long parsed = std::stoll(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument("trailing characters");
+    if (parsed < std::numeric_limits<int>::min() ||
+        parsed > std::numeric_limits<int>::max()) {
+      throw std::out_of_range("out of int range");
+    }
+    return static_cast<int>(parsed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" + v + "'");
+  }
+}
+
+std::uint64_t Cli::get(const std::string& name, std::uint64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || !it->second) return fallback;
+  const std::string& v = *it->second;
+  try {
+    if (!v.empty() && v[0] == '-') throw std::invalid_argument("negative");
+    std::size_t pos = 0;
+    const unsigned long long parsed = std::stoull(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument("trailing characters");
+    return static_cast<std::uint64_t>(parsed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an unsigned 64-bit integer, got '" +
+                                v + "'");
+  }
 }
 
 bool Cli::get(const std::string& name, bool fallback) const {
@@ -76,7 +106,13 @@ void Cli::finish() const {
   for (const auto& [name, value] : flags_) {
     (void)value;
     if (std::find(known_.begin(), known_.end(), name) == known_.end()) {
-      throw std::invalid_argument("unknown flag --" + name);
+      std::string msg = "unknown flag --" + name;
+      if (!known_.empty()) {
+        msg += " (known flags:";
+        for (const auto& k : known_) msg += " --" + k;
+        msg += ")";
+      }
+      throw std::invalid_argument(msg);
     }
   }
 }

@@ -5,6 +5,7 @@
 // default configuration.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -24,6 +25,9 @@ class Cli {
   [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
   [[nodiscard]] double get(const std::string& name, double fallback) const;
   [[nodiscard]] int get(const std::string& name, int fallback) const;
+  /// Full-width unsigned parse (seeds are 64-bit; the int overload would
+  /// truncate or throw on values past 2^31).
+  [[nodiscard]] std::uint64_t get(const std::string& name, std::uint64_t fallback) const;
   [[nodiscard]] bool get(const std::string& name, bool fallback) const;
 
   /// Positional (non-flag) arguments in order of appearance.

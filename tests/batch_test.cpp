@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "testbed/batch.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/scenario_registry.hpp"
+
+namespace {
+
+using ebrc::testbed::BatchRunner;
+using ebrc::testbed::ExperimentResult;
+using ebrc::testbed::Scenario;
+using ebrc::testbed::ScenarioRegistry;
+
+Scenario short_ns2(std::uint64_t seed) {
+  auto s = ebrc::testbed::ns2_scenario(1, 1, 8, seed);
+  s.duration_s = 6.0;
+  s.warmup_s = 1.0;
+  return s;
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.scenario_name, b.scenario_name);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].kind, b.flows[i].kind);
+    EXPECT_EQ(a.flows[i].loss_events, b.flows[i].loss_events);
+    // Bit-identical, not merely close: the thread count must not leak into
+    // any run's sample path.
+    EXPECT_DOUBLE_EQ(a.flows[i].throughput_pps, b.flows[i].throughput_pps);
+    EXPECT_DOUBLE_EQ(a.flows[i].p, b.flows[i].p);
+    EXPECT_DOUBLE_EQ(a.flows[i].mean_rtt_s, b.flows[i].mean_rtt_s);
+    EXPECT_DOUBLE_EQ(a.flows[i].normalized, b.flows[i].normalized);
+  }
+  EXPECT_DOUBLE_EQ(a.tfrc_throughput, b.tfrc_throughput);
+  EXPECT_DOUBLE_EQ(a.tcp_throughput, b.tcp_throughput);
+  EXPECT_DOUBLE_EQ(a.bottleneck_utilization, b.bottleneck_utilization);
+  EXPECT_DOUBLE_EQ(a.breakdown.friendliness, b.breakdown.friendliness);
+  EXPECT_DOUBLE_EQ(a.breakdown.conservativeness, b.breakdown.conservativeness);
+}
+
+TEST(BatchRunner, JobCountDoesNotChangeResults) {
+  // The acceptance bar of the batch engine: >= 8 replications of the ns-2
+  // scenario, --jobs=8 bit-identical to --jobs=1.
+  const auto batch = ebrc::testbed::replicate(short_ns2(0), /*root_seed=*/42, /*reps=*/8);
+  const auto serial = BatchRunner(1).run(batch);
+  const auto parallel = BatchRunner(8).run(batch);
+  ASSERT_EQ(serial.size(), 8u);
+  ASSERT_EQ(parallel.size(), 8u);
+  for (std::size_t i = 0; i < serial.size(); ++i) expect_identical(serial[i], parallel[i]);
+}
+
+TEST(BatchRunner, ReplicationsUseDistinctDerivedSeeds) {
+  const auto batch = ebrc::testbed::replicate(short_ns2(0), 42, 8);
+  std::set<std::uint64_t> seeds;
+  for (const auto& s : batch) seeds.insert(s.seed);
+  EXPECT_EQ(seeds.size(), 8u);
+  // Prefix property: asking for fewer replications yields the same leading
+  // seeds, so growing a sweep never perturbs existing runs.
+  const auto fewer = ebrc::testbed::replicate(short_ns2(0), 42, 3);
+  for (std::size_t i = 0; i < fewer.size(); ++i) EXPECT_EQ(fewer[i].seed, batch[i].seed);
+  // And a different root seed moves every replication.
+  const auto other_root = ebrc::testbed::replicate(short_ns2(0), 43, 8);
+  for (std::size_t i = 0; i < other_root.size(); ++i) {
+    EXPECT_NE(other_root[i].seed, batch[i].seed);
+  }
+}
+
+TEST(BatchRunner, MapPreservesIndexOrder) {
+  BatchRunner runner(4);
+  const auto out = runner.map<std::size_t>(100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(BatchRunner, PropagatesWorkerExceptions) {
+  BatchRunner runner(4);
+  const std::function<int(std::size_t)> boom = [](std::size_t i) -> int {
+    if (i == 7) throw std::runtime_error("boom");
+    return 0;
+  };
+  EXPECT_THROW((void)runner.map<int>(16, boom), std::runtime_error);
+}
+
+TEST(BatchRunner, ZeroJobsPicksHardwareConcurrency) {
+  EXPECT_GE(BatchRunner(0).jobs(), 1u);
+  EXPECT_EQ(BatchRunner(3).jobs(), 3u);
+}
+
+TEST(BatchResult, AggregatesMeanAndCi) {
+  std::vector<ExperimentResult> runs(3);
+  runs[0].breakdown.friendliness = 1.0;
+  runs[1].breakdown.friendliness = 2.0;
+  runs[2].breakdown.friendliness = 3.0;
+  const auto agg = ebrc::testbed::aggregate(runs);
+  EXPECT_EQ(agg.runs, 3u);
+  EXPECT_DOUBLE_EQ(agg.mean("friendliness"), 2.0);
+  EXPECT_DOUBLE_EQ(agg.metric("friendliness").stddev(), 1.0);
+  EXPECT_NEAR(agg.ci("friendliness"), 1.96 / std::sqrt(3.0), 1e-12);
+  EXPECT_THROW((void)agg.metric("no-such-metric"), std::out_of_range);
+}
+
+TEST(Replicate, RejectsNonPositiveReps) {
+  EXPECT_THROW((void)ebrc::testbed::replicate(short_ns2(0), 1, 0), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, BuiltinNamesConstructAndRun) {
+  // Registry round-trip: every registered scenario constructs and completes
+  // a short horizon through the batch engine.
+  const auto& reg = ScenarioRegistry::builtin();
+  const auto names = reg.names();
+  ASSERT_GE(names.size(), 8u);
+  EXPECT_TRUE(reg.contains("ns2"));
+  EXPECT_TRUE(reg.contains("lab-red"));
+  EXPECT_TRUE(reg.contains("wan-umelb"));
+
+  std::vector<Scenario> batch;
+  for (const auto& name : names) {
+    auto s = reg.make(name, /*seed=*/7);
+    s.duration_s = 4.0;
+    s.warmup_s = 1.0;
+    batch.push_back(std::move(s));
+  }
+  const auto results = BatchRunner(4).run(batch);
+  ASSERT_EQ(results.size(), names.size());
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.scenario_name.empty());
+    EXPECT_FALSE(r.flows.empty());
+    EXPECT_GT(r.bottleneck_utilization, 0.0);
+  }
+}
+
+TEST(ScenarioRegistry, UnknownNameListsRegistered) {
+  try {
+    (void)ScenarioRegistry::builtin().make("nope", 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nope"), std::string::npos);
+    EXPECT_NE(msg.find("ns2"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, RejectsDuplicatesAndNullFactories) {
+  ScenarioRegistry reg;
+  reg.add("a", "first", [](std::uint64_t seed) { return short_ns2(seed); });
+  EXPECT_THROW(reg.add("a", "again", [](std::uint64_t seed) { return short_ns2(seed); }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add("b", "null", nullptr), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, SweepExpandsNamesByReps) {
+  const auto& reg = ScenarioRegistry::builtin();
+  const auto batch = ebrc::testbed::sweep(reg, {"ns2", "lab-red"}, /*root_seed=*/5, /*reps=*/3);
+  ASSERT_EQ(batch.size(), 6u);
+  std::set<std::uint64_t> seeds;
+  for (const auto& s : batch) seeds.insert(s.seed);
+  EXPECT_EQ(seeds.size(), 6u);  // every (name, rep) pair gets its own stream
+  EXPECT_EQ(batch[0].name, batch[1].name);
+  EXPECT_NE(batch[0].name, batch[3].name);
+}
+
+TEST(ScenarioRegistry, SweepSeedsMatchReplicateForTheSameScenario) {
+  // The two batch entry points must key seeds identically, or the planned
+  // (scenario, seed) result cache would miss on equivalent runs.
+  const auto& reg = ScenarioRegistry::builtin();
+  const auto via_sweep = ebrc::testbed::sweep(reg, {"ns2"}, 42, 3);
+  const auto via_replicate = ebrc::testbed::replicate(reg.make("ns2", 0), 42, 3);
+  ASSERT_EQ(via_sweep.size(), via_replicate.size());
+  for (std::size_t i = 0; i < via_sweep.size(); ++i) {
+    EXPECT_EQ(via_sweep[i].seed, via_replicate[i].seed);
+    EXPECT_EQ(via_sweep[i].name, via_replicate[i].name);
+  }
+}
+
+TEST(ScenarioRegistry, GridSweepAppliesValuesDeterministically) {
+  const auto& reg = ScenarioRegistry::builtin();
+  const auto apply = [](Scenario& s, double v) { s.n_tcp = static_cast<int>(v); };
+  const auto a = ebrc::testbed::grid_sweep(reg, "ns2", 9, 2, {1.0, 4.0}, apply);
+  const auto b = ebrc::testbed::grid_sweep(reg, "ns2", 9, 2, {1.0, 4.0}, apply);
+  ASSERT_EQ(a.size(), 4u);  // value-major: index = v * reps + rep
+  EXPECT_EQ(a[0].n_tcp, 1);
+  EXPECT_EQ(a[3].n_tcp, 4);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].seed, b[i].seed);
+  EXPECT_NE(a[0].seed, a[1].seed);
+  EXPECT_NE(a[1].seed, a[2].seed);
+}
+
+}  // namespace

@@ -70,6 +70,58 @@ TEST(Simulator, EventsCanScheduleEvents) {
   EXPECT_DOUBLE_EQ(s.now(), 10.0);
 }
 
+TEST(Simulator, SlabRecyclesSlotsInsteadOfGrowing) {
+  // The pooled liveness slab: a long chain of schedule/fire cycles must reuse
+  // a bounded set of slots, not allocate one per event.
+  Simulator s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 1000) s.schedule(0.001, chain);
+  };
+  s.schedule(0.001, chain);
+  s.run();
+  EXPECT_EQ(count, 1000);
+  EXPECT_LE(s.slab().capacity(), 4u);
+}
+
+TEST(Simulator, StaleHandleDoesNotCancelRecycledSlot) {
+  Simulator s;
+  bool first_fired = false, second_fired = false;
+  EventHandle h1 = s.schedule(1.0, [&] { first_fired = true; });
+  s.run_until(2.0);
+  EXPECT_TRUE(first_fired);
+  EXPECT_FALSE(h1.pending());
+  // The next event reuses h1's slot under a new generation; cancelling the
+  // stale handle must not touch it.
+  EventHandle h2 = s.schedule(1.0, [&] { second_fired = true; });
+  h1.cancel();
+  EXPECT_TRUE(h2.pending());
+  s.run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(Simulator, HandleReportsNotPendingInsideOwnCallback) {
+  Simulator s;
+  EventHandle h;
+  bool pending_inside = true;
+  h = s.schedule(1.0, [&] { pending_inside = h.pending(); });
+  s.run();
+  EXPECT_FALSE(pending_inside);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator s;
+  EventHandle h = s.schedule(1.0, [] {});
+  h.cancel();
+  h.cancel();  // idempotent
+  s.run();
+  h.cancel();  // safe after the queue drained
+  EXPECT_FALSE(h.pending());
+  EventHandle default_constructed;
+  default_constructed.cancel();  // no slab attached: no-op
+  EXPECT_FALSE(default_constructed.pending());
+}
+
 TEST(Simulator, RejectsPastScheduling) {
   Simulator s;
   s.schedule(1.0, [] {});

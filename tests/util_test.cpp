@@ -59,6 +59,45 @@ TEST(Cli, UnknownFlagRejected) {
   EXPECT_THROW(cli.finish(), std::invalid_argument);
 }
 
+TEST(Cli, UnknownFlagErrorListsKnownFlags) {
+  const char* argv[] = {"prog", "--oops"};
+  Cli cli(2, argv);
+  cli.know("seed").know("jobs");
+  try {
+    cli.finish();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--oops"), std::string::npos);
+    EXPECT_NE(msg.find("--seed"), std::string::npos);
+    EXPECT_NE(msg.find("--jobs"), std::string::npos);
+  }
+}
+
+TEST(Cli, Uint64SeedSurvivesFullRange) {
+  // 2^63 + 11 would truncate or throw through the int overload.
+  const char* argv[] = {"prog", "--seed=9223372036854775819"};
+  Cli cli(2, argv);
+  EXPECT_EQ(cli.get("seed", std::uint64_t{1}), 9223372036854775819ull);
+  EXPECT_EQ(cli.get("absent", std::uint64_t{7}), 7ull);
+}
+
+TEST(Cli, IntRejectsPartialParses) {
+  // std::stoi would read "1e2" as 1; the strict parse must reject it.
+  const char* argv[] = {"prog", "--reps=1e2", "--jobs=2x", "--n=7"};
+  Cli cli(4, argv);
+  EXPECT_THROW((void)cli.get("reps", 1), std::invalid_argument);
+  EXPECT_THROW((void)cli.get("jobs", 0), std::invalid_argument);
+  EXPECT_EQ(cli.get("n", 0), 7);
+}
+
+TEST(Cli, Uint64RejectsGarbageAndNegatives) {
+  const char* argv[] = {"prog", "--a=-3", "--b=12x"};
+  Cli cli(3, argv);
+  EXPECT_THROW((void)cli.get("a", std::uint64_t{0}), std::invalid_argument);
+  EXPECT_THROW((void)cli.get("b", std::uint64_t{0}), std::invalid_argument);
+}
+
 TEST(Cli, KnownFlagsPass) {
   const char* argv[] = {"prog", "--fine=1"};
   Cli cli(2, argv);
