@@ -134,6 +134,35 @@ inline std::vector<testbed::Scenario> wan_batch(const std::vector<testbed::WanPa
   return batch;
 }
 
+/// The ns-2 figures' shared batch layout: an (L × population) grid of
+/// ns2_scenario cells with the figure's duration (warmup = duration/5),
+/// expanded to `reps` replications per cell. L-major, population-middle,
+/// replication-minor — the result for grid point (L_idx, pop_idx),
+/// replication rep sits at index ((L_idx * populations.size()) + pop_idx) *
+/// reps + rep. Cell scenarios are named uniquely ("…-L8-n16") so
+/// replicate()'s (root, name, rep) seed derivation gives every cell
+/// independent streams; `customize` (may be null) tweaks the base scenario
+/// before replication (e.g. fig07's poisson probes).
+inline std::vector<testbed::Scenario> ns2_batch(
+    const std::vector<std::size_t>& windows, const std::vector<int>& populations,
+    double duration, std::uint64_t root_seed, int reps,
+    const std::function<void(testbed::Scenario&)>& customize = nullptr) {
+  std::vector<testbed::Scenario> batch;
+  batch.reserve(windows.size() * populations.size() * static_cast<std::size_t>(reps));
+  for (std::size_t L : windows) {
+    for (int n : populations) {
+      testbed::Scenario base = testbed::ns2_scenario(n, n, L, /*seed=*/0);
+      base.name += "-L" + std::to_string(L) + "-n" + std::to_string(n);
+      base.duration_s = duration;
+      base.warmup_s = duration / 5.0;
+      if (customize) customize(base);
+      const auto runs = testbed::replicate(base, root_seed, reps);
+      batch.insert(batch.end(), runs.begin(), runs.end());
+    }
+  }
+  return batch;
+}
+
 /// Writes the table to CSV when --csv was given.
 inline void maybe_csv(const BenchArgs& args, const std::vector<std::string>& header,
                       const std::vector<std::vector<double>>& rows) {

@@ -4,48 +4,54 @@
 // cov[theta_0, hat-theta_0] p^2 versus p (condition C1's empirical check).
 // The loss-event rate is swept by varying the number of competing
 // connections; series for L in {2, 4, 8, 16}.
-#include <map>
-
+//
+// The (L × population × rep) grid is expanded up front and fanned out
+// through BatchRunner; per-flow scatter is pooled over every flow of every
+// replication of a cell, and per-run numbers depend only on --seed.
 #include "bench_common.hpp"
+#include "testbed/batch.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
   args.cli.finish();
   bench::banner("Figure 5", "TFRC normalized throughput and cov*p^2 vs p (RED dumbbell)");
+  bench::batch_note(args);
 
   const std::vector<std::size_t> windows{2, 4, 8, 16};
   const std::vector<int> populations =
       args.full ? std::vector<int>{2, 4, 8, 16, 32, 64} : std::vector<int>{2, 6, 16, 40};
   const double duration = args.seconds(120.0, 600.0);
 
+  // One flat batch over the whole (L × population × rep) grid.
+  const auto batch = bench::ns2_batch(windows, populations, duration, args.seed, args.reps);
+  const auto results = args.runner().run(batch);
+
   util::Table t({"L", "N (tfrc+tcp each)", "p (tfrc)", "x/f(p,r)", "cov*p^2", "events"});
   std::vector<std::vector<double>> csv_rows;
+  std::size_t idx = 0;
   for (std::size_t L : windows) {
     for (int n : populations) {
-      testbed::Scenario s = testbed::ns2_scenario(n, n, L, args.seed + n * 131 + L);
-      s.duration_s = duration;
-      s.warmup_s = duration / 5.0;
-      const auto r = testbed::run_experiment(s);
-      // Pool the per-flow scatter the paper plots into the population means.
-      double p_sum = 0, norm_sum = 0, cov_sum = 0, events = 0;
-      int count = 0;
-      for (const auto* f : r.of_kind("tfrc")) {
-        if (f->p <= 0) continue;
-        p_sum += f->p;
-        norm_sum += f->normalized;
-        cov_sum += f->normalized_cov;
-        events += static_cast<double>(f->loss_events);
-        ++count;
+      // Pool the per-flow scatter the paper plots into the cell mean, across
+      // every replication of the cell.
+      stats::OnlineMoments p_m, norm_m, cov_m, events_m;
+      for (int rep = 0; rep < args.reps; ++rep) {
+        const auto& r = results[idx++];
+        for (const auto* f : r.of_kind("tfrc")) {
+          if (f->p <= 0) continue;
+          p_m.add(f->p);
+          norm_m.add(f->normalized);
+          cov_m.add(f->normalized_cov);
+          events_m.add(static_cast<double>(f->loss_events));
+        }
       }
-      if (count == 0) continue;
-      const double inv = 1.0 / count;
-      t.row({static_cast<double>(L), static_cast<double>(n), p_sum * inv, norm_sum * inv,
-             cov_sum * inv, events * inv});
-      csv_rows.push_back({static_cast<double>(L), static_cast<double>(n), p_sum * inv,
-                          norm_sum * inv, cov_sum * inv});
+      if (p_m.count() == 0) continue;
+      t.row({static_cast<double>(L), static_cast<double>(n), p_m.mean(), norm_m.mean(),
+             cov_m.mean(), events_m.mean()});
+      csv_rows.push_back({static_cast<double>(L), static_cast<double>(n), p_m.mean(),
+                          norm_m.mean(), cov_m.mean()});
     }
   }
   t.print("\nTFRC flows on the paper's ns-2 RED bottleneck:");

@@ -4,41 +4,61 @@
 //
 // Claim 3 (many-sources regime): p' <= p <= p'', and the smoother the TFRC
 // (larger L), the larger its loss-event rate.
+//
+// The (L × population × rep) grid is fanned out through BatchRunner;
+// replications average with a 95% CI on p(TFRC) and per-run numbers depend
+// only on --seed.
 #include "bench_common.hpp"
 #include "core/many_sources.hpp"
 #include "loss/congestion_process.hpp"
 #include "model/throughput_function.hpp"
+#include "testbed/batch.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
   args.cli.finish();
   bench::banner("Figure 7", "loss-event rates of TFRC, TCP and Poisson vs #connections");
+  bench::batch_note(args);
 
   const std::vector<std::size_t> windows{2, 4, 8, 16};
   const std::vector<int> populations =
       args.full ? std::vector<int>{4, 8, 16, 32, 64, 128} : std::vector<int>{4, 12, 32};
   const double duration = args.seconds(150.0, 600.0);
 
-  util::Table t({"L", "total conns", "p' (TCP)", "p (TFRC)", "p'' (Poisson)", "p'<=p<=p''"});
+  const auto batch = bench::ns2_batch(windows, populations, duration, args.seed, args.reps,
+                                      [](testbed::Scenario& s) {
+                                        // low-rate probes measuring the ambient loss process
+                                        s.n_poisson = 2;
+                                        s.poisson_rate_pps = 10.0;
+                                      });
+  const auto results = args.runner().run(batch);
+
+  util::Table t(
+      {"L", "total conns", "p' (TCP)", "p (TFRC)", "ci95", "p'' (Poisson)", "p'<=p<=p''"});
   std::vector<std::vector<double>> csv_rows;
+  std::size_t idx = 0;
   for (std::size_t L : windows) {
     for (int n : populations) {
-      testbed::Scenario s = testbed::ns2_scenario(n, n, L, args.seed + 977 * n + L);
-      s.n_poisson = 2;  // low-rate probes measuring the ambient loss process
-      s.poisson_rate_pps = 10.0;
-      s.duration_s = duration;
-      s.warmup_s = duration / 5.0;
-      const auto r = testbed::run_experiment(s);
-      if (r.tfrc_p <= 0 || r.tcp_p <= 0 || r.poisson_p <= 0) continue;
-      const bool ordered = r.tcp_p <= r.tfrc_p * 1.05 && r.tfrc_p <= r.poisson_p * 1.05;
+      stats::OnlineMoments tcp_m, tfrc_m, poisson_m;
+      for (int rep = 0; rep < args.reps; ++rep) {
+        const auto& r = results[idx++];
+        if (r.tfrc_p <= 0 || r.tcp_p <= 0 || r.poisson_p <= 0) continue;
+        tcp_m.add(r.tcp_p);
+        tfrc_m.add(r.tfrc_p);
+        poisson_m.add(r.poisson_p);
+      }
+      if (tfrc_m.count() == 0) continue;
+      const bool ordered =
+          tcp_m.mean() <= tfrc_m.mean() * 1.05 && tfrc_m.mean() <= poisson_m.mean() * 1.05;
       t.row({util::fmt(static_cast<double>(L), 3), util::fmt(2.0 * n + 2, 4),
-             util::fmt(r.tcp_p, 4), util::fmt(r.tfrc_p, 4), util::fmt(r.poisson_p, 4),
+             util::fmt(tcp_m.mean(), 4), util::fmt(tfrc_m.mean(), 4),
+             util::fmt(tfrc_m.ci_halfwidth(), 3), util::fmt(poisson_m.mean(), 4),
              ordered ? "yes" : "no"});
-      csv_rows.push_back({static_cast<double>(L), 2.0 * n + 2, r.tfrc_p, r.tcp_p,
-                          r.poisson_p});
+      csv_rows.push_back({static_cast<double>(L), 2.0 * n + 2, tfrc_m.mean(), tcp_m.mean(),
+                          poisson_m.mean()});
     }
   }
   t.print("\nMeasured loss-event rates on the RED bottleneck:");

@@ -3,34 +3,47 @@
 // {2, 4, 8, 16}. Values above 1 mean TFRC out-competes TCP (non-TCP-
 // friendly) despite being conservative — the paper's demonstration that
 // conservativeness and TCP-friendliness are different properties.
+//
+// The (L × population × rep) grid is fanned out through BatchRunner;
+// replications average with a 95% CI on the ratio, and per-run numbers
+// depend only on --seed.
 #include "bench_common.hpp"
+#include "testbed/batch.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
   args.cli.finish();
   bench::banner("Figure 8", "TFRC/TCP throughput ratio vs #connections (RED dumbbell)");
+  bench::batch_note(args);
 
   const std::vector<std::size_t> windows{2, 4, 8, 16};
   const std::vector<int> populations =
       args.full ? std::vector<int>{2, 4, 8, 16, 32, 64, 128} : std::vector<int>{2, 8, 24};
   const double duration = args.seconds(150.0, 600.0);
 
-  util::Table t({"L", "total conns", "x(TFRC)/x(TCP)", "p'/p", "util"});
+  const auto batch = bench::ns2_batch(windows, populations, duration, args.seed, args.reps);
+  const auto results = args.runner().run(batch);
+
+  util::Table t({"L", "total conns", "x(TFRC)/x(TCP)", "ci95", "p'/p", "util"});
   std::vector<std::vector<double>> csv_rows;
+  std::size_t idx = 0;
   for (std::size_t L : windows) {
     for (int n : populations) {
-      testbed::Scenario s = testbed::ns2_scenario(n, n, L, args.seed + 31 * n + L);
-      s.duration_s = duration;
-      s.warmup_s = duration / 5.0;
-      const auto r = testbed::run_experiment(s);
-      if (r.breakdown.friendliness <= 0) continue;
-      t.row({static_cast<double>(L), 2.0 * n, r.breakdown.friendliness,
-             r.breakdown.loss_rate_ratio, r.bottleneck_utilization});
-      csv_rows.push_back({static_cast<double>(L), 2.0 * n, r.breakdown.friendliness,
-                          r.breakdown.loss_rate_ratio});
+      stats::OnlineMoments ratio_m, p_ratio_m, util_m;
+      for (int rep = 0; rep < args.reps; ++rep) {
+        const auto& r = results[idx++];
+        if (r.breakdown.friendliness <= 0) continue;
+        ratio_m.add(r.breakdown.friendliness);
+        p_ratio_m.add(r.breakdown.loss_rate_ratio);
+        util_m.add(r.bottleneck_utilization);
+      }
+      if (ratio_m.count() == 0) continue;
+      t.row({static_cast<double>(L), 2.0 * n, ratio_m.mean(), ratio_m.ci_halfwidth(),
+             p_ratio_m.mean(), util_m.mean()});
+      csv_rows.push_back({static_cast<double>(L), 2.0 * n, ratio_m.mean(), p_ratio_m.mean()});
     }
   }
   t.print("\nThroughput ratio x̄(TFRC)/x̄(TCP):");

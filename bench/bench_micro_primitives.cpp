@@ -30,6 +30,66 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
 
+// The capture-heavy variant: 48-byte captures land in the slab's wide slots
+// (inline, zero heap allocations) where the seed kernel's std::function paid
+// a malloc/free per event.
+void BM_EventQueueScheduleRunCaptureHeavy(benchmark::State& state) {
+  struct Big {
+    double a[6];
+  };
+  double sink = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    Big big{{1, 2, 3, 4, 5, 6}};
+    double* out = &sink;
+    for (int i = 0; i < state.range(0); ++i) {
+      big.a[0] = static_cast<double>(i);
+      sim.schedule(static_cast<double>(i % 97) * 1e-3, [out, big] { *out += big.a[0]; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRunCaptureHeavy)->Arg(1024)->Arg(16384);
+
+// Timer churn: arm, withdraw, re-arm — the TCP RTO / TFRC feedback-timer
+// pattern. Measures schedule+cancel and the slab's recycling of cancelled
+// slots (per item: two schedules, one cancel, one executed event).
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  int i = 0;
+  for (auto _ : state) {
+    auto h = sim.schedule(1.0 + static_cast<double>(i % 13) * 1e-3, [&fired] { ++fired; });
+    h.cancel();
+    sim.schedule(1e-4, [&fired] { ++fired; });
+    if (++i % 64 == 0) sim.run_until(sim.now() + 1e-3);  // drain in batches
+    benchmark::DoNotOptimize(fired);
+  }
+  sim.run();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleCancel);
+
+// Handle lifecycle traffic alone: copies, pending() queries, stale cancels.
+void BM_EventHandleChurn(benchmark::State& state) {
+  sim::Simulator sim;
+  sim::EventHandle handles[8];
+  int i = 0;
+  for (auto _ : state) {
+    handles[i & 7] = sim.schedule(1e-5, [] {});
+    const bool p = handles[(i + 4) & 7].pending();
+    handles[(i + 1) & 7].cancel();
+    if (++i % 32 == 0) sim.run_until(sim.now() + 1e-4);
+    benchmark::DoNotOptimize(p);
+  }
+  sim.run();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventHandleChurn);
+
 void BM_EstimatorPush(benchmark::State& state) {
   core::MovingAverageEstimator est(core::tfrc_weights(static_cast<std::size_t>(state.range(0))));
   est.seed(10.0);

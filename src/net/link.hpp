@@ -2,16 +2,20 @@
 // (the NIST-Net stand-in used to add propagation delay to a path).
 #pragma once
 
-#include <functional>
 #include <memory>
 
 #include "net/packet.hpp"
 #include "net/queue.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/simulator.hpp"
 
 namespace ebrc::net {
 
-using PacketHandler = std::function<void(const Packet&)>;
+/// Delivery callback. Handlers are registered once per link/flow and invoked
+/// on every packet, so they ride the same inline-storage callback type as the
+/// event kernel: captures up to 48 bytes (typically `this` or a component
+/// pointer) never touch the heap, and move-only captures are allowed.
+using PacketHandler = sim::InlineFunction<void(const Packet&), 48>;
 
 /// Serializes packets at `rate_bps`, then delivers them after `prop_delay_s`.
 /// Arriving packets pass through the queue discipline; drops are silent

@@ -6,34 +6,90 @@
 
 namespace ebrc::sim {
 
-EventHandle Simulator::schedule(Time delay, std::function<void()> fn) {
-  if (delay < 0) throw std::invalid_argument("Simulator::schedule: negative delay");
-  return schedule_at(now_ + delay, std::move(fn));
+namespace {
+// Heap size (in entries) above which sift-down child prefetching pays for
+// itself; ~8k 24-byte entries ≈ 192 KiB, the scale where the lower tree
+// levels start missing L2.
+constexpr std::size_t kPrefetchHeapSize = 8192;
+}  // namespace
+
+void Simulator::throw_negative_delay() {
+  throw std::invalid_argument("Simulator::schedule: negative delay");
 }
 
-EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
-  if (at < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
-  const EventSlab::Ticket ticket = slab_->acquire();
-  queue_.push(Entry{at, next_seq_++, std::move(fn), ticket});
-  return EventHandle{slab_, ticket};
+void Simulator::throw_past_time() {
+  throw std::invalid_argument("Simulator::schedule_at: time in the past");
+}
+
+void Simulator::pop_min() {
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  // Sift the hole at the root down along min children to a leaf, then bubble
+  // `last` back up from there. Compared to the textbook "compare the moved
+  // leaf at every level" descent this does the same number of child scans but
+  // drops the extra compare per level, and `last` — usually one of the
+  // largest keys, having sat at the bottom — rarely bubbles more than a step.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first + 4 > n) {
+      // Frontier level with fewer than 4 children (at most once); its
+      // children are the heap's last nodes, necessarily leaves.
+      if (first >= n) break;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < n; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      heap_[i] = heap_[best];
+      i = best;
+      break;
+    }
+    // Full fanout: pairwise min-of-4 as two independent compares plus a
+    // final, all selected with conditional moves on indices (no
+    // data-dependent branches — heap keys are adversarially unpredictable).
+    const std::size_t a = first + (earlier(heap_[first + 1], heap_[first]) ? 1 : 0);
+    const std::size_t b = first + 2 + (earlier(heap_[first + 3], heap_[first + 2]) ? 1 : 0);
+    const std::size_t best = earlier(heap_[b], heap_[a]) ? b : a;
+#if defined(__GNUC__) || defined(__clang__)
+    // Heaps past L2 leave the lower levels' children cold: start the next
+    // level's line in before descending. On cache-resident heaps the extra
+    // prefetch traffic only costs, so gate it on size (predictable branch).
+    if (n > kPrefetchHeapSize && 4 * best + 1 < n) __builtin_prefetch(&heap_[4 * best + 1]);
+#endif
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(last, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = last;
 }
 
 void Simulator::run_until(Time horizon) {
-  while (!queue_.empty() && queue_.top().at <= horizon) {
-    // priority_queue::top() is const; move out via const_cast as the entry is
-    // popped immediately after (standard idiom for move-out-of-heap).
-    Entry e = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    const bool live = slab_->alive(e.ticket);
-    // Recycle the slot before running: a handle must report !pending() from
-    // inside its own callback, and new events may reuse the slot under a
-    // fresh generation without confusing stale handles.
-    slab_->retire(e.ticket.index);
+  EventSlab* const slab = slab_;
+  while (!heap_.empty() && heap_.front().at <= horizon) {
+    const Entry e = heap_.front();
+    pop_min();
+    // The next event to run is already known (the new heap top): start
+    // pulling its callback line in while this event's callback executes.
+    if (!heap_.empty()) slab->prefetch(heap_.front().slot);
+    const bool live = slab->slot_live(e.slot);
+    // Move the callback out and recycle the slot before running: a handle
+    // must report !pending() from inside its own callback, and new events may
+    // reuse the slot under a fresh generation without confusing stale
+    // handles. (This also retires the old move-out-of-priority_queue
+    // const_cast idiom — the callback is owned by the slab, not the heap.)
+    EventFn fn = slab->retire(e.slot);
     if (!live) continue;  // cancelled
     assert(e.at >= now_);
     now_ = e.at;
     ++executed_;
-    e.fn();
+    fn();
   }
   if (now_ < horizon && std::isfinite(horizon)) now_ = horizon;
 }

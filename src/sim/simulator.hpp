@@ -6,29 +6,67 @@
 // but is skipped when popped), which is how pending retransmit timers and
 // feedback timers are withdrawn.
 //
-// Liveness tracking uses a pooled generation slab shared by the simulator and
-// its handles: scheduling recycles slots from a free list instead of paying a
-// heap allocation per event (the old shared_ptr<bool> design), which matters
-// on the hot path when BatchRunner drives one simulator per worker thread.
-// Each Simulator owns its own slab, so independent instances never share
-// mutable state and are safe to run concurrently on separate threads.
+// Hot-path layout (the kernel executes every packet, timer, and feedback
+// event of every experiment, so BatchRunner wall clock is mostly spent here):
+//
+//   - Callbacks are InlineFunction<void(), 56>: typical timer captures
+//     (`this` plus a few words, or a Packet pointer) are stored inline, so
+//     scheduling an event performs zero heap allocations. Only captures
+//     beyond 56 bytes fall back to a heap box (counted, see
+//     inline_function_heap_allocs()).
+//   - The priority queue is a hand-rolled 4-ary min-heap over 24-byte POD
+//     entries {time, seq, slot}. Sift operations move trivially copyable
+//     PODs — four children per node halves the tree depth and keeps the
+//     working set in two cache lines — while the callbacks themselves sit
+//     still inside the slab and are moved exactly once, out of the slot,
+//     when their entry is popped.
+//   - Liveness tracking uses a pooled generation slab shared by the
+//     simulator and its handles: scheduling recycles slots from a free list
+//     (the old shared_ptr<bool>-per-event design is long gone), and the slot
+//     now owns the callback storage too. Each Simulator owns its own slab,
+//     so independent instances are safe to run concurrently on separate
+//     threads.
+//
+// The observable semantics — (time, insertion-seq) execution order, cancel /
+// retire / generation behavior, handles reporting !pending() inside their
+// own callback — are bit-identical to the previous std::priority_queue
+// kernel; tests/golden_determinism_test.cpp pins that with an execution
+// order recorded from the old kernel.
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <type_traits>
 #include <vector>
+
+#include "sim/inline_function.hpp"
 
 namespace ebrc::sim {
 
 /// Simulated time, in seconds.
 using Time = double;
 
-/// Pool of event-liveness slots. A slot is identified by (index, generation);
+/// The kernel's callback type: captures up to 56 bytes are stored inline
+/// (one cache line per callback including the dispatch pointer).
+using EventFn = InlineFunction<void(), 56>;
+
+/// Pool of event slots. A slot is identified by (index, generation);
 /// retiring a slot bumps its generation, so handles to a recycled slot go
-/// stale instead of observing the next event that reuses it.
+/// stale instead of observing the next event that reuses it. The slot also
+/// owns its event's callback: the heap above it only shuffles POD entries.
+///
+/// Two layout decisions keep the pool cache-resident:
+///   - Structure-of-arrays: the 8-byte liveness metadata that cancel /
+///     pending checks touch lives in its own dense array, separate from the
+///     callback storage.
+///   - Two slot classes: callbacks whose state compresses to one word (a
+///     captureless lambda, a `this` capture, or an oversized capture's heap
+///     box pointer — i.e. almost every closure the protocols schedule) live
+///     in 16-byte "tiny" slots; only mid-sized captures (9..56 bytes) use a
+///     full cache line. With tens of thousands of events pending, the tiny
+///     pool is a quarter the footprint of a one-line-per-callback layout.
+/// Slot indices carry the class in their top bit.
 class EventSlab {
  public:
   struct Ticket {
@@ -36,56 +74,205 @@ class EventSlab {
     std::uint32_t generation = 0;
   };
 
-  /// Reserves a live slot, recycling a retired one when available.
-  Ticket acquire() {
-    if (!free_.empty()) {
-      const std::uint32_t idx = free_.back();
-      free_.pop_back();
-      slots_[idx].alive = true;
-      return {idx, slots_[idx].generation};
+  EventSlab() = default;
+  EventSlab(const EventSlab&) = delete;
+  EventSlab& operator=(const EventSlab&) = delete;
+
+  /// Tiny slots store compressed callbacks as raw words, so a heap-boxed
+  /// callable in a slot that was never retired (simulator destroyed with
+  /// events still pending) must be reclaimed here; wide slots destroy
+  /// themselves through ~EventFn.
+  ~EventSlab() {
+    std::vector<bool> retired(tiny_.size(), false);
+    for (const std::uint32_t i : tiny_free_) retired[i] = true;
+    for (std::size_t i = 0; i < tiny_.size(); ++i) {
+      if (!retired[i]) (void)EventFn::decompress(tiny_[i]);  // dtor frees any box
     }
-    slots_.push_back(Slot{0, true});
-    return {static_cast<std::uint32_t>(slots_.size() - 1), 0};
+  }
+
+  /// Reserves a live slot holding `fn`, recycling a retired slot when one is
+  /// available.
+  Ticket acquire(EventFn&& fn) {
+    if (fn.compressible()) {
+      if (!tiny_free_.empty()) {
+        const std::uint32_t idx = tiny_free_.back();
+        tiny_free_.pop_back();
+        tiny_[idx] = fn.compress();
+        Meta& m = tiny_meta_[idx];
+        m.alive = true;
+        return {idx, m.generation};
+      }
+      tiny_meta_.push_back(Meta{0, true});
+      tiny_.push_back(fn.compress());
+      return {static_cast<std::uint32_t>(tiny_meta_.size() - 1), 0};
+    }
+    if (!wide_free_.empty()) {
+      const std::uint32_t idx = wide_free_.back();
+      wide_free_.pop_back();
+      wide_[idx].fn = std::move(fn);
+      Meta& m = wide_meta_[idx];
+      m.alive = true;
+      return {idx | kWideBit, m.generation};
+    }
+    wide_meta_.push_back(Meta{0, true});
+    wide_.emplace_back();
+    wide_.back().fn = std::move(fn);
+    return {static_cast<std::uint32_t>(wide_meta_.size() - 1) | kWideBit, 0};
   }
 
   /// True while the ticket's event is pending (not fired, not cancelled).
   [[nodiscard]] bool alive(Ticket t) const noexcept {
-    return t.index < slots_.size() && slots_[t.index].generation == t.generation &&
-           slots_[t.index].alive;
+    const std::vector<Meta>& meta = meta_of(t.index);
+    const std::uint32_t i = t.index & ~kWideBit;
+    return i < meta.size() && meta[i].generation == t.generation && meta[i].alive;
   }
 
   /// Marks the ticket's event as no longer pending; stale tickets are ignored.
   void cancel(Ticket t) noexcept {
-    if (t.index < slots_.size() && slots_[t.index].generation == t.generation) {
-      slots_[t.index].alive = false;
+    std::vector<Meta>& meta = meta_of(t.index);
+    const std::uint32_t i = t.index & ~kWideBit;
+    if (i < meta.size() && meta[i].generation == t.generation) {
+      meta[i].alive = false;
     }
   }
 
-  /// Returns the slot to the free list once its queue entry has been popped.
-  /// Only the simulator calls this — a slot is owned by exactly one entry.
-  void retire(std::uint32_t index) noexcept {
-    assert(index < slots_.size());
-    slots_[index].alive = false;
-    ++slots_[index].generation;
-    free_.push_back(index);
+  /// Liveness of a slot by index. Only the simulator calls this — a slot is
+  /// owned by exactly one heap entry, so when that entry is popped the slot's
+  /// current generation is necessarily the entry's generation.
+  [[nodiscard]] bool slot_live(std::uint32_t index) const noexcept {
+    const std::vector<Meta>& meta = meta_of(index);
+    const std::uint32_t i = index & ~kWideBit;
+    assert(i < meta.size());
+    return meta[i].alive;
+  }
+
+  /// Moves the callback out and returns the slot to the free list once its
+  /// heap entry has been popped. The slot is immediately reusable (under a
+  /// fresh generation) even while the returned callback is still executing.
+  [[nodiscard]] EventFn retire(std::uint32_t index) {
+    const std::uint32_t i = index & ~kWideBit;
+    if ((index & kWideBit) == 0) {
+      Meta& m = tiny_meta_[i];
+      m.alive = false;
+      ++m.generation;
+      tiny_free_.push_back(i);
+      return EventFn::decompress(tiny_[i]);
+    }
+    Meta& m = wide_meta_[i];
+    m.alive = false;
+    ++m.generation;
+    wide_free_.push_back(i);
+    return std::move(wide_[i].fn);
+  }
+
+  /// Hints the prefetcher at the callback of the slot about to be retired —
+  /// called as soon as the next event's slot is known so the line load
+  /// overlaps the preceding callback's execution.
+  void prefetch(std::uint32_t index) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    const std::uint32_t i = index & ~kWideBit;
+    if ((index & kWideBit) == 0) {
+      __builtin_prefetch(&tiny_[i], /*rw=*/0, /*locality=*/3);
+    } else {
+      __builtin_prefetch(&wide_[i], /*rw=*/0, /*locality=*/3);
+    }
+#else
+    (void)index;
+#endif
+  }
+
+  /// Pre-sizes slot and free-list storage (no slots are created). Sized for
+  /// the common case: most callbacks are tiny, a fraction are wide.
+  void reserve(std::size_t n) {
+    tiny_meta_.reserve(n);
+    tiny_.reserve(n);
+    tiny_free_.reserve(n);
+    const std::size_t wide = n / 4 + 1;
+    wide_meta_.reserve(wide);
+    wide_.reserve(wide);
+    wide_free_.reserve(wide);
   }
 
   /// Number of slots ever created (capacity watermark, for tests).
-  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return tiny_meta_.size() + wide_meta_.size();
+  }
+
+  // Intrusive, non-atomic reference count keeping the slab alive for the
+  // simulator plus any outstanding EventHandles (so a handle never dangles,
+  // even if it outlives its simulator). Non-atomic is deliberate: a
+  // Simulator, its slab, and all handles to its events are confined to one
+  // thread — BatchRunner gives every run its own simulator on its own
+  // worker — and the shared_ptr this replaces paid two atomic RMWs on every
+  // scheduled event just to construct and discard the returned handle.
+  void retain() noexcept { ++refs_; }
+  void release() noexcept {
+    if (--refs_ == 0) delete this;
+  }
 
  private:
-  struct Slot {
+  static constexpr std::uint32_t kWideBit = 0x8000'0000u;
+  std::uint32_t refs_ = 1;  // the owning simulator's reference
+
+  struct Meta {
     std::uint32_t generation = 0;
     bool alive = false;
   };
-  std::vector<Slot> slots_;
-  std::vector<std::uint32_t> free_;
+  struct alignas(64) WideFn {  // one cache line per callback, exactly
+    EventFn fn;
+  };
+  static_assert(sizeof(WideFn) == 64);
+
+  [[nodiscard]] const std::vector<Meta>& meta_of(std::uint32_t index) const noexcept {
+    return (index & kWideBit) == 0 ? tiny_meta_ : wide_meta_;
+  }
+  [[nodiscard]] std::vector<Meta>& meta_of(std::uint32_t index) noexcept {
+    return (index & kWideBit) == 0 ? tiny_meta_ : wide_meta_;
+  }
+
+  std::vector<Meta> tiny_meta_;
+  std::vector<EventFn::Compressed> tiny_;  // 16-byte compressed callbacks
+  std::vector<std::uint32_t> tiny_free_;
+  std::vector<Meta> wide_meta_;
+  std::vector<WideFn> wide_;
+  std::vector<std::uint32_t> wide_free_;
 };
 
-/// Handle to a scheduled event; cancel() is idempotent.
+/// Handle to a scheduled event; cancel() is idempotent. Copyable; each copy
+/// holds a (non-atomic) reference on the simulator's slab, so a handle stays
+/// safe to query even after the simulator is gone — but must stay on the
+/// simulator's thread.
 class EventHandle {
  public:
   EventHandle() = default;
+
+  EventHandle(const EventHandle& other) noexcept : slab_(other.slab_), ticket_(other.ticket_) {
+    if (slab_) slab_->retain();
+  }
+  EventHandle(EventHandle&& other) noexcept : slab_(other.slab_), ticket_(other.ticket_) {
+    other.slab_ = nullptr;
+  }
+  EventHandle& operator=(const EventHandle& other) noexcept {
+    if (this != &other) {
+      if (other.slab_) other.slab_->retain();
+      if (slab_) slab_->release();
+      slab_ = other.slab_;
+      ticket_ = other.ticket_;
+    }
+    return *this;
+  }
+  EventHandle& operator=(EventHandle&& other) noexcept {
+    if (this != &other) {
+      if (slab_) slab_->release();
+      slab_ = other.slab_;
+      ticket_ = other.ticket_;
+      other.slab_ = nullptr;
+    }
+    return *this;
+  }
+  ~EventHandle() {
+    if (slab_) slab_->release();
+  }
 
   /// Logically removes the event; a cancelled event never fires.
   void cancel() const {
@@ -97,27 +284,36 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  EventHandle(std::shared_ptr<EventSlab> slab, EventSlab::Ticket ticket)
-      : slab_(std::move(slab)), ticket_(ticket) {}
-  std::shared_ptr<EventSlab> slab_;  // shared with the simulator, not per-event
+  EventHandle(EventSlab* slab, EventSlab::Ticket ticket) : slab_(slab), ticket_(ticket) {
+    slab_->retain();
+  }
+  EventSlab* slab_ = nullptr;  // shared with the simulator, not per-event
   EventSlab::Ticket ticket_;
 };
 
-/// The event-driven simulator: a clock plus a priority queue of closures.
+/// The event-driven simulator: a clock plus a 4-ary min-heap of POD entries
+/// whose callbacks live in the event slab.
 class Simulator {
  public:
-  Simulator() : slab_(std::make_shared<EventSlab>()) {}
+  Simulator() : slab_(new EventSlab) { reserve(kDefaultReserve); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  ~Simulator() { slab_->release(); }  // outstanding handles keep the slab alive
 
   /// Current simulated time.
   [[nodiscard]] Time now() const noexcept { return now_; }
 
   /// Schedules `fn` to run at `now() + delay`. `delay` must be >= 0.
-  EventHandle schedule(Time delay, std::function<void()> fn);
+  EventHandle schedule(Time delay, EventFn fn) {
+    if (delay < 0) throw_negative_delay();
+    return schedule_impl(now_ + delay, std::move(fn));
+  }
 
   /// Schedules `fn` at the absolute time `at` (>= now()).
-  EventHandle schedule_at(Time at, std::function<void()> fn);
+  EventHandle schedule_at(Time at, EventFn fn) {
+    if (at < now_) throw_past_time();
+    return schedule_impl(at, std::move(fn));
+  }
 
   /// Runs events until the queue drains or the clock passes `horizon`.
   /// The clock is left at min(horizon, time of last event).
@@ -126,34 +322,91 @@ class Simulator {
   /// Runs until the queue drains completely.
   void run();
 
+  /// Pre-sizes the heap and slab for `events` concurrently pending events,
+  /// so warm-up bursts don't pay vector regrowth on the hot path.
+  void reserve(std::size_t events) {
+    heap_.reserve(events);
+    slab_->reserve(events);
+  }
+
   /// Number of events executed since construction.
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
 
   /// Number of events currently pending (including cancelled-but-unpopped).
-  [[nodiscard]] std::size_t queue_size() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_size() const noexcept { return heap_.size(); }
 
   /// Liveness slab (exposed for allocation-churn tests).
   [[nodiscard]] const EventSlab& slab() const noexcept { return *slab_; }
 
  private:
+  /// Heap entries are 24-byte trivially copyable PODs; the callback is
+  /// reached through `slot`.
   struct Entry {
     Time at;
-    std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    std::function<void()> fn;
-    EventSlab::Ticket ticket;
+    std::uint64_t seq;   // FIFO tie-break for equal timestamps
+    std::uint32_t slot;  // index into the slab
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+  static_assert(std::is_trivially_copyable_v<Entry>);
+  static_assert(sizeof(Entry) <= 24);
+
+  /// Strict order of the heap: earlier time first, then insertion order —
+  /// compared as one 128-bit key. Simulated time never goes negative
+  /// (schedule_at rejects the past, and the clock starts at 0, with -0.0
+  /// normalized away), so the IEEE-754 bit pattern of `at` is monotone in its
+  /// value and (bits(at), seq) compares branchlessly with a sub/sbb pair —
+  /// the two-branch lexicographic compare this replaces was the single
+  /// largest cost of a heap sift (data-dependent mispredictions on every
+  /// level).
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) noexcept {
+#if defined(__SIZEOF_INT128__)
+    const auto key = [](const Entry& e) {
+      return (static_cast<unsigned __int128>(std::bit_cast<std::uint64_t>(e.at)) << 64) |
+             e.seq;
+    };
+    return key(a) < key(b);
+#else
+    const std::uint64_t abits = std::bit_cast<std::uint64_t>(a.at);
+    const std::uint64_t bbits = std::bit_cast<std::uint64_t>(b.at);
+    if (abits != bbits) return abits < bbits;
+    return a.seq < b.seq;
+#endif
+  }
+
+  /// Shared hot path of schedule()/schedule_at(). Takes the callback by
+  /// rvalue reference: the call-site conversion constructs the EventFn once,
+  /// and acquire() compresses or moves straight out of that object — no
+  /// intermediate 64-byte copies.
+  EventHandle schedule_impl(Time at, EventFn&& fn) {
+    at += 0.0;  // normalize -0.0 to +0.0 so the bit-pattern key order holds
+    const EventSlab::Ticket ticket = slab_->acquire(std::move(fn));
+    push_entry(Entry{at, next_seq_++, ticket.index});
+    return EventHandle{slab_, ticket};
+  }
+
+  void push_entry(Entry e) {
+    // Sift up with a hole: the entry is written once, into its final position.
+    std::size_t i = heap_.size();
+    heap_.push_back(e);  // reserve the leaf; overwritten below unless already placed
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!earlier(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
     }
-  };
+    heap_[i] = e;
+  }
+
+  [[noreturn]] static void throw_negative_delay();
+  [[noreturn]] static void throw_past_time();
+  void pop_min();
+
+  static constexpr std::size_t kDefaultReserve = 256;
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::shared_ptr<EventSlab> slab_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  EventSlab* slab_;  // intrusively refcounted; see EventSlab::retain/release
+  std::vector<Entry> heap_;  // 4-ary min-heap: children of i at 4i+1 .. 4i+4
 };
 
 }  // namespace ebrc::sim

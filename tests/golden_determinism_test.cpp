@@ -1,0 +1,103 @@
+// Golden determinism test for the event kernel.
+//
+// The kernel rewrite (4-ary POD heap + slab-owned InlineFunction callbacks)
+// promises bit-identical event execution order to the original
+// std::priority_queue<Entry> kernel. This test pins that promise: it drives a
+// mixed schedule / cancel / reschedule workload — self-scheduling events,
+// equal-time FIFO ties, cancellations of both pending and stale handles —
+// and asserts the execution order matches the recording taken from the seed
+// kernel (commit c65dbf6) before the rewrite.
+//
+// If this test ever fails, the kernel's ordering semantics changed: that is a
+// correctness regression for every seeded experiment in the repo, not a test
+// to update.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+// Keep this workload byte-identical to the generator that produced the
+// golden recording; any change invalidates the expected order below.
+struct Workload {
+  ebrc::sim::Simulator sim;
+  std::vector<int> order;
+  std::vector<ebrc::sim::EventHandle> handles;
+  std::uint64_t rng_state = 0x243F6A8885A308D3ull;  // pi digits, fixed forever
+  int next_id = 0;
+  int spawned = 0;
+  static constexpr int kMaxSpawned = 320;
+
+  std::uint64_t next() {  // splitmix64
+    std::uint64_t z = (rng_state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  void schedule_one(std::uint64_t ms) {
+    const int id = next_id++;
+    ++spawned;
+    handles.push_back(sim.schedule(static_cast<double>(ms) * 1e-3, [this, id] { fire(id); }));
+  }
+
+  void fire(int id) {
+    order.push_back(id);
+    const std::uint64_t r = next();
+    // ~3/4 of firings spawn a child somewhere in the next 500 ms (modulo
+    // collisions produce plenty of equal-time ties for the FIFO tie-break).
+    if (spawned < kMaxSpawned && (r & 3u) != 0) schedule_one((r >> 8) % 500);
+    // ~1/4 cancel a random handle (often already stale — exercises
+    // generation checks).
+    if ((r & 12u) == 0 && !handles.empty()) {
+      handles[(r >> 16) % handles.size()].cancel();
+    }
+    // ~1/4 "reschedule": cancel one pending timer and spawn a replacement.
+    if ((r & 48u) == 16 && spawned < kMaxSpawned) {
+      if (!handles.empty()) handles[(r >> 24) % handles.size()].cancel();
+      schedule_one((r >> 32) % 300);
+    }
+  }
+
+  void run() {
+    for (int i = 0; i < 24; ++i) schedule_one(next() % 200);
+    sim.run();
+  }
+};
+
+// Execution order recorded from the seed kernel (std::priority_queue based,
+// commit c65dbf6) running the exact workload above.
+const std::vector<int> kGoldenOrder = {
+    15,  21,  23,  8,   11,  1,   7,   5,   16,  2,   12,  3,   24,  14,  26,  33,
+    19,  13,  20,  17,  36,  9,   4,   18,  35,  34,  27,  49,  42,  48,  43,  39,
+    29,  57,  38,  59,  31,  44,  55,  53,  51,  37,  66,  30,  61,  52,  56,  40,
+    32,  60,  65,  46,  54,  72,  62,  70,  71,  68,  67,  63,  58,  77,  74,  73,
+    64,  69,  86,  79,  88,  80,  82,  75,  83,  84,  92,  90,  95,  81,  93,  89,
+    98,  100, 87,  102, 91,  101, 94,  104, 96,  99,  106, 97,  107, 105, 103, 113,
+    110, 115, 108, 109, 112, 117, 120, 114, 116, 118, 119, 124, 123, 121, 125, 126,
+    122, 129, 128, 130, 132, 127, 133, 135, 136, 131, 134, 137, 138, 139, 140, 141};
+
+TEST(GoldenDeterminism, ExecutionOrderMatchesSeedKernelRecording) {
+  Workload w;
+  w.run();
+  EXPECT_EQ(w.spawned, 142);
+  EXPECT_EQ(w.sim.events_executed(), 128u);
+  EXPECT_DOUBLE_EQ(w.sim.now(), 4.5629999999999997);
+  ASSERT_EQ(w.order.size(), kGoldenOrder.size());
+  for (std::size_t i = 0; i < kGoldenOrder.size(); ++i) {
+    ASSERT_EQ(w.order[i], kGoldenOrder[i]) << "divergence at event " << i;
+  }
+}
+
+TEST(GoldenDeterminism, RerunIsBitIdentical) {
+  Workload a, b;
+  a.run();
+  b.run();
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.sim.events_executed(), b.sim.events_executed());
+}
+
+}  // namespace

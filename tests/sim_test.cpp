@@ -122,6 +122,67 @@ TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
   EXPECT_FALSE(default_constructed.pending());
 }
 
+TEST(Simulator, HandleOutlivesSimulatorSafely) {
+  // Handles hold a reference on the slab: querying or cancelling one after
+  // its simulator is gone must be safe, not a use-after-free. (As in the
+  // original shared_ptr-slab kernel, an event that never fired still reports
+  // pending — the slot was never retired — and cancel() still withdraws it.)
+  EventHandle h;
+  {
+    Simulator s;
+    h = s.schedule(1.0, [] {});
+    EXPECT_TRUE(h.pending());
+  }
+  EXPECT_TRUE(h.pending());
+  EventHandle copy = h;
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(copy.pending());
+}
+
+TEST(Simulator, WideCaptureSlotsRecycleLikeTinyOnes) {
+  // Mid-sized captures (9..56 bytes) use the wide slot class; a long chain
+  // must recycle a bounded set of slots there too.
+  Simulator s;
+  int count = 0;
+  struct {
+    double a[5];
+  } pad{{1, 2, 3, 4, 5}};
+  std::function<void()> chain = [&, pad] {
+    if (++count < 1000) s.schedule(0.001, chain);
+    (void)pad;
+  };
+  s.schedule(0.001, chain);
+  s.run();
+  EXPECT_EQ(count, 1000);
+  EXPECT_LE(s.slab().capacity(), 4u);
+}
+
+TEST(Simulator, ReservePreservesSemantics) {
+  Simulator s;
+  s.reserve(4096);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(s.queue_size(), 5u);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(s.queue_size(), 0u);
+}
+
+TEST(Simulator, NegativeZeroDelayOrdersLikeZero) {
+  // -0.0 must not be treated as a distinct (later) time by the packed
+  // bit-pattern heap key.
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(0.0, [&] { order.push_back(0); });
+  s.schedule_at(-0.0, [&] { order.push_back(1); });
+  s.schedule(0.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 TEST(Simulator, RejectsPastScheduling) {
   Simulator s;
   s.schedule(1.0, [] {});
