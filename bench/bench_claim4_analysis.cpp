@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   // exactly our SQRT formula.
   const double duration = args.seconds(1200.0, 6000.0);
   sim::Simulator sim_a;
-  net::Dumbbell net_a(sim_a, std::make_unique<net::DropTailQueue>(5), 1e6, 0.0005);
+  net::Dumbbell net_a(sim_a, net::Queue::drop_tail(5), 1e6, 0.0005);
   const int id_a = net_a.add_flow(0.0005, 0.001);
   tcp::AimdSenderConfig acfg;
   acfg.alpha = 0.5;  // matches SQRT's c1 at beta = 1/2

@@ -6,42 +6,77 @@
 // Paper shape: SQRT conservative everywhere (f(1/x) concave); both PFTK
 // formulas cross ABOVE 1 for heavy loss (strictly convex region) — the
 // non-conservative case of Theorem 2.
+//
+// The (p × formula × rep) grid is fanned out through BatchRunner::map with
+// per-cell seeds derived from (--seed, p, formula, rep), so every cell owns
+// an independent stream and numbers depend only on --seed, never on --jobs.
+// Replications aggregate with mean and a 95% CI on the normalized
+// throughput.
+#include <string>
+
 #include "bench_common.hpp"
 #include "core/analyzer.hpp"
 #include "core/weights.hpp"
 #include "model/throughput_function.hpp"
+#include "sim/random.hpp"
+#include "stats/online.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
   args.cli.know("L").know("comprehensive");
   args.cli.finish();
   const auto L = static_cast<std::size_t>(args.cli.get("L", 4));
   const bool comprehensive = args.cli.get("comprehensive", false);
   bench::banner("Figure 6", "audio source (fixed packet rate, variable length), Bernoulli "
                             "dropper, L = " + std::to_string(L));
+  bench::batch_note(args);
 
   const std::vector<double> ps{0.01, 0.02, 0.05, 0.08, 0.11, 0.14, 0.17, 0.20, 0.23, 0.25};
+  const std::vector<std::string> formulas{"sqrt", "pftk", "pftk-simplified"};
   const core::RunConfig cfg{.events = args.events(200000, 2000000), .warmup = 500};
   const double packet_rate = 50.0;  // the ns-2 experiment's 20 ms spacing
+  const auto weights = core::tfrc_weights(L);
 
-  util::Table top({"p", "SQRT", "PFTK-standard", "PFTK-simplified"});
+  // One flat batch over (p × formula × rep), p-major and replication-minor.
+  const bench::CellGrid grid({ps.size(), formulas.size()},
+                             static_cast<std::size_t>(args.reps));
+  const auto cells = args.runner().map<core::AudioRunResult>(
+      grid.size(), [&](std::size_t idx) {
+        const double p = ps[grid.at(0, idx)];
+        const std::string& name = formulas[grid.at(1, idx)];
+        const auto f = model::make_throughput_function(name, 1.0);
+        const std::uint64_t seed = sim::hash_seed(
+            args.seed, "fig06-" + name + "-p" + std::to_string(p) + "#rep" +
+                           std::to_string(grid.rep(idx)));
+        return core::run_audio_control(*f, packet_rate, p, weights, comprehensive, seed,
+                                       cfg);
+      });
+
+  util::Table top({"p", "SQRT", "ci95", "PFTK-standard", "ci95", "PFTK-simplified", "ci95"});
   util::Table bottom({"p", "cv^2 SQRT", "cv^2 PFTK-std", "cv^2 PFTK-simpl"});
   std::vector<std::vector<double>> csv_rows;
+  std::size_t idx = 0;
   for (double p : ps) {
-    std::vector<double> norm{p}, cv2{p};
-    for (const char* name : {"sqrt", "pftk", "pftk-simplified"}) {
-      const auto f = model::make_throughput_function(name, 1.0);
-      const auto r = core::run_audio_control(*f, packet_rate, p, core::tfrc_weights(L),
-                                             comprehensive, args.seed, cfg);
-      norm.push_back(r.normalized);
-      cv2.push_back(r.cv_thetahat_sq);
+    std::vector<double> norm{p}, ci{0.0}, cv2{p};
+    for (std::size_t fi = 0; fi < formulas.size(); ++fi) {
+      stats::OnlineMoments norm_m, cv2_m;
+      for (int rep = 0; rep < args.reps; ++rep) {
+        const auto& r = cells[idx++];
+        norm_m.add(r.normalized);
+        cv2_m.add(r.cv_thetahat_sq);
+      }
+      norm.push_back(norm_m.mean());
+      ci.push_back(norm_m.ci_halfwidth());
+      cv2.push_back(cv2_m.mean());
     }
-    top.row(norm);
+    top.row({util::fmt(p, 4), util::fmt(norm[1], 5), util::fmt(ci[1], 3),
+             util::fmt(norm[2], 5), util::fmt(ci[2], 3), util::fmt(norm[3], 5),
+             util::fmt(ci[3], 3)});
     bottom.row(cv2);
     csv_rows.push_back({p, norm[1], norm[2], norm[3], cv2[1], cv2[2], cv2[3]});
   }
-  top.print("\n(Top) normalized throughput x̄/f(p) versus p:");
+  top.print("\n(Top) normalized throughput x̄/f(p) versus p (mean ± CI95 over reps):");
   bottom.print("\n(Bottom) squared coefficient of variation of hat-theta:");
 
   std::cout << "\nPaper shape: SQRT stays at or below 1 for every p; the PFTK curves rise\n"

@@ -1,45 +1,74 @@
-// Figure 9: TCP Sack versus the PFTK-standard formula — a scatter of the
-// measured TCP throughput against f(p', r') evaluated at TCP's own measured
-// loss-event rate and RTT, across bottleneck populations.
+// Figure 9: TCP Sack versus the PFTK-standard formula — the measured TCP
+// throughput against f(p', r') evaluated at TCP's own measured loss-event
+// rate and RTT, across bottleneck populations.
 //
 // Paper shape: points fall BELOW the diagonal except at large throughputs —
 // with few competing connections TCP attains less than the formula predicts
 // (sub-condition 4 of the TCP-friendliness breakdown fails).
+//
+// The population sweep is expanded into one flat batch through
+// BatchRunner::run with per-cell replicate() seed derivation; per-connection
+// scatter is pooled per population across flows and replications, with a
+// 95% CI on the measured/formula ratio. Numbers depend only on --seed,
+// never on --jobs.
 #include "bench_common.hpp"
+#include "testbed/batch.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
   args.cli.finish();
   bench::banner("Figure 9", "TCP throughput vs PFTK-standard prediction");
+  bench::batch_note(args);
 
   const std::vector<int> populations =
       args.full ? std::vector<int>{1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36}
                 : std::vector<int>{1, 2, 4, 9, 16, 30};
   const double duration = args.seconds(150.0, 600.0);
 
-  util::Table t({"conns/dir", "f(p',r') pkts/s", "E[X] TCP pkts/s", "measured/formula"});
-  std::vector<std::vector<double>> csv_rows;
+  // One flat (population × rep) batch, population-major, replication-minor.
+  std::vector<testbed::Scenario> batch;
+  batch.reserve(populations.size() * static_cast<std::size_t>(args.reps));
   for (int n : populations) {
-    testbed::Scenario s = testbed::ns2_scenario(n, n, 8, args.seed + 7 * n);
-    s.duration_s = duration;
-    s.warmup_s = duration / 5.0;
-    const auto r = testbed::run_experiment(s);
-    for (const auto* f : r.of_kind("tcp")) {
-      if (f->p <= 0 || f->formula_rate <= 0) continue;
-      t.row({static_cast<double>(2 * n), f->formula_rate, f->throughput_pps,
-             f->normalized});
-      csv_rows.push_back({static_cast<double>(2 * n), f->formula_rate, f->throughput_pps,
-                          f->normalized});
-    }
+    testbed::Scenario base = testbed::ns2_scenario(n, n, 8, /*seed=*/0);
+    base.name += "-fig09-n" + std::to_string(n);
+    base.duration_s = duration;
+    base.warmup_s = duration / 5.0;
+    const auto runs = testbed::replicate(base, args.seed, args.reps);
+    batch.insert(batch.end(), runs.begin(), runs.end());
   }
-  t.print("\nPer-TCP-connection scatter (each row one connection):");
+  const auto results = args.runner().run(batch);
+
+  util::Table t({"conns/dir", "f(p',r') pkts/s", "E[X] TCP pkts/s", "measured/formula",
+                 "ci95", "flows"});
+  std::vector<std::vector<double>> csv_rows;
+  std::size_t idx = 0;
+  for (int n : populations) {
+    stats::OnlineMoments formula_m, measured_m, ratio_m;
+    for (int rep = 0; rep < args.reps; ++rep) {
+      const auto& r = results[idx++];
+      for (const auto* f : r.of_kind("tcp")) {
+        if (f->p <= 0 || f->formula_rate <= 0) continue;
+        formula_m.add(f->formula_rate);
+        measured_m.add(f->throughput_pps);
+        ratio_m.add(f->normalized);
+      }
+    }
+    if (ratio_m.count() == 0) continue;
+    t.row({util::fmt(2.0 * n, 4), util::fmt(formula_m.mean(), 5),
+           util::fmt(measured_m.mean(), 5), util::fmt(ratio_m.mean(), 4),
+           util::fmt(ratio_m.ci_halfwidth(), 3),
+           util::fmt(static_cast<double>(ratio_m.count()), 3)});
+    csv_rows.push_back({static_cast<double>(2 * n), formula_m.mean(), measured_m.mean(),
+                        ratio_m.mean(), ratio_m.ci_halfwidth()});
+  }
+  t.print("\nPer-population pooling of the per-connection scatter:");
 
   std::cout << "\nPaper shape: measured/formula < 1 in most rows — TCP does not attain\n"
             << "the PFTK prediction when few senders share the bottleneck (its window\n"
             << "growth is sub-linear there), approaching 1 at larger throughputs.\n";
-  bench::maybe_csv(args, {"conns", "formula", "measured", "ratio"}, csv_rows);
+  bench::maybe_csv(args, {"conns", "formula", "measured", "ratio", "ci95"}, csv_rows);
   return 0;
 }

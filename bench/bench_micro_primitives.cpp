@@ -104,13 +104,14 @@ void BM_EstimatorPush(benchmark::State& state) {
 BENCHMARK(BM_EstimatorPush)->Arg(8)->Arg(16)->Arg(128);
 
 void BM_RedEnqueueDequeue(benchmark::State& state) {
-  net::RedQueue q(net::red_params_for_bdp(15e6, 0.05), 1);
+  net::Queue q = net::Queue::red(net::red_params_for_bdp(15e6, 0.05), 1);
   net::Packet p;
+  net::Packet out;
   double t = 0.0;
   for (auto _ : state) {
     t += 1e-4;
-    if (q.enqueue(p, t)) benchmark::DoNotOptimize(q.packets());
-    if (q.packets() > 40) benchmark::DoNotOptimize(q.dequeue(t));
+    if (q.enqueue(p, t)) benchmark::DoNotOptimize(q.packets(t));
+    if (q.packets(t) > 40) benchmark::DoNotOptimize(q.dequeue(out, t));
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -1,0 +1,186 @@
+// Packet-path throughput benchmark: the second point of the repo's perf
+// trajectory (BENCH_net.json, next to the kernel's BENCH_kernel.json).
+//
+// Where bench_kernel_throughput measures the event kernel in isolation, this
+// drives the full per-packet pipeline end to end — queue discipline
+// admission, virtual-clock serialization, the fused serialize+propagate
+// delivery event, protocol receive/feedback processing — on the four
+// workloads that dominate every figure sweep:
+//
+//   droptail_tfrc    8 TFRC flows over a DropTail bottleneck
+//   droptail_tcp     8 TCP flows over the same DropTail bottleneck
+//   red_tfrc         8 TFRC flows over the paper's BDP-derived RED
+//   red_tcp          8 TCP flows over the same RED
+//
+// Each workload simulates a fig05-class dumbbell (15 Mb/s, 50 ms RTT) for
+// --seconds of simulated time after a warm-up fifth, and reports forwarded
+// packets per wall-clock second (best of --reps slices, so a loaded CI box
+// reports its least-interfered slice), ns per forwarded packet, simulator
+// events per forwarded packet, and InlineFunction heap fallbacks per packet
+// (expected: 0).
+//
+//   ./bench_packet_path [--seconds=S] [--flows=N] [--reps=R] [--seed=N]
+//                       [--out=BENCH_net.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/dumbbell.hpp"
+#include "net/queue.hpp"
+#include "sim/inline_function.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_connection.hpp"
+#include "tfrc/tfrc_connection.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace ebrc;
+
+struct WorkloadResult {
+  std::string name;
+  std::uint64_t packets = 0;           // forwarded by the bottleneck, best slice
+  double best_pps = 0;                 // forwarded packets / wall second
+  double events_per_packet = 0;
+  double heap_allocs_per_packet = 0;   // InlineFunction fallbacks
+  double utilization = 0;
+};
+
+struct WorkloadSpec {
+  std::string name;
+  bool red = false;
+  bool tcp = false;
+};
+
+WorkloadResult run_workload(const WorkloadSpec& spec, double seconds, int flows,
+                            std::uint64_t seed, int reps) {
+  WorkloadResult out;
+  out.name = spec.name;
+  for (int rep = 0; rep < reps; ++rep) {
+    sim::Simulator sim;
+    sim::Rng rng(sim::hash_seed(seed + static_cast<std::uint64_t>(rep), spec.name));
+    constexpr double kRate = 15e6;
+    constexpr double kRtt = 0.050;
+    net::Queue queue = spec.red ? net::Queue::red(net::red_params_for_bdp(kRate, kRtt),
+                                                  sim::hash_seed(seed, "red"))
+                                : net::Queue::drop_tail(234);  // 2.5 BDP, like the RED buffer
+    net::Dumbbell net(sim, std::move(queue), kRate, 0.001);
+
+    std::deque<tfrc::TfrcConnection> tfrcs;
+    std::deque<tcp::TcpConnection> tcps;
+    for (int i = 0; i < flows; ++i) {
+      const double rtt = kRtt * (1.0 + 0.1 * (rng.uniform() - 0.5));
+      const int id = net.add_flow(std::max(0.0, rtt / 2.0 - 0.001), rtt / 2.0);
+      if (spec.tcp) {
+        tcps.emplace_back(net, id, rtt).start(rng.uniform(0.0, 1.0));
+      } else {
+        tfrcs.emplace_back(net, id, rtt).start(rng.uniform(0.0, 1.0));
+      }
+    }
+
+    const double warmup = seconds / 5.0;
+    sim.run_until(warmup);
+    const std::uint64_t delivered0 = net.bottleneck().delivered();
+    const std::uint64_t events0 = sim.events_executed();
+    const std::uint64_t allocs0 = sim::inline_function_heap_allocs();
+    const auto t0 = Clock::now();
+    sim.run_until(warmup + seconds);
+    const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    const std::uint64_t packets = net.bottleneck().delivered() - delivered0;
+    const double pps = static_cast<double>(packets) / wall;
+    if (pps > out.best_pps) {
+      out.best_pps = pps;
+      out.packets = packets;
+      out.events_per_packet = static_cast<double>(sim.events_executed() - events0) /
+                              static_cast<double>(packets);
+      out.heap_allocs_per_packet =
+          static_cast<double>(sim::inline_function_heap_allocs() - allocs0) /
+          static_cast<double>(packets);
+      out.utilization = net.bottleneck().utilization();
+    }
+  }
+  return out;
+}
+
+void write_json(const std::string& path, double seconds, int flows, int reps,
+                const std::vector<WorkloadResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[json] cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"packet_path\",\n");
+#ifdef NDEBUG
+  std::fprintf(f, "  \"build\": \"release\",\n");
+#else
+  std::fprintf(f, "  \"build\": \"debug\",\n");
+#endif
+  std::fprintf(f, "  \"sim_seconds_per_workload\": %.1f,\n  \"flows\": %d,\n", seconds,
+               flows);
+  std::fprintf(f, "  \"repetitions\": %d,\n  \"workloads\": [\n", reps);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"packets\": %llu, \"pps\": %.0f, "
+                 "\"ns_per_packet\": %.2f, \"events_per_packet\": %.3f, "
+                 "\"heap_allocs_per_packet\": %.6f, \"utilization\": %.3f}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.packets), r.best_pps,
+                 1e9 / r.best_pps, r.events_per_packet, r.heap_allocs_per_packet,
+                 r.utilization, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("[json] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.know("seconds").know("flows").know("reps").know("seed").know("out").know("help");
+  const double seconds = cli.get("seconds", 60.0);
+  const int flows = cli.get("flows", 8);
+  const int reps = cli.get("reps", 3);
+  const std::uint64_t seed = cli.get("seed", std::uint64_t{1});
+  const std::string out = cli.get("out", std::string("BENCH_net.json"));
+  cli.finish();
+  if (seconds < 1.0) throw std::invalid_argument("--seconds must be >= 1");
+  if (flows < 1) throw std::invalid_argument("--flows must be >= 1");
+  if (reps < 1) throw std::invalid_argument("--reps must be >= 1");
+
+  std::printf(
+      "=== packet-path throughput — %d flows, %.0f sim-seconds/workload, best of %d ===\n",
+      flows, seconds, reps);
+
+  const std::vector<WorkloadSpec> specs{
+      {"droptail_tfrc", /*red=*/false, /*tcp=*/false},
+      {"droptail_tcp", /*red=*/false, /*tcp=*/true},
+      {"red_tfrc", /*red=*/true, /*tcp=*/false},
+      {"red_tcp", /*red=*/true, /*tcp=*/true},
+  };
+  std::vector<WorkloadResult> results;
+  results.reserve(specs.size());
+  for (const auto& spec : specs) {
+    results.push_back(run_workload(spec, seconds, flows, seed, reps));
+  }
+
+  util::Table t({"workload", "Mpkts/s", "ns/pkt", "events/pkt", "allocs/pkt", "util"});
+  for (const auto& r : results) {
+    t.row({r.name, util::fmt(r.best_pps / 1e6, 4), util::fmt(1e9 / r.best_pps, 4),
+           util::fmt(r.events_per_packet, 3), util::fmt(r.heap_allocs_per_packet, 4),
+           util::fmt(r.utilization, 3)});
+  }
+  t.print("");
+
+  write_json(out, seconds, flows, reps, results);
+  return 0;
+}

@@ -10,61 +10,81 @@ namespace ebrc::core {
 MovingAverageEstimator::MovingAverageEstimator(std::vector<double> weights)
     : weights_(std::move(weights)) {
   validate_weights(weights_);
+  ring_.assign(weights_.size(), 0.0);
 }
 
 void MovingAverageEstimator::push(double theta) {
   if (!(theta > 0.0)) throw std::invalid_argument("estimator: interval must be > 0");
-  history_.push_front(theta);
-  if (history_.size() > weights_.size()) history_.pop_back();
+  newest_ = newest_ == 0 ? ring_.size() - 1 : newest_ - 1;
+  ring_[newest_] = theta;
+  if (count_ < ring_.size()) ++count_;
+  recompute();
 }
 
 void MovingAverageEstimator::seed(double theta) {
   if (!(theta > 0.0)) throw std::invalid_argument("estimator: seed must be > 0");
-  history_.assign(weights_.size(), theta);
+  std::fill(ring_.begin(), ring_.end(), theta);
+  newest_ = 0;
+  count_ = ring_.size();
+  recompute();
+}
+
+void MovingAverageEstimator::recompute() noexcept {
+  // theta_{n-l} lives at ring_[(newest_ + l) % L]; accumulate newest-first,
+  // exactly like the per-query loops this cache replaced.
+  const std::size_t L = weights_.size();
+  double num = 0.0;
+  double mass = 0.0;
+  std::size_t slot = newest_;
+  for (std::size_t l = 0; l < count_; ++l) {
+    num += weights_[l] * ring_[slot];
+    mass += weights_[l];
+    slot = slot + 1 == L ? 0 : slot + 1;
+  }
+  value_ = num / mass;
+
+  double tail = 0.0;
+  double tail_mass = 0.0;
+  const std::size_t n = std::min(count_, L - 1);
+  slot = newest_;
+  for (std::size_t l = 0; l < n; ++l) {
+    tail += weights_[l + 1] * ring_[slot];
+    tail_mass += weights_[l + 1];
+    slot = slot + 1 == L ? 0 : slot + 1;
+  }
+  tail_ = tail;
+  tail_mass_ = tail_mass;
+}
+
+void MovingAverageEstimator::require_history() const {
+  if (count_ == 0) throw std::logic_error("estimator: no history yet");
 }
 
 double MovingAverageEstimator::value() const {
-  if (history_.empty()) throw std::logic_error("estimator: no history yet");
-  double num = 0.0;
-  double mass = 0.0;
-  const std::size_t n = std::min(history_.size(), weights_.size());
-  for (std::size_t l = 0; l < n; ++l) {
-    num += weights_[l] * history_[l];
-    mass += weights_[l];
-  }
-  return num / mass;
+  require_history();
+  return value_;
 }
 
 double MovingAverageEstimator::shifted_tail() const {
-  if (history_.empty()) throw std::logic_error("estimator: no history yet");
-  // W_n uses theta_{n-1}..theta_{n-L+1} with weights w2..wL. Before warm-up,
-  // use the same prefix renormalization idea: scale to the mass that value()
-  // would use for consistency of the threshold test.
-  double tail = 0.0;
-  const std::size_t n = std::min(history_.size(), weights_.size() - 1);
-  for (std::size_t l = 0; l < n; ++l) {
-    tail += weights_[l + 1] * history_[l];
-  }
-  return tail;
+  require_history();
+  return tail_;
 }
 
 double MovingAverageEstimator::open_threshold() const {
-  return (value() - shifted_tail()) / weights_.front();
+  require_history();
+  return (value_ - tail_) / weights_.front();
 }
 
 double MovingAverageEstimator::value_with_open(double open_packets) const {
   if (open_packets < 0) throw std::invalid_argument("estimator: open interval must be >= 0");
-  const double closed = value();
-  const double with_open = weights_.front() * open_packets + shifted_tail();
-  return std::max(closed, with_open);
+  require_history();
+  const double with_open = weights_.front() * open_packets + tail_;
+  return std::max(value_, with_open);
 }
 
 double MovingAverageEstimator::shifted_tail_mass() const {
-  if (history_.empty()) throw std::logic_error("estimator: no history yet");
-  double mass = 0.0;
-  const std::size_t n = std::min(history_.size(), weights_.size() - 1);
-  for (std::size_t l = 0; l < n; ++l) mass += weights_[l + 1];
-  return mass;
+  require_history();
+  return tail_mass_;
 }
 
 double MovingAverageEstimator::value_with_open_discounted(double open_packets,
@@ -73,13 +93,14 @@ double MovingAverageEstimator::value_with_open_discounted(double open_packets,
   if (!(discount >= 0.5 && discount <= 1.0)) {
     throw std::invalid_argument("estimator: discount must lie in [0.5, 1]");
   }
+  require_history();
   // Normalized weighted average with the open interval at full weight and
   // the closed history discounted (RFC 3448 Eq. for I_mean with DF_i); at
   // discount = 1 and full warm-up this reduces to value_with_open().
   const double w1 = weights_.front();
-  const double num = w1 * open_packets + discount * shifted_tail();
-  const double den = w1 + discount * shifted_tail_mass();
-  return std::max(value(), num / den);
+  const double num = w1 * open_packets + discount * tail_;
+  const double den = w1 + discount * tail_mass_;
+  return std::max(value_, num / den);
 }
 
 }  // namespace ebrc::core

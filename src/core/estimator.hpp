@@ -1,8 +1,19 @@
 // The moving-average loss-event interval estimator (Eq. 2) together with the
 // "open interval" view used by the comprehensive control (Eq. 4).
+//
+// Storage is a fixed ring of the last L intervals (no deque nodes), and the
+// weighted aggregates every query needs — the closed average, the shifted
+// tail W_n, its weight mass, and the open-interval threshold theta* — are
+// recomputed once per push()/seed() and cached. Queries are therefore O(1):
+// the packet-level senders consult the estimator on every packet (TFRC's
+// comprehensive control, the Figure-6 audio source), while intervals close
+// only once per loss event, so the O(L) work now runs once per event instead
+// of once per packet. The cached recompute accumulates in exactly the order
+// the naive per-query loops used, so every query is bit-identical to the old
+// implementation (pinned by tests/estimator_property_test.cpp).
 #pragma once
 
-#include <deque>
+#include <cstddef>
 #include <vector>
 
 namespace ebrc::core {
@@ -20,8 +31,8 @@ class MovingAverageEstimator {
   void seed(double theta);
 
   /// True once L intervals have been observed.
-  [[nodiscard]] bool warmed_up() const noexcept { return history_.size() >= weights_.size(); }
-  [[nodiscard]] std::size_t history_size() const noexcept { return history_.size(); }
+  [[nodiscard]] bool warmed_up() const noexcept { return count_ >= weights_.size(); }
+  [[nodiscard]] std::size_t history_size() const noexcept { return count_; }
   [[nodiscard]] std::size_t window() const noexcept { return weights_.size(); }
   [[nodiscard]] const std::vector<double>& weights() const noexcept { return weights_; }
 
@@ -52,8 +63,20 @@ class MovingAverageEstimator {
   [[nodiscard]] double value_with_open_discounted(double open_packets, double discount) const;
 
  private:
+  void require_history() const;
+  /// Rebuilds every cached aggregate from the ring, accumulating in the same
+  /// newest-to-oldest order as the former per-query loops (bit-identity).
+  void recompute() noexcept;
+
   std::vector<double> weights_;
-  std::deque<double> history_;  // most recent interval at front
+  std::vector<double> ring_;   // capacity L; ring_[newest_] is theta_n
+  std::size_t newest_ = 0;
+  std::size_t count_ = 0;
+
+  // Aggregates cached at the last push()/seed().
+  double value_ = 0.0;
+  double tail_ = 0.0;
+  double tail_mass_ = 0.0;
 };
 
 }  // namespace ebrc::core

@@ -1,6 +1,7 @@
 #include "loss/loss_process.hpp"
 
 #include <cmath>
+#include <random>
 #include <stdexcept>
 
 #include "util/math.hpp"

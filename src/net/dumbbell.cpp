@@ -4,56 +4,50 @@
 
 namespace ebrc::net {
 
-Dumbbell::Dumbbell(sim::Simulator& sim, std::unique_ptr<Queue> queue, double rate_bps,
+Dumbbell::Dumbbell(sim::Simulator& sim, Queue queue, double rate_bps,
                    double shared_prop_delay_s)
-    : sim_(sim) {
-  bottleneck_ = std::make_unique<Link>(
-      sim, std::move(queue), rate_bps, shared_prop_delay_s,
-      [this](const Packet& p) { deliver_from_bottleneck(p); });
-}
+    : sim_(sim),
+      // The bottleneck is driven exclusively through forward(); its own
+      // staging handler never runs.
+      bottleneck_(sim, std::move(queue), rate_bps, shared_prop_delay_s,
+                  [](const Packet&) {}) {}
+
+Dumbbell::Flow::Flow(Dumbbell& owner, double fwd_prop_s, double rev_prop_s)
+    : tail(owner.sim_, fwd_prop_s, [this](const Packet& p) {
+        if (at_receiver) at_receiver(p);
+      }),
+      reverse(owner.sim_, rev_prop_s, [this](const Packet& p) {
+        if (at_sender) at_sender(p);
+      }) {}
 
 int Dumbbell::add_flow(double fwd_prop_s, double rev_prop_s) {
   if (fwd_prop_s < 0 || rev_prop_s < 0) throw std::invalid_argument("Dumbbell: negative delay");
   const int id = static_cast<int>(flows_.size());
-  auto flow = std::make_unique<Flow>();
-  flow->fwd_prop = fwd_prop_s;
-  Flow* raw = flow.get();
-  flow->reverse = std::make_unique<DelayPipe>(sim_, rev_prop_s, [raw](const Packet& p) {
-    if (raw->at_sender) raw->at_sender(p);
-  });
-  flows_.push_back(std::move(flow));
+  flows_.emplace_back(*this, fwd_prop_s, rev_prop_s);
   return id;
 }
 
 void Dumbbell::on_data_at_receiver(int id, PacketHandler h) {
-  flows_.at(static_cast<std::size_t>(id))->at_receiver = std::move(h);
+  flows_.at(static_cast<std::size_t>(id)).at_receiver = std::move(h);
 }
 
 void Dumbbell::on_packet_at_sender(int id, PacketHandler h) {
-  flows_.at(static_cast<std::size_t>(id))->at_sender = std::move(h);
+  flows_.at(static_cast<std::size_t>(id)).at_sender = std::move(h);
 }
 
 void Dumbbell::send_data(int id, Packet p) {
-  auto& flow = *flows_.at(static_cast<std::size_t>(id));
+  Flow& flow = flows_.at(static_cast<std::size_t>(id));
   p.flow = id;
-  // Per-flow access propagation before the shared queue: modeled as a pure
-  // delay, then the packet joins the bottleneck.
-  const Packet copy = p;
-  if (flow.fwd_prop > 0) {
-    sim_.schedule(flow.fwd_prop, [this, copy] { bottleneck_->send(copy); });
-  } else {
-    bottleneck_->send(copy);
-  }
+  // Bottleneck transit resolves inline (virtual clock); the accepted packet
+  // is staged in the flow's tail pipe until it reaches the receiver.
+  double deliver_at;
+  if (!bottleneck_.forward(p, deliver_at)) return;  // dropped at the queue
+  flow.tail.send_at(p, deliver_at + flow.tail.delay());
 }
 
 void Dumbbell::send_back(int id, Packet p) {
   p.flow = id;
-  flows_.at(static_cast<std::size_t>(id))->reverse->send(p);
-}
-
-void Dumbbell::deliver_from_bottleneck(const Packet& p) {
-  auto& flow = *flows_.at(static_cast<std::size_t>(p.flow));
-  if (flow.at_receiver) flow.at_receiver(p);
+  flows_.at(static_cast<std::size_t>(id)).reverse.send(p);
 }
 
 }  // namespace ebrc::net

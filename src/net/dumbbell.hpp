@@ -1,18 +1,30 @@
 // The canonical experiment topology: N flows share one bottleneck link in
 // the forward direction; acknowledgment/feedback traffic returns over
-// uncongested delay pipes (as in the paper's lab where only the first router
-// was the bottleneck).
+// uncongested delay pipes.
 //
-//   sender_i --(prop fwd_i)--> [queue|bottleneck link] --> receiver_i
+//   sender_i --> [queue|bottleneck link] --(prop fwd_i)--> receiver_i
 //   receiver_i --(prop rev_i)--> sender_i
+//
+// The bottleneck sits at the FIRST hop and each flow's extra forward
+// propagation follows it — exactly the paper's lab layout, where the hosts
+// shared the bottleneck hub and NIST-Net added the path delay downstream
+// (Section V-A.3). Per-flow round-trip times and queueing behavior are the
+// same as with sender-side access links; only the constant per-flow phase at
+// which a flow's packets sample the queue differs.
+//
+// That placement is also what makes the packet path cheap: a data packet's
+// bottleneck admission resolves INLINE inside the sender's own emission
+// event (Link::forward — virtual clock, no event), and its one timed hop is
+// the flow's tail pipe, head-chained and pinned. End to end a data packet
+// costs two simulator events (emission + tail delivery) and zero heap
+// allocations, versus four events and per-packet callback boxes before the
+// overhaul.
 //
 // Each flow registers two handlers: data arriving at its receiver, and
 // ack/feedback arriving back at its sender.
 #pragma once
 
-#include <functional>
-#include <memory>
-#include <vector>
+#include <deque>
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
@@ -25,8 +37,10 @@ class Dumbbell {
  public:
   /// The bottleneck: rate, its queue discipline, and the propagation delay of
   /// the shared segment.
-  Dumbbell(sim::Simulator& sim, std::unique_ptr<Queue> queue, double rate_bps,
-           double shared_prop_delay_s);
+  Dumbbell(sim::Simulator& sim, Queue queue, double rate_bps, double shared_prop_delay_s);
+
+  Dumbbell(const Dumbbell&) = delete;  // flows' pipes capture stable addresses
+  Dumbbell& operator=(const Dumbbell&) = delete;
 
   /// Adds a flow whose one-way forward extra propagation is `fwd_prop_s` and
   /// reverse (receiver->sender) propagation is `rev_prop_s`. Returns the flow
@@ -45,22 +59,22 @@ class Dumbbell {
   void send_back(int id, Packet p);
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
-  [[nodiscard]] Link& bottleneck() noexcept { return *bottleneck_; }
+  [[nodiscard]] Link& bottleneck() noexcept { return bottleneck_; }
   [[nodiscard]] std::size_t flows() const noexcept { return flows_.size(); }
 
  private:
   struct Flow {
-    double fwd_prop;
-    std::unique_ptr<DelayPipe> reverse;
+    Flow(Dumbbell& owner, double fwd_prop_s, double rev_prop_s);
+
+    DelayPipe tail;     // post-bottleneck per-flow propagation to the receiver
+    DelayPipe reverse;  // receiver -> sender return path
     PacketHandler at_receiver;
     PacketHandler at_sender;
   };
 
-  void deliver_from_bottleneck(const Packet& p);
-
   sim::Simulator& sim_;
-  std::unique_ptr<Link> bottleneck_;
-  std::vector<std::unique_ptr<Flow>> flows_;
+  Link bottleneck_;
+  std::deque<Flow> flows_;  // deque: stable addresses for the pipes' captures
 };
 
 }  // namespace ebrc::net

@@ -1,64 +1,80 @@
 #include "net/link.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace ebrc::net {
 
-Link::Link(sim::Simulator& sim, std::unique_ptr<Queue> queue, double rate_bps,
-           double prop_delay_s, PacketHandler deliver)
-    : sim_(sim),
-      queue_(std::move(queue)),
-      rate_bps_(rate_bps),
-      prop_delay_s_(prop_delay_s),
-      deliver_(std::move(deliver)),
-      created_at_(sim.now()) {
-  if (!queue_) throw std::invalid_argument("Link: null queue");
-  if (rate_bps <= 0) throw std::invalid_argument("Link: rate must be > 0");
-  if (prop_delay_s < 0) throw std::invalid_argument("Link: negative delay");
-  if (!deliver_) throw std::invalid_argument("Link: null delivery handler");
-}
-
-void Link::send(const Packet& p) {
-  if (!queue_->enqueue(p, sim_.now())) return;  // dropped by the discipline
-  if (!busy_) start_transmission();
-}
-
-void Link::start_transmission() {
-  auto next = queue_->dequeue(sim_.now());
-  if (!next) {
-    busy_ = false;
-    return;
-  }
-  busy_ = true;
-  const double tx = next->size_bytes * 8.0 / rate_bps_;
-  busy_time_ += tx;
-  const Packet p = *next;
-  sim_.schedule(tx, [this, p] { finish_transmission(p); });
-}
-
-void Link::finish_transmission(const Packet& p) {
-  ++delivered_;
-  // Propagation is pipelined: delivery is scheduled while the next packet
-  // begins serialization.
-  const Packet copy = p;
-  sim_.schedule(prop_delay_s_, [this, copy] { deliver_(copy); });
-  start_transmission();
-}
-
-double Link::utilization() const {
-  const double elapsed = sim_.now() - created_at_;
-  return elapsed > 0.0 ? busy_time_ / elapsed : 0.0;
-}
-
 DelayPipe::DelayPipe(sim::Simulator& sim, double delay_s, PacketHandler deliver)
-    : sim_(sim), delay_s_(delay_s), deliver_(std::move(deliver)) {
+    : sim_(sim),
+      delay_s_(delay_s),
+      deliver_(std::move(deliver)),
+      deliver_ev_(sim.pin([this] { deliver_head(); })),
+      flight_(32) {
   if (delay_s < 0) throw std::invalid_argument("DelayPipe: negative delay");
   if (!deliver_) throw std::invalid_argument("DelayPipe: null delivery handler");
 }
 
-void DelayPipe::send(const Packet& p) {
-  const Packet copy = p;
-  sim_.schedule(delay_s_, [this, copy] { deliver_(copy); });
+void DelayPipe::send_at(const Packet& p, double deliver_at) {
+  assert(flight_.empty() || deliver_at >= flight_.at_offset(flight_.size() - 1).deliver_at);
+  flight_.push_back(InFlight{p, deliver_at});
+  if (!delivery_armed_) {
+    delivery_armed_ = true;
+    sim_.schedule_pinned_at(deliver_at, deliver_ev_);
+  }
+}
+
+void DelayPipe::deliver_head() {
+  const Packet p = flight_.front().pkt;
+  flight_.pop_front();
+  if (!flight_.empty()) {
+    sim_.schedule_pinned_at(flight_.front().deliver_at, deliver_ev_);
+  } else {
+    delivery_armed_ = false;
+  }
+  deliver_(p);
+}
+
+Link::Link(sim::Simulator& sim, Queue queue, double rate_bps, double prop_delay_s,
+           PacketHandler deliver)
+    : sim_(sim),
+      queue_(std::move(queue)),
+      rate_bps_(rate_bps),
+      inv_rate_(8.0 / rate_bps),
+      prop_delay_s_(prop_delay_s),
+      stage_(sim, 0.0, std::move(deliver)),
+      created_at_(sim.now()) {
+  if (rate_bps <= 0) throw std::invalid_argument("Link: rate must be > 0");
+  if (prop_delay_s < 0) throw std::invalid_argument("Link: negative delay");
+}
+
+bool Link::forward(const Packet& p, double& deliver_at) {
+  const double now = sim_.now();
+  const double start = std::max(now, clock_out_);
+  if (!queue_.admit(now, start)) return false;  // dropped by the discipline
+  const double tx = p.size_bytes * inv_rate_;
+  clock_out_ = start + tx;
+  busy_time_ += tx;
+  ++delivered_;
+  deliver_at = clock_out_ + prop_delay_s_;
+  return true;
+}
+
+void Link::send(const Packet& p) {
+  double deliver_at;
+  if (forward(p, deliver_at)) stage_.send_at(p, deliver_at);
+}
+
+double Link::utilization() const {
+  const double elapsed = sim_.now() - created_at_;
+  if (elapsed <= 0.0) return 0.0;
+  // busy_time_ accrues at admission; the work still scheduled beyond now
+  // (clock_out_ - now on a backlogged server) has not happened yet. A
+  // work-conserving FIFO server is busy exactly when committed work remains,
+  // so past busy time = committed - remaining.
+  const double remaining = std::max(0.0, clock_out_ - sim_.now());
+  return (busy_time_ - remaining) / elapsed;
 }
 
 }  // namespace ebrc::net

@@ -1,13 +1,30 @@
 // A fixed-rate output link fed by a queue discipline, plus a pure-delay pipe
 // (the NIST-Net stand-in used to add propagation delay to a path).
+//
+// Both are self-clocking pipes: because the server is FIFO and its rate is
+// constant, a packet's departure time is fully determined the moment it is
+// admitted — service_start = max(now, clock_out), departure = service_start
+// + tx + propagation. Link::forward() therefore resolves a packet's entire
+// bottleneck transit inline at admission time, with NO simulator event of
+// its own: the caller receives the delivery timestamp and stages the packet
+// in whatever downstream pipe carries it (see Dumbbell, which pays exactly
+// one timed event per forwarded packet, in the per-flow tail pipe). The old
+// design cost a queue-service event plus a serialization-finish event plus a
+// propagation event per packet.
+//
+// DelayPipe delivery events are HEAD-CHAINED and PINNED: only the oldest
+// in-flight packet's delivery is armed in the kernel at any time (FIFO
+// departure times never decrease, so the chain never schedules into the
+// past), the closure is registered once via Simulator::pin (zero slab
+// traffic per packet), and the packet itself waits in the pipe's ring — zero
+// heap allocations and one 56-byte copy per hop.
 #pragma once
-
-#include <memory>
 
 #include "net/packet.hpp"
 #include "net/queue.hpp"
 #include "sim/inline_function.hpp"
 #include "sim/simulator.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace ebrc::net {
 
@@ -17,53 +34,85 @@ namespace ebrc::net {
 /// pointer) never touch the heap, and move-only captures are allowed.
 using PacketHandler = sim::InlineFunction<void(const Packet&), 48>;
 
+/// Infinite-capacity fixed-delay pipe (ACK/feedback return paths, added
+/// propagation segments), also used as the staging stage behind a Link.
+class DelayPipe {
+ public:
+  DelayPipe(sim::Simulator& sim, double delay_s, PacketHandler deliver);
+
+  // The constructor pins a this-capturing callback into the simulator; a
+  // copied or moved instance would leave that closure firing on the old
+  // address. Construct in place (deque/member) and keep it there.
+  DelayPipe(const DelayPipe&) = delete;
+  DelayPipe& operator=(const DelayPipe&) = delete;
+
+  /// Delivers `p` after this pipe's fixed delay.
+  void send(const Packet& p) { send_at(p, sim_.now() + delay_s_); }
+
+  /// Delivers `p` at the absolute time `deliver_at`. Times must be
+  /// nondecreasing across calls (FIFO pipe); Link departure times are.
+  void send_at(const Packet& p, double deliver_at);
+
+  [[nodiscard]] double delay() const noexcept { return delay_s_; }
+
+ private:
+  void deliver_head();
+
+  struct InFlight {
+    Packet pkt;
+    double deliver_at;
+  };
+
+  sim::Simulator& sim_;
+  double delay_s_;
+  PacketHandler deliver_;
+  sim::Simulator::PinnedEvent deliver_ev_;  // pinned: zero slab traffic per packet
+  util::RingBuffer<InFlight> flight_;
+  bool delivery_armed_ = false;
+};
+
 /// Serializes packets at `rate_bps`, then delivers them after `prop_delay_s`.
 /// Arriving packets pass through the queue discipline; drops are silent
 /// (protocols detect them end-to-end, as on a real router).
 class Link {
  public:
-  Link(sim::Simulator& sim, std::unique_ptr<Queue> queue, double rate_bps, double prop_delay_s,
+  Link(sim::Simulator& sim, Queue queue, double rate_bps, double prop_delay_s,
        PacketHandler deliver);
 
-  /// Offers a packet to the link's queue at the current simulated time.
+  Link(const Link&) = delete;  // stage_ pins a this-capturing callback
+  Link& operator=(const Link&) = delete;
+
+  /// Resolves a packet's transit inline at the current simulated time:
+  /// returns false when the discipline drops it; otherwise sets `deliver_at`
+  /// to the instant the packet finishes serialization + propagation.
+  /// The caller owns staging the packet until then — no event is scheduled.
+  [[nodiscard]] bool forward(const Packet& p, double& deliver_at);
+
+  /// Self-contained form: forward() plus staging in an internal pipe that
+  /// invokes this link's delivery handler at the right time.
   void send(const Packet& p);
 
-  [[nodiscard]] Queue& queue() noexcept { return *queue_; }
-  [[nodiscard]] const Queue& queue() const noexcept { return *queue_; }
+  [[nodiscard]] Queue& queue() noexcept { return queue_; }
+  [[nodiscard]] const Queue& queue() const noexcept { return queue_; }
   [[nodiscard]] double rate_bps() const noexcept { return rate_bps_; }
   [[nodiscard]] double prop_delay() const noexcept { return prop_delay_s_; }
-  /// Total packets handed to the delivery handler.
+  /// Total packets admitted for forwarding (every one of them is delivered
+  /// after its fixed transit time).
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
   /// Utilization: busy transmission time / elapsed time since creation.
   [[nodiscard]] double utilization() const;
 
  private:
-  void start_transmission();
-  void finish_transmission(const Packet& p);
-
   sim::Simulator& sim_;
-  std::unique_ptr<Queue> queue_;
+  Queue queue_;
   double rate_bps_;
+  double inv_rate_;  // 8 / rate_bps: seconds per byte
   double prop_delay_s_;
-  PacketHandler deliver_;
-  bool busy_ = false;
+  DelayPipe stage_;  // delivery staging for send(); unused via forward()
+  double clock_out_ = 0.0;  // virtual clock: when the server frees up
   double busy_time_ = 0.0;
   double created_at_ = 0.0;
   std::uint64_t delivered_ = 0;
-};
-
-/// Infinite-capacity fixed-delay pipe (ACK/feedback return paths, added
-/// propagation segments).
-class DelayPipe {
- public:
-  DelayPipe(sim::Simulator& sim, double delay_s, PacketHandler deliver);
-  void send(const Packet& p);
-  [[nodiscard]] double delay() const noexcept { return delay_s_; }
-
- private:
-  sim::Simulator& sim_;
-  double delay_s_;
-  PacketHandler deliver_;
 };
 
 }  // namespace ebrc::net

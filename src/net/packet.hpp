@@ -1,7 +1,16 @@
 // The packet: small, trivially copyable, shared by every protocol module.
+//
+// The wire-common fields (flow, kind, seq, size, send timestamp) live
+// unconditionally; everything a single protocol direction needs rides in a
+// kind-discriminated union, so the struct stays at 56 bytes instead of the
+// 80 a flat layout costs. Every forwarded packet is copied into (and out of)
+// the network layer's ring buffers, so those 24 bytes are paid on every hop
+// of every packet of every run. Readers must check `kind` before touching a
+// union arm (the protocols all branch on it already).
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 namespace ebrc::net {
 
@@ -12,24 +21,34 @@ enum class PacketKind : std::uint8_t {
 };
 
 struct Packet {
-  int flow = 0;                 // flow identifier (index within an experiment)
   std::int64_t seq = 0;         // per-flow sequence number (data) / echo
   double size_bytes = 1000.0;   // wire size incl. headers
   double send_time = 0.0;       // stamped by the sender at transmission
+  std::int32_t flow = 0;        // flow identifier (index within an experiment)
   PacketKind kind = PacketKind::kData;
 
-  // TCP: cumulative ack sequence (next expected byte/packet).
-  std::int64_t ack_seq = 0;
+  /// TCP cumulative acknowledgment payload (kind == kAck).
+  struct AckInfo {
+    std::int64_t seq;    // next expected sequence number
+    double echo_time;    // send_time of the packet being acknowledged
+  };
+  /// TFRC receiver-report payload (kind == kFeedback).
+  struct FeedbackInfo {
+    double mean_interval;  // hat-theta reported by the receiver
+    double recv_rate;      // packets/s measured over the last RTT
+    double echo_time;      // send_time of the packet being echoed
+  };
 
-  // TFRC feedback payload: receiver's loss-interval estimate, receive rate,
-  // and the echoed timestamp for RTT measurement.
-  double fb_mean_interval = 0.0;  // hat-theta reported by the receiver
-  double fb_recv_rate = 0.0;      // packets/s measured over the last RTT
-  double echo_time = 0.0;         // send_time of the packet being echoed
-
-  // Sender's current RTT estimate carried in data packets (TFRC receivers
-  // need it to group losses into loss events and to pace feedback).
-  double rtt_hint = 0.0;
+  union {
+    // Sender's current RTT estimate carried in data packets (TFRC receivers
+    // need it to group losses into loss events and to pace feedback).
+    double rtt_hint = 0.0;  // kind == kData
+    AckInfo ack;            // kind == kAck
+    FeedbackInfo fb;        // kind == kFeedback
+  };
 };
+
+static_assert(std::is_trivially_copyable_v<Packet>);
+static_assert(sizeof(Packet) == 56, "keep the per-hop copy at 56 bytes");
 
 }  // namespace ebrc::net

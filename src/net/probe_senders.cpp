@@ -11,6 +11,7 @@ ProbeSender::ProbeSender(Dumbbell& net, int flow_id, double rate_pps, double pac
       rate_pps_(rate_pps),
       packet_bytes_(packet_bytes),
       pattern_(pattern),
+      send_ev_(net.simulator().pin([this] { send_next(); })),
       rng_(seed),
       recorder_(rtt_window_s) {
   if (rate_pps <= 0 || packet_bytes <= 0) {
@@ -22,7 +23,7 @@ ProbeSender::ProbeSender(Dumbbell& net, int flow_id, double rate_pps, double pac
 
 void ProbeSender::start(double at) {
   running_ = true;
-  net_.simulator().schedule_at(at, [this] { send_next(); });
+  net_.simulator().schedule_pinned_at(at, send_ev_);
 }
 
 void ProbeSender::send_next() {
@@ -36,7 +37,7 @@ void ProbeSender::send_next() {
   const double gap = pattern_ == ProbePattern::kCbr
                          ? 1.0 / rate_pps_
                          : rng_.exponential_mean(1.0 / rate_pps_);
-  net_.simulator().schedule(gap, [this] { send_next(); });
+  net_.simulator().schedule_pinned(gap, send_ev_);
 }
 
 void ProbeSender::on_arrival(const Packet& p) {
@@ -58,6 +59,8 @@ OnOffSender::OnOffSender(Dumbbell& net, int flow_id, double peak_pps, double pac
       packet_bytes_(packet_bytes),
       mean_on_s_(mean_on_s),
       mean_off_s_(mean_off_s),
+      begin_on_ev_(net.simulator().pin([this] { begin_on(); })),
+      send_ev_(net.simulator().pin([this] { send_next(); })),
       rng_(seed) {
   if (peak_pps <= 0 || packet_bytes <= 0 || mean_on_s <= 0 || mean_off_s <= 0) {
     throw std::invalid_argument("OnOffSender: positive parameters required");
@@ -66,7 +69,7 @@ OnOffSender::OnOffSender(Dumbbell& net, int flow_id, double peak_pps, double pac
 
 void OnOffSender::start(double at) {
   running_ = true;
-  net_.simulator().schedule_at(at, [this] { begin_on(); });
+  net_.simulator().schedule_pinned_at(at, begin_on_ev_);
 }
 
 void OnOffSender::begin_on() {
@@ -79,7 +82,7 @@ void OnOffSender::send_next() {
   if (!running_) return;
   const double now = net_.simulator().now();
   if (now >= on_until_) {
-    net_.simulator().schedule(rng_.exponential_mean(mean_off_s_), [this] { begin_on(); });
+    net_.simulator().schedule_pinned(rng_.exponential_mean(mean_off_s_), begin_on_ev_);
     return;
   }
   Packet p;
@@ -88,7 +91,7 @@ void OnOffSender::send_next() {
   p.send_time = now;
   net_.send_data(flow_, p);
   ++sent_;
-  net_.simulator().schedule(1.0 / peak_pps_, [this] { send_next(); });
+  net_.simulator().schedule_pinned(1.0 / peak_pps_, send_ev_);
 }
 
 }  // namespace ebrc::net

@@ -21,6 +21,9 @@ class ProbeSender {
   ProbeSender(Dumbbell& net, int flow_id, double rate_pps, double packet_bytes,
               ProbePattern pattern, double rtt_window_s, std::uint64_t seed);
 
+  ProbeSender(const ProbeSender&) = delete;  // this-capturing pins/handlers
+  ProbeSender& operator=(const ProbeSender&) = delete;
+
   void start(double at);
   void stop() { running_ = false; }
 
@@ -38,6 +41,7 @@ class ProbeSender {
   double rate_pps_;
   double packet_bytes_;
   ProbePattern pattern_;
+  sim::Simulator::PinnedEvent send_ev_;
   sim::Rng rng_;
   stats::LossEventRecorder recorder_;
   std::int64_t next_seq_ = 0;
@@ -54,6 +58,9 @@ class OnOffSender {
   OnOffSender(Dumbbell& net, int flow_id, double peak_pps, double packet_bytes,
               double mean_on_s, double mean_off_s, std::uint64_t seed);
 
+  OnOffSender(const OnOffSender&) = delete;  // this-capturing pins
+  OnOffSender& operator=(const OnOffSender&) = delete;
+
   void start(double at);
   void stop() { running_ = false; }
   [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
@@ -68,6 +75,8 @@ class OnOffSender {
   double packet_bytes_;
   double mean_on_s_;
   double mean_off_s_;
+  sim::Simulator::PinnedEvent begin_on_ev_;
+  sim::Simulator::PinnedEvent send_ev_;
   sim::Rng rng_;
   std::int64_t next_seq_ = 0;
   std::uint64_t sent_ = 0;

@@ -1,61 +1,76 @@
 #include "net/queue.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 namespace ebrc::net {
+namespace {
 
-DropTailQueue::DropTailQueue(std::size_t capacity_packets) : capacity_(capacity_packets) {
-  if (capacity_packets == 0) throw std::invalid_argument("DropTailQueue: zero capacity");
+// Upper bound on the up-front ring allocation: queues with huge nominal
+// buffers (uncongested test fixtures) start smaller and regrow once if the
+// backlog ever materializes; real scenario buffers sit far below this.
+constexpr std::size_t kMaxInitialRing = 4096;
+
+}  // namespace
+
+Queue::Queue(Kind kind, std::size_t limit, RedParams params, std::uint64_t seed)
+    : kind_(kind),
+      limit_(limit),
+      starts_(std::min(limit, kMaxInitialRing) + 1),
+      params_(params),
+      rng_(seed) {}
+
+Queue Queue::drop_tail(std::size_t capacity_packets) {
+  if (capacity_packets == 0) throw std::invalid_argument("Queue: zero DropTail capacity");
+  return Queue(Kind::kDropTail, capacity_packets, RedParams{}, 0);
 }
 
-bool DropTailQueue::enqueue(const Packet& p, double /*now*/) {
-  if (q_.size() >= capacity_) {
-    ++drops_;
-    return false;
-  }
-  q_.push_back(p);
-  ++accepted_;
-  return true;
-}
-
-std::optional<Packet> DropTailQueue::dequeue(double /*now*/) {
-  if (q_.empty()) return std::nullopt;
-  Packet p = q_.front();
-  q_.pop_front();
-  return p;
-}
-
-RedQueue::RedQueue(RedParams params, std::uint64_t seed) : params_(params), rng_(seed) {
+Queue Queue::red(RedParams params, std::uint64_t seed) {
   if (params.min_th <= 0 || params.max_th <= params.min_th) {
-    throw std::invalid_argument("RedQueue: need 0 < min_th < max_th");
+    throw std::invalid_argument("Queue: RED needs 0 < min_th < max_th");
   }
   if (params.max_p <= 0 || params.max_p > 1) {
-    throw std::invalid_argument("RedQueue: max_p in (0,1]");
+    throw std::invalid_argument("Queue: RED max_p in (0,1]");
   }
   if (params.weight <= 0 || params.weight > 1) {
-    throw std::invalid_argument("RedQueue: weight in (0,1]");
+    throw std::invalid_argument("Queue: RED weight in (0,1]");
   }
-  if (params.buffer_packets == 0) throw std::invalid_argument("RedQueue: zero buffer");
+  if (params.buffer_packets == 0) throw std::invalid_argument("Queue: zero RED buffer");
+  return Queue(Kind::kRed, params.buffer_packets, params, seed);
 }
 
-void RedQueue::update_average(double now) {
-  if (q_.empty() && idle_since_ >= 0.0) {
+void Queue::advance(double now) noexcept {
+  double last_start = 0.0;
+  bool emptied = false;
+  while (!starts_.empty() && starts_.front() <= now) {
+    last_start = starts_.front();
+    starts_.pop_front();
+    emptied = starts_.empty();
+  }
+  // The waiting set emptied when its last packet entered service — that is
+  // the instant the old explicit-dequeue model stamped the idle clock.
+  if (emptied && idle_since_ < 0.0) idle_since_ = last_start;
+}
+
+void Queue::update_average(double now) {
+  if (starts_.empty() && idle_since_ >= 0.0) {
     // Decay the average as if (idle / mean_packet_time) empty slots passed.
     const double m = (now - idle_since_) / params_.mean_packet_time;
     avg_ *= std::pow(1.0 - params_.weight, std::max(0.0, m));
     idle_since_ = now;  // keep decaying from here
   } else {
     avg_ = (1.0 - params_.weight) * avg_ +
-           params_.weight * static_cast<double>(q_.size());
+           params_.weight * static_cast<double>(starts_.size());
   }
 }
 
-bool RedQueue::enqueue(const Packet& p, double now) {
+bool Queue::red_admit(double now) {
   update_average(now);
 
   bool drop = false;
-  if (q_.size() >= params_.buffer_packets) {
+  if (starts_.size() >= params_.buffer_packets) {
     drop = true;  // physical overflow
   } else if (avg_ >= params_.max_th) {
     if (params_.gentle && avg_ < 2.0 * params_.max_th) {
@@ -80,23 +95,43 @@ bool RedQueue::enqueue(const Packet& p, double now) {
   } else {
     count_ = -1;
   }
+  return !drop;
+}
 
-  if (drop) {
+bool Queue::admit(double now, double service_start) {
+  // Unconditional (not assert-only): mixing modes silently corrupts the
+  // occupancy forever — a kNever entry at the ring front blocks the lazy
+  // drain of every finite start behind it. One predictable branch per
+  // admission buys a loud failure instead.
+  const Mode mode = service_start == kNever ? Mode::kManual : Mode::kLink;
+  if (mode_ != mode) {
+    if (mode_ != Mode::kUnset) {
+      throw std::logic_error(
+          "Queue: cannot mix link-driven admission with standalone enqueue");
+    }
+    mode_ = mode;
+  }
+  advance(now);
+  const bool admitted =
+      kind_ == Kind::kDropTail ? starts_.size() < limit_ : red_admit(now);
+  if (!admitted) {
     ++drops_;
     return false;
   }
-  q_.push_back(p);
+  starts_.push_back(service_start);
   ++accepted_;
   idle_since_ = -1.0;
   return true;
 }
 
-std::optional<Packet> RedQueue::dequeue(double now) {
-  if (q_.empty()) return std::nullopt;
-  Packet p = q_.front();
-  q_.pop_front();
-  if (q_.empty()) idle_since_ = now;
-  return p;
+bool Queue::dequeue(Packet& out, double now) {
+  advance(now);
+  if (store_.empty() || starts_.empty()) return false;
+  out = store_.front();
+  store_.pop_front();
+  starts_.pop_front();
+  if (starts_.empty() && idle_since_ < 0.0) idle_since_ = now;
+  return true;
 }
 
 RedParams red_params_for_bdp(double bandwidth_bps, double rtt_s, double packet_bytes) {

@@ -4,55 +4,33 @@
 // by the paper's lab setup: EWMA average queue with idle-time compensation,
 // linear drop probability between min_th and max_th, forced drop above
 // max_th, and the standard count-based spreading of drops.
+//
+// Hot-path layout: one concrete class, discriminated by a kind tag, instead
+// of the former virtual hierarchy — admission dispatch is a predicted branch
+// and the bodies inline into Link::forward. Occupancy is virtual-clock
+// driven: the owning link admits each packet with the simulated time its
+// serialization will begin (`service_start`), and the waiting count — what
+// the drop policies compare against their thresholds — is a power-of-two
+// ring of those start times, sized from the buffer limit at construction and
+// drained lazily as the clock passes them. The steady state therefore
+// performs zero heap allocations and stores eight bytes per waiting packet
+// (the packets themselves live in the pipes' flight rings until delivery).
+//
+// Standalone use (tests, micro-benches) goes through enqueue()/dequeue():
+// packets then wait in an internal FIFO until explicitly dequeued, which
+// reproduces the classic manual-queue behavior. The two modes cannot be
+// mixed on one instance.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <memory>
-#include <optional>
+#include <limits>
 #include <string>
 
 #include "net/packet.hpp"
 #include "sim/random.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace ebrc::net {
-
-class Queue {
- public:
-  virtual ~Queue() = default;
-
-  /// Offers a packet at time `now`; returns true when accepted, false when
-  /// dropped (the caller owns drop accounting).
-  [[nodiscard]] virtual bool enqueue(const Packet& p, double now) = 0;
-
-  /// Removes the head-of-line packet; nullopt when empty.
-  [[nodiscard]] virtual std::optional<Packet> dequeue(double now) = 0;
-
-  [[nodiscard]] virtual std::size_t packets() const noexcept = 0;
-  [[nodiscard]] virtual std::string name() const = 0;
-
-  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
-  [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
-
- protected:
-  std::uint64_t drops_ = 0;
-  std::uint64_t accepted_ = 0;
-};
-
-/// FIFO with a hard packet-count limit.
-class DropTailQueue final : public Queue {
- public:
-  explicit DropTailQueue(std::size_t capacity_packets);
-  [[nodiscard]] bool enqueue(const Packet& p, double now) override;
-  [[nodiscard]] std::optional<Packet> dequeue(double now) override;
-  [[nodiscard]] std::size_t packets() const noexcept override { return q_.size(); }
-  [[nodiscard]] std::string name() const override { return "DropTail"; }
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-
- private:
-  std::size_t capacity_;
-  std::deque<Packet> q_;
-};
 
 struct RedParams {
   std::size_t buffer_packets = 250;  // hard limit
@@ -64,22 +42,84 @@ struct RedParams {
   double mean_packet_time = 5e-4;    // s, for idle-time averaging compensation
 };
 
-class RedQueue final : public Queue {
+class Queue {
  public:
-  RedQueue(RedParams params, std::uint64_t seed);
-  [[nodiscard]] bool enqueue(const Packet& p, double now) override;
-  [[nodiscard]] std::optional<Packet> dequeue(double now) override;
-  [[nodiscard]] std::size_t packets() const noexcept override { return q_.size(); }
-  [[nodiscard]] std::string name() const override { return "RED"; }
+  /// Sentinel service start: the packet waits until an explicit dequeue().
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
 
+  /// FIFO with a hard packet-count limit.
+  [[nodiscard]] static Queue drop_tail(std::size_t capacity_packets);
+  /// Floyd & Jacobson RED (gentle-less by default, per the lab setup).
+  [[nodiscard]] static Queue red(RedParams params, std::uint64_t seed);
+
+  Queue(Queue&&) = default;
+  Queue& operator=(Queue&&) = default;
+  Queue(const Queue&) = delete;
+  Queue& operator=(const Queue&) = delete;
+
+  /// Admission at arrival time `now` for a packet whose serialization will
+  /// begin at `service_start` (from the link's virtual clock). Returns true
+  /// when accepted; false counts as a drop. The packet occupies the queue
+  /// until the clock passes its service start.
+  [[nodiscard]] bool admit(double now, double service_start);
+
+  /// Standalone form: admits AND buffers the packet until dequeue().
+  [[nodiscard]] bool enqueue(const Packet& p, double now) {
+    if (!admit(now, kNever)) return false;
+    store_.push_back(p);
+    return true;
+  }
+
+  /// Removes the head-of-line waiting packet at time `now` (standalone use);
+  /// false when nothing is waiting.
+  [[nodiscard]] bool dequeue(Packet& out, double now);
+
+  /// Waiting packets at `now`: admitted, serialization not yet begun. This is
+  /// the occupancy the drop policies compare against their thresholds.
+  [[nodiscard]] std::size_t packets(double now) noexcept {
+    advance(now);
+    return starts_.size();
+  }
+
+  [[nodiscard]] const char* name() const noexcept {
+    return kind_ == Kind::kDropTail ? "DropTail" : "RED";
+  }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+  /// Hard packet-count limit (DropTail capacity / RED buffer).
+  [[nodiscard]] std::size_t capacity() const noexcept { return limit_; }
+
+  // --- RED view -----------------------------------------------------------
   [[nodiscard]] double average_queue() const noexcept { return avg_; }
   [[nodiscard]] const RedParams& params() const noexcept { return params_; }
 
  private:
-  void update_average(double now);
+  enum class Kind : std::uint8_t { kDropTail, kRed };
 
+  Queue(Kind kind, std::size_t limit, RedParams params, std::uint64_t seed);
+
+  /// Lazily retires service starts the clock has passed; maintains RED's
+  /// idle timestamp when the waiting set empties.
+  void advance(double now) noexcept;
+  void update_average(double now);
+  [[nodiscard]] bool red_admit(double now);
+
+  /// A queue is either link-driven (finite service starts) or standalone
+  /// (kNever + explicit dequeue) — never both: a kNever entry would block
+  /// the lazy drain of every finite start behind it, silently inflating the
+  /// occupancy forever. The first admit fixes the mode; mixing asserts.
+  enum class Mode : std::uint8_t { kUnset, kLink, kManual };
+
+  Kind kind_;
+  Mode mode_ = Mode::kUnset;
+  std::size_t limit_;
+  util::RingBuffer<double> starts_;  // service starts of waiting packets
+  util::RingBuffer<Packet> store_;   // standalone mode only; empty under a link
+  std::uint64_t drops_ = 0;
+  std::uint64_t accepted_ = 0;
+
+  // RED state (inert for DropTail).
   RedParams params_;
-  std::deque<Packet> q_;
   double avg_ = 0.0;
   std::int64_t count_ = -1;  // packets since last drop (-1 per Floyd's pseudocode)
   double idle_since_ = -1.0; // time the queue went empty; <0 while busy

@@ -1,0 +1,66 @@
+// A lazily re-armed deadline timer over the event kernel.
+//
+// Protocol timers (TCP's RTO, delayed ACKs) are re-armed far more often than
+// they fire: the classic cancel-and-reschedule idiom leaves a window's worth
+// of dead heap entries cycling through the simulator per flow. A LazyTimer
+// keeps the LIVE deadline in the component: extending it (the overwhelmingly
+// common case) is a plain store, firing the armed kernel event re-checks the
+// deadline and chases it when it moved, and disarming is a flag write. At
+// most one kernel event per timeout period per timer reaches the heap.
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace ebrc::sim {
+
+class LazyTimer {
+ public:
+  /// Arms (or extends) the deadline to the absolute time `at`; `schedule`
+  /// is a callable `EventHandle(Time)` that schedules this timer's kernel
+  /// event (invoked only when no pending event fires at or before `at`).
+  template <typename Schedule>
+  void arm(Time at, Schedule&& schedule) {
+    deadline_ = at;
+    active_ = true;
+    if (timer_.pending() && event_at_ <= deadline_) return;
+    timer_.cancel();
+    event_at_ = deadline_;
+    timer_ = schedule(deadline_);
+  }
+
+  /// Call from the kernel event. Returns true when the deadline is due (the
+  /// timer deactivates; the caller performs the action); when the deadline
+  /// moved later, re-arms the chase event and returns false. Stale firings
+  /// after disarm() return false and die.
+  template <typename Schedule>
+  [[nodiscard]] bool fire(Time now, Schedule&& schedule) {
+    if (!active_) return false;
+    if (now >= deadline_) {
+      active_ = false;
+      return true;
+    }
+    event_at_ = deadline_;
+    timer_ = schedule(deadline_);
+    return false;
+  }
+
+  /// Deactivates without touching the kernel; any pending event dies lazily.
+  void disarm() noexcept { active_ = false; }
+
+  /// Deactivates AND cancels the pending kernel event (teardown).
+  void cancel() {
+    active_ = false;
+    timer_.cancel();
+  }
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] Time deadline() const noexcept { return deadline_; }
+
+ private:
+  Time deadline_ = 0.0;
+  Time event_at_ = 0.0;  // fire time of the pending kernel event
+  bool active_ = false;
+  EventHandle timer_;
+};
+
+}  // namespace ebrc::sim

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <random>
 #include <stdexcept>
 
 namespace ebrc::sim {
@@ -25,33 +26,25 @@ std::uint64_t hash_seed(std::uint64_t root, std::string_view component) {
 Rng Rng::split(std::string_view component) const {
   // Derive a child seed from this engine's *initial* configuration: we use a
   // copy so splitting never disturbs this generator's own stream.
-  std::mt19937_64 probe = engine_;
+  Xoshiro256pp probe = engine_;
   const std::uint64_t salt = probe();
   return Rng(hash_seed(salt, component));
 }
 
-double Rng::uniform() {
-  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
-}
-
-double Rng::uniform(double lo, double hi) {
-  assert(lo <= hi);
-  return std::uniform_real_distribution<double>(lo, hi)(engine_);
-}
-
 double Rng::exponential_mean(double mean) {
   if (mean <= 0) throw std::invalid_argument("exponential_mean: mean must be > 0");
-  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  // Inverse CDF on 1-u with u in [0,1): log1p(-u) is finite and <= 0.
+  return -std::log1p(-uniform()) * mean;
 }
 
 double Rng::shifted_exponential(double x0, double a) {
   if (x0 < 0 || a <= 0) throw std::invalid_argument("shifted_exponential: need x0 >= 0, a > 0");
-  return x0 + std::exponential_distribution<double>(a)(engine_);
+  return x0 - std::log1p(-uniform()) / a;
 }
 
 bool Rng::bernoulli(double p) {
   if (p < 0 || p > 1) throw std::invalid_argument("bernoulli: p outside [0,1]");
-  return std::bernoulli_distribution(p)(engine_);
+  return uniform() < p;
 }
 
 double Rng::pareto_mean(double mean, double alpha) {

@@ -77,7 +77,25 @@ void Simulator::run_until(Time horizon) {
     pop_min();
     // The next event to run is already known (the new heap top): start
     // pulling its callback line in while this event's callback executes.
-    if (!heap_.empty()) slab->prefetch(heap_.front().slot);
+    if (!heap_.empty()) {
+      const std::uint32_t next = heap_.front().slot;
+      if ((next & kPinnedBit) == 0) {
+        slab->prefetch(next);
+      }
+#if defined(__GNUC__) || defined(__clang__)
+      else {
+        __builtin_prefetch(&pinned_[next & ~kPinnedBit]);
+      }
+#endif
+    }
+    if ((e.slot & kPinnedBit) != 0) {
+      // Pinned fast path: no liveness check, no retire, no callback move —
+      // invoke in place. Always live by construction.
+      now_ = e.at;
+      ++executed_;
+      pinned_[e.slot & ~kPinnedBit]();
+      continue;
+    }
     const bool live = slab->slot_live(e.slot);
     // Move the callback out and recycle the slot before running: a handle
     // must report !pending() from inside its own callback, and new events may

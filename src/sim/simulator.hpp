@@ -37,6 +37,7 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <type_traits>
 #include <vector>
 
@@ -315,6 +316,43 @@ class Simulator {
     return schedule_impl(at, std::move(fn));
   }
 
+  // --- pinned events --------------------------------------------------------
+  //
+  // The packet path schedules the SAME component callback over and over: a
+  // link's head-of-line delivery, a pipe's chain hop, a sender's pacing
+  // tick. The general schedule() pays slab acquire/retire, callback
+  // compression, and handle refcounting for every one of those — all pure
+  // overhead when the callback never changes and is never cancelled. A
+  // pinned event registers the callback once; scheduling it afterwards is a
+  // bare heap push (16 bytes of entry, zero slab traffic) and firing invokes
+  // it in place. Pinned events cannot be cancelled individually — guard with
+  // a component-side flag, as the protocols' `running_` already does.
+  // Execution order remains the global (time, insertion-seq) order shared
+  // with slab events.
+
+  using PinnedEvent = std::uint32_t;
+
+  /// Registers `fn` as a pinned callback; the id stays valid for the
+  /// simulator's lifetime. Safe to call between runs (storage is stable).
+  PinnedEvent pin(EventFn fn) {
+    pinned_.push_back(std::move(fn));
+    return static_cast<PinnedEvent>(pinned_.size() - 1) | kPinnedBit;
+  }
+
+  /// Schedules a pinned callback after `delay` (>= 0).
+  void schedule_pinned(Time delay, PinnedEvent ev) {
+    if (delay < 0) throw_negative_delay();
+    schedule_pinned_at(now_ + delay, ev);
+  }
+
+  /// Schedules a pinned callback at absolute time `at` (>= now()).
+  void schedule_pinned_at(Time at, PinnedEvent ev) {
+    if (at < now_) throw_past_time();
+    assert((ev & kPinnedBit) != 0 && "not a pin() id");
+    at += 0.0;  // normalize -0.0, as in schedule_impl
+    push_entry(Entry{at, next_seq_++, ev});
+  }
+
   /// Runs events until the queue drains or the clock passes `horizon`.
   /// The clock is left at min(horizon, time of last event).
   void run_until(Time horizon);
@@ -401,12 +439,17 @@ class Simulator {
   void pop_min();
 
   static constexpr std::size_t kDefaultReserve = 256;
+  /// Tags a heap entry's slot as a pinned-callback index. Distinct from
+  /// EventSlab's kWideBit (the top bit): a pinned entry never reaches the
+  /// slab, and slab indices stay far below 2^30.
+  static constexpr std::uint32_t kPinnedBit = 0x4000'0000u;
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   EventSlab* slab_;  // intrusively refcounted; see EventSlab::retain/release
   std::vector<Entry> heap_;  // 4-ary min-heap: children of i at 4i+1 .. 4i+4
+  std::deque<EventFn> pinned_;  // deque: pin() during a run never relocates
 };
 
 }  // namespace ebrc::sim

@@ -64,8 +64,8 @@ void TcpConnection::transmit(std::int64_t seq, bool retransmission) {
 
 void TcpConnection::on_packet_at_sender(const net::Packet& p) {
   if (!running_ || p.kind != net::PacketKind::kAck) return;
-  if (p.ack_seq > high_ack_) {
-    on_new_ack(p.ack_seq, p.echo_time);
+  if (p.ack.seq > high_ack_) {
+    on_new_ack(p.ack.seq, p.ack.echo_time);
   } else {
     on_dupack();
   }
@@ -105,7 +105,7 @@ void TcpConnection::on_new_ack(std::int64_t ack, double echo_time) {
   recorder_.note_rate(srtt_ > 0 ? cwnd_ / srtt_ : 0.0);
 
   if (high_ack_ == next_seq_) {
-    rto_timer_.cancel();  // everything acked
+    rto_timer_.disarm();  // everything acked; the pending event dies lazily
   } else {
     arm_rto();
   }
@@ -151,9 +151,18 @@ void TcpConnection::on_timeout() {
 }
 
 void TcpConnection::arm_rto() {
-  rto_timer_.cancel();
   const double timeout = std::min(cfg_.max_rto, rto_ * static_cast<double>(backoff_));
-  rto_timer_ = net_.simulator().schedule(timeout, [this] { on_timeout(); });
+  rto_timer_.arm(net_.simulator().now() + timeout, [this](double at) {
+    return net_.simulator().schedule_at(at, [this] { rto_event(); });
+  });
+}
+
+void TcpConnection::rto_event() {
+  if (!running_) return;
+  const bool due = rto_timer_.fire(net_.simulator().now(), [this](double at) {
+    return net_.simulator().schedule_at(at, [this] { rto_event(); });
+  });
+  if (due) on_timeout();
 }
 
 void TcpConnection::note_rtt_sample(double sample) {
@@ -188,15 +197,17 @@ void TcpConnection::on_data_at_receiver(const net::Packet& p) {
   if (p.seq == expected_) {
     ++expected_;
     ++delivered_;
-    // Drain any buffered continuation.
+    // Drain any buffered continuation, then trim the prefix in one move.
     auto it = out_of_order_.begin();
     while (it != out_of_order_.end() && *it == expected_) {
       ++expected_;
       ++delivered_;
-      it = out_of_order_.erase(it);
+      ++it;
     }
+    out_of_order_.erase(out_of_order_.begin(), it);
   } else if (p.seq > expected_) {
-    out_of_order_.insert(p.seq);
+    const auto pos = std::lower_bound(out_of_order_.begin(), out_of_order_.end(), p.seq);
+    if (pos == out_of_order_.end() || *pos != p.seq) out_of_order_.insert(pos, p.seq);
     out_of_order = true;
   } else {
     out_of_order = true;  // duplicate of already-delivered data: ack at once
@@ -205,19 +216,29 @@ void TcpConnection::on_data_at_receiver(const net::Packet& p) {
   ++pending_acks_;
   if (out_of_order || pending_acks_ >= cfg_.ack_every) {
     send_ack(p.send_time);
-  } else if (!delack_timer_.pending()) {
-    delack_timer_ = net_.simulator().schedule(cfg_.delayed_ack_timeout,
-                                              [this] { send_ack(last_echo_); });
+  } else if (!delack_timer_.active()) {
+    delack_timer_.arm(net_.simulator().now() + cfg_.delayed_ack_timeout,
+                      [this](double at) {
+                        return net_.simulator().schedule_at(
+                            at, [this] { delack_event(); });
+                      });
   }
 }
 
+void TcpConnection::delack_event() {
+  if (!running_) return;
+  const bool due = delack_timer_.fire(net_.simulator().now(), [this](double at) {
+    return net_.simulator().schedule_at(at, [this] { delack_event(); });
+  });
+  if (due) send_ack(last_echo_);
+}
+
 void TcpConnection::send_ack(double echo_time) {
-  delack_timer_.cancel();
+  delack_timer_.disarm();
   pending_acks_ = 0;
   net::Packet ack;
   ack.kind = net::PacketKind::kAck;
-  ack.ack_seq = expected_;
-  ack.echo_time = echo_time;
+  ack.ack = {/*seq=*/expected_, /*echo_time=*/echo_time};
   ack.size_bytes = 40.0;
   ack.send_time = net_.simulator().now();
   net_.send_back(flow_, ack);

@@ -10,9 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
+#include <vector>
 
 #include "net/dumbbell.hpp"
+#include "sim/lazy_timer.hpp"
 #include "stats/loss_events.hpp"
 #include "stats/online.hpp"
 
@@ -35,6 +36,11 @@ class TcpConnection {
   /// Wires the connection onto flow `flow_id` of the dumbbell. `base_rtt_s`
   /// seeds the RTO before the first measurement.
   TcpConnection(net::Dumbbell& net, int flow_id, double base_rtt_s, TcpConfig cfg = {});
+
+  // Registers this-capturing handlers at construction; the object must stay
+  // at its construction address.
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
 
   void start(double at);
   void stop();
@@ -64,6 +70,8 @@ class TcpConnection {
   void enter_recovery();
   void on_timeout();
   void arm_rto();
+  void rto_event();
+  void delack_event();
   void note_rtt_sample(double sample);
   void record_loss_event();
   [[nodiscard]] double flight() const noexcept {
@@ -93,17 +101,28 @@ class TcpConnection {
   double rto_;
   int backoff_ = 1;
   double last_retransmit_time_ = -1.0;  // Karn's rule cutoff
-  sim::EventHandle rto_timer_;
+  // Lazily re-armed RTO deadline: every ACK used to cancel-and-reschedule
+  // the kernel event, leaving a window's worth of dead heap entries cycling
+  // through the simulator per flow; now each ACK is a store (see
+  // sim::LazyTimer).
+  sim::LazyTimer rto_timer_;
   std::uint64_t sent_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t fast_retx_ = 0;
 
   // receiver state
   std::int64_t expected_ = 0;
-  std::set<std::int64_t> out_of_order_;
+  // Sorted ascending; a vector (capacity retained across loss episodes)
+  // instead of a node-per-entry set, so reordering buffers allocate nothing
+  // in steady state. Holes are at most a window's worth of packets, so the
+  // O(n) insert shift is cache-friendly and tiny.
+  std::vector<std::int64_t> out_of_order_;
   int pending_acks_ = 0;
   double last_echo_ = 0.0;
-  sim::EventHandle delack_timer_;
+  // Lazy delayed-ACK deadline, same shape as the RTO: arming is a store and
+  // sending the ACK merely deactivates (at most one kernel event per delack
+  // timeout per flow instead of a schedule+cancel pair per ACKed pair).
+  sim::LazyTimer delack_timer_;
   std::uint64_t delivered_ = 0;
 
   // measurement

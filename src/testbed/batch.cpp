@@ -63,11 +63,12 @@ BatchRunner::BatchRunner(std::size_t jobs) : jobs_(jobs) {
   }
 }
 
-void BatchRunner::for_indices(std::size_t n, const std::function<void(std::size_t)>& body) const {
+void BatchRunner::dispatch(std::size_t n, void (*invoke)(void*, std::size_t),
+                           void* ctx) const {
   if (n == 0) return;
   const std::size_t workers = std::min(jobs_, n);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) invoke(ctx, i);
     return;
   }
 
@@ -82,7 +83,7 @@ void BatchRunner::for_indices(std::size_t n, const std::function<void(std::size_
       // rethrow in one run's time, not after finishing the whole sweep.
       if (i >= n || failed.load(std::memory_order_relaxed)) return;
       try {
-        body(i);
+        invoke(ctx, i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();

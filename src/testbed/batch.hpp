@@ -13,10 +13,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <map>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "stats/online.hpp"
@@ -72,18 +72,25 @@ class BatchRunner {
   /// pool and returns the results in index order. fn must be self-contained
   /// (its own Simulator/Rng/loss process) — it runs concurrently with other
   /// indices. The first exception thrown by any fn is rethrown here after
-  /// all workers have stopped.
-  template <typename T>
-  [[nodiscard]] std::vector<T> map(std::size_t n,
-                                   const std::function<T(std::size_t)>& fn) const {
+  /// all workers have stopped. The callable is taken as a template (invoked
+  /// through one function pointer + context pointer in the driver), so no
+  /// std::function sits on the per-run dispatch path.
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> map(std::size_t n, Fn&& fn) const {
+    static_assert(std::is_invocable_r_v<T, Fn&, std::size_t>);
     std::vector<T> out(n);
-    for_indices(n, [&](std::size_t i) { out[i] = fn(i); });
+    auto body = [&](std::size_t i) { out[i] = fn(i); };
+    dispatch(
+        n,
+        [](void* ctx, std::size_t i) { (*static_cast<decltype(body)*>(ctx))(i); },
+        &body);
     return out;
   }
 
  private:
-  /// Shared work-queue driver behind run() and map().
-  void for_indices(std::size_t n, const std::function<void(std::size_t)>& body) const;
+  /// Shared work-queue driver behind run() and map(): claims indices off an
+  /// atomic counter and invokes `invoke(ctx, i)` on the worker team.
+  void dispatch(std::size_t n, void (*invoke)(void*, std::size_t), void* ctx) const;
 
   std::size_t jobs_;
 };

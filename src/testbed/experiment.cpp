@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
+#include <deque>
 #include <stdexcept>
 
 #include "core/conditions.hpp"
@@ -48,14 +48,14 @@ double mean_of(const std::vector<double>& v) {
   return s / static_cast<double>(v.size());
 }
 
-std::unique_ptr<net::Queue> make_queue(const Scenario& sc) {
+net::Queue make_queue(const Scenario& sc) {
   if (sc.queue == QueueKind::kDropTail) {
-    return std::make_unique<net::DropTailQueue>(sc.droptail_buffer);
+    return net::Queue::drop_tail(sc.droptail_buffer);
   }
   const net::RedParams prm = sc.red ? *sc.red
                                     : net::red_params_for_bdp(sc.bottleneck_bps, sc.base_rtt_s,
                                                               sc.tfrc.packet_bytes);
-  return std::make_unique<net::RedQueue>(prm, sim::hash_seed(sc.seed, "red"));
+  return net::Queue::red(prm, sim::hash_seed(sc.seed, "red"));
 }
 
 }  // namespace
@@ -87,42 +87,39 @@ ExperimentResult run_experiment(const Scenario& sc) {
     return net.add_flow(one_way, rtt / 2.0);
   };
 
-  std::vector<std::unique_ptr<tfrc::TfrcConnection>> tfrcs;
-  std::vector<std::unique_ptr<tcp::TcpConnection>> tcps;
-  std::vector<std::unique_ptr<net::ProbeSender>> probes;
-  std::vector<std::unique_ptr<net::OnOffSender>> onoffs;
+  // Connections live by value in deques (stable addresses for their wired
+  // callbacks, no per-flow unique_ptr hop on the delivery path).
+  std::deque<tfrc::TfrcConnection> tfrcs;
+  std::deque<tcp::TcpConnection> tcps;
+  std::deque<net::ProbeSender> probes;
+  std::deque<net::OnOffSender> onoffs;
 
   for (int i = 0; i < sc.n_tfrc; ++i) {
     const double rtt = flow_rtt();
     const int id = add_flow(rtt);
-    auto conn = std::make_unique<tfrc::TfrcConnection>(net, id, rtt, sc.tfrc);
-    conn->start(rng.uniform(0.0, 1.0));
-    tfrcs.push_back(std::move(conn));
+    tfrcs.emplace_back(net, id, rtt, sc.tfrc).start(rng.uniform(0.0, 1.0));
   }
   for (int i = 0; i < sc.n_tcp; ++i) {
     const double rtt = flow_rtt();
     const int id = add_flow(rtt);
-    auto conn = std::make_unique<tcp::TcpConnection>(net, id, rtt, sc.tcp);
-    conn->start(rng.uniform(0.0, 1.0));
-    tcps.push_back(std::move(conn));
+    tcps.emplace_back(net, id, rtt, sc.tcp).start(rng.uniform(0.0, 1.0));
   }
   for (int i = 0; i < sc.n_poisson; ++i) {
     const double rtt = flow_rtt();
     const int id = add_flow(rtt);
-    auto probe = std::make_unique<net::ProbeSender>(
-        net, id, sc.poisson_rate_pps, sc.tfrc.packet_bytes, net::ProbePattern::kPoisson, rtt,
-        sim::hash_seed(sc.seed, "poisson" + std::to_string(i)));
-    probe->start(rng.uniform(0.0, 1.0));
-    probes.push_back(std::move(probe));
+    probes
+        .emplace_back(net, id, sc.poisson_rate_pps, sc.tfrc.packet_bytes,
+                      net::ProbePattern::kPoisson, rtt,
+                      sim::hash_seed(sc.seed, "poisson" + std::to_string(i)))
+        .start(rng.uniform(0.0, 1.0));
   }
   for (int i = 0; i < sc.n_onoff; ++i) {
     const double rtt = flow_rtt();
     const int id = add_flow(rtt);
-    auto bg = std::make_unique<net::OnOffSender>(
-        net, id, sc.onoff_peak_pps, sc.tfrc.packet_bytes, sc.onoff_mean_on_s,
-        sc.onoff_mean_off_s, sim::hash_seed(sc.seed, "onoff" + std::to_string(i)));
-    bg->start(rng.uniform(0.0, 1.0));
-    onoffs.push_back(std::move(bg));
+    onoffs
+        .emplace_back(net, id, sc.onoff_peak_pps, sc.tfrc.packet_bytes, sc.onoff_mean_on_s,
+                      sc.onoff_mean_off_s, sim::hash_seed(sc.seed, "onoff" + std::to_string(i)))
+        .start(rng.uniform(0.0, 1.0));
   }
 
   // Warm-up, snapshot, measure.
@@ -130,14 +127,14 @@ ExperimentResult run_experiment(const Scenario& sc) {
   std::vector<RecorderSnapshot> tfrc_s, tcp_s, probe_s;
   std::vector<std::uint64_t> tfrc_d0, tcp_d0;
   for (auto& c : tfrcs) {
-    tfrc_s.push_back(snap(c->recorder()));
-    tfrc_d0.push_back(c->delivered());
+    tfrc_s.push_back(snap(c.recorder()));
+    tfrc_d0.push_back(c.delivered());
   }
   for (auto& c : tcps) {
-    tcp_s.push_back(snap(c->recorder()));
-    tcp_d0.push_back(c->delivered());
+    tcp_s.push_back(snap(c.recorder()));
+    tcp_d0.push_back(c.delivered());
   }
-  for (auto& p : probes) probe_s.push_back(snap(p->recorder()));
+  for (auto& p : probes) probe_s.push_back(snap(p.recorder()));
 
   sim.run_until(sc.duration_s);
   const double window = sc.duration_s - sc.warmup_s;
@@ -174,19 +171,19 @@ ExperimentResult run_experiment(const Scenario& sc) {
   };
 
   for (std::size_t i = 0; i < tfrcs.size(); ++i) {
-    auto& c = *tfrcs[i];
+    auto& c = tfrcs[i];
     const double goodput = static_cast<double>(c.delivered() - tfrc_d0[i]) / window;
     analyze("tfrc", i < tfrc_s.size() ? static_cast<int>(i) : 0, c.recorder(), tfrc_s[i],
             goodput, c.rtt_stats().count() > 0 ? c.rtt_stats().mean() : c.srtt());
   }
   for (std::size_t i = 0; i < tcps.size(); ++i) {
-    auto& c = *tcps[i];
+    auto& c = tcps[i];
     const double goodput = static_cast<double>(c.delivered() - tcp_d0[i]) / window;
     analyze("tcp", static_cast<int>(i), c.recorder(), tcp_s[i], goodput,
             c.rtt_stats().count() > 0 ? c.rtt_stats().mean() : c.srtt());
   }
   for (std::size_t i = 0; i < probes.size(); ++i) {
-    auto& p = *probes[i];
+    auto& p = probes[i];
     FlowStats fs;
     fs.kind = "poisson";
     fs.flow_id = static_cast<int>(i);

@@ -26,6 +26,8 @@ TfrcConnection::TfrcConnection(net::Dumbbell& net, int flow_id, double base_rtt_
       flow_(flow_id),
       cfg_(std::move(cfg)),
       unit_formula_(model::make_throughput_function(cfg_.formula, 1.0)),  // q = 4r implied
+      send_ev_(net.simulator().pin([this] { send_next(); })),
+      feedback_ev_(net.simulator().pin([this] { feedback_tick(); })),
       rate_(cfg_.initial_rate_pps),
       srtt_(base_rtt_s),
       history_(core::tfrc_weights(cfg_.history_length), cfg_.comprehensive,
@@ -72,14 +74,14 @@ void TfrcConnection::send_next() {
   p.rtt_hint = srtt_;
   net_.send_data(flow_, p);
   ++sent_;
-  net_.simulator().schedule(1.0 / rate_, [this] { send_next(); });
+  net_.simulator().schedule_pinned(1.0 / rate_, send_ev_);
 }
 
 void TfrcConnection::on_feedback(const net::Packet& p) {
   if (!running_ || p.kind != net::PacketKind::kFeedback) return;
   const double now = net_.simulator().now();
 
-  const double sample = now - p.echo_time;
+  const double sample = now - p.fb.echo_time;
   if (sample > 0) {
     if (!have_rtt_) {
       srtt_ = sample;
@@ -94,19 +96,19 @@ void TfrcConnection::on_feedback(const net::Packet& p) {
   }
 
   double new_rate;
-  if (p.fb_mean_interval > 0.0) {
+  if (p.fb.mean_interval > 0.0) {
     saw_loss_ = true;
-    const double loss_rate = std::min(1.0, 1.0 / p.fb_mean_interval);
+    const double loss_rate = std::min(1.0, 1.0 / p.fb.mean_interval);
     // f(p, r) = f(p, 1) / r, exact under the q = 4r recommendation.
     new_rate = unit_formula_->rate(loss_rate) / srtt_;
-    if (cfg_.receive_rate_cap && p.fb_recv_rate > 0.0) {
-      new_rate = std::min(new_rate, 2.0 * p.fb_recv_rate);
+    if (cfg_.receive_rate_cap && p.fb.recv_rate > 0.0) {
+      new_rate = std::min(new_rate, 2.0 * p.fb.recv_rate);
     }
   } else {
     // Slow-start phase: double per feedback, capped by twice the receive
     // rate (RFC 3448 Section 4.3).
     new_rate = 2.0 * rate_;
-    if (p.fb_recv_rate > 0.0) new_rate = std::min(new_rate, 2.0 * p.fb_recv_rate);
+    if (p.fb.recv_rate > 0.0) new_rate = std::min(new_rate, 2.0 * p.fb.recv_rate);
   }
   rate_ = std::max(cfg_.min_rate_pps, new_rate);
   recorder_.note_rate(rate_);
@@ -142,7 +144,7 @@ void TfrcConnection::on_data(const net::Packet& p) {
   if (!receiver_started_) {
     receiver_started_ = true;
     last_feedback_time_ = now;
-    net_.simulator().schedule(std::max(1e-3, rtt_hint_), [this] { feedback_tick(); });
+    net_.simulator().schedule_pinned(std::max(1e-3, rtt_hint_), feedback_ev_);
   }
 }
 
@@ -150,19 +152,19 @@ void TfrcConnection::feedback_tick() {
   if (!running_) return;
   const double now = net_.simulator().now();
   if (recv_since_feedback_ > 0) {
-    net::Packet fb;
-    fb.kind = net::PacketKind::kFeedback;
-    fb.size_bytes = 40.0;
-    fb.send_time = now;
-    fb.echo_time = last_data_send_time_;
-    fb.fb_mean_interval = history_.has_loss() ? history_.mean_interval() : 0.0;
+    net::Packet report;
+    report.kind = net::PacketKind::kFeedback;
+    report.size_bytes = 40.0;
+    report.send_time = now;
     const double elapsed = std::max(1e-9, now - last_feedback_time_);
-    fb.fb_recv_rate = static_cast<double>(recv_since_feedback_) / elapsed;
-    net_.send_back(flow_, fb);
+    report.fb = {/*mean_interval=*/history_.has_loss() ? history_.mean_interval() : 0.0,
+                 /*recv_rate=*/static_cast<double>(recv_since_feedback_) / elapsed,
+                 /*echo_time=*/last_data_send_time_};
+    net_.send_back(flow_, report);
     recv_since_feedback_ = 0;
     last_feedback_time_ = now;
   }
-  net_.simulator().schedule(std::max(1e-3, rtt_hint_), [this] { feedback_tick(); });
+  net_.simulator().schedule_pinned(std::max(1e-3, rtt_hint_), feedback_ev_);
 }
 
 }  // namespace ebrc::tfrc

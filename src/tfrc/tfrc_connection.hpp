@@ -53,6 +53,11 @@ class TfrcConnection {
  public:
   TfrcConnection(net::Dumbbell& net, int flow_id, double base_rtt_s, TfrcConfig cfg = {});
 
+  // Registers this-capturing handlers and pinned events at construction;
+  // the object must stay at its construction address.
+  TfrcConnection(const TfrcConnection&) = delete;
+  TfrcConnection& operator=(const TfrcConnection&) = delete;
+
   void start(double at);
   void stop();
 
@@ -81,6 +86,11 @@ class TfrcConnection {
   int flow_;
   TfrcConfig cfg_;
   std::shared_ptr<const model::ThroughputFunction> unit_formula_;  // rtt = 1, q = 4
+
+  // Pinned per-packet/per-RTT events (pacing and feedback fire constantly;
+  // `running_` gates them instead of cancellation).
+  sim::Simulator::PinnedEvent send_ev_;
+  sim::Simulator::PinnedEvent feedback_ev_;
 
   // sender state
   bool running_ = false;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/many_sources.hpp"
 #include "loss/congestion_process.hpp"
 #include "loss/droppers.hpp"

@@ -1,0 +1,154 @@
+// Property test: the cached (O(1)-query) MovingAverageEstimator agrees
+// BIT-FOR-BIT with the naive O(L)-per-query implementation it replaced,
+// across random push/seed sequences, window lengths, weight profiles, open
+// intervals, and discount factors. The cache recomputes in the same
+// accumulation order as the naive loops, so agreement is exact — any ulp of
+// drift here would shift sample paths of every TFRC experiment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/weights.hpp"
+
+namespace {
+
+using ebrc::core::MovingAverageEstimator;
+
+/// The pre-overhaul reference: a deque history, every query an O(L) loop
+/// (verbatim port of the old estimator.cpp).
+class NaiveEstimator {
+ public:
+  explicit NaiveEstimator(std::vector<double> weights) : weights_(std::move(weights)) {}
+
+  void push(double theta) {
+    history_.push_front(theta);
+    if (history_.size() > weights_.size()) history_.pop_back();
+  }
+  void seed(double theta) { history_.assign(weights_.size(), theta); }
+
+  [[nodiscard]] double value() const {
+    double num = 0.0;
+    double mass = 0.0;
+    const std::size_t n = std::min(history_.size(), weights_.size());
+    for (std::size_t l = 0; l < n; ++l) {
+      num += weights_[l] * history_[l];
+      mass += weights_[l];
+    }
+    return num / mass;
+  }
+  [[nodiscard]] double shifted_tail() const {
+    double tail = 0.0;
+    const std::size_t n = std::min(history_.size(), weights_.size() - 1);
+    for (std::size_t l = 0; l < n; ++l) tail += weights_[l + 1] * history_[l];
+    return tail;
+  }
+  [[nodiscard]] double shifted_tail_mass() const {
+    double mass = 0.0;
+    const std::size_t n = std::min(history_.size(), weights_.size() - 1);
+    for (std::size_t l = 0; l < n; ++l) mass += weights_[l + 1];
+    return mass;
+  }
+  [[nodiscard]] double open_threshold() const {
+    return (value() - shifted_tail()) / weights_.front();
+  }
+  [[nodiscard]] double value_with_open(double open) const {
+    return std::max(value(), weights_.front() * open + shifted_tail());
+  }
+  [[nodiscard]] double value_with_open_discounted(double open, double d) const {
+    const double w1 = weights_.front();
+    return std::max(value(), (w1 * open + d * shifted_tail()) / (w1 + d * shifted_tail_mass()));
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::deque<double> history_;
+};
+
+// Deterministic generator independent of the library's Rng (so this test
+// cannot drift when the engine changes): splitmix64.
+struct Splitmix {
+  std::uint64_t x;
+  std::uint64_t next() {
+    std::uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+};
+
+void check_agreement(const MovingAverageEstimator& fast, const NaiveEstimator& naive,
+                     Splitmix& rng, std::size_t step) {
+  ASSERT_EQ(fast.value(), naive.value()) << "step " << step;
+  ASSERT_EQ(fast.shifted_tail(), naive.shifted_tail()) << "step " << step;
+  ASSERT_EQ(fast.shifted_tail_mass(), naive.shifted_tail_mass()) << "step " << step;
+  ASSERT_EQ(fast.open_threshold(), naive.open_threshold()) << "step " << step;
+  const double open = rng.unit() * 500.0;
+  ASSERT_EQ(fast.value_with_open(open), naive.value_with_open(open)) << "step " << step;
+  const double d = 0.5 + 0.5 * rng.unit();
+  ASSERT_EQ(fast.value_with_open_discounted(open, d),
+            naive.value_with_open_discounted(open, d))
+      << "step " << step;
+}
+
+TEST(EstimatorProperty, BitIdenticalToNaiveAcrossRandomSequences) {
+  for (const std::size_t L : {1u, 2u, 3u, 8u, 16u, 32u}) {
+    for (const std::uint64_t seed : {1u, 7u, 99u}) {
+      const auto weights = ebrc::core::tfrc_weights(L);
+      MovingAverageEstimator fast(weights);
+      NaiveEstimator naive(weights);
+      Splitmix rng{seed * 1000003ull + L};
+      for (std::size_t step = 0; step < 500; ++step) {
+        const std::uint64_t op = rng.next() % 16;
+        if (op == 0) {
+          const double theta = 1.0 + rng.unit() * 100.0;
+          fast.seed(theta);
+          naive.seed(theta);
+        } else {
+          const double theta = 0.5 + rng.unit() * 200.0;
+          fast.push(theta);
+          naive.push(theta);
+        }
+        check_agreement(fast, naive, rng, step);
+      }
+    }
+  }
+}
+
+TEST(EstimatorProperty, UniformAndGeometricProfilesAgreeToo) {
+  for (const auto& weights :
+       {ebrc::core::uniform_weights(8), ebrc::core::geometric_weights(8, 0.7)}) {
+    MovingAverageEstimator fast(weights);
+    NaiveEstimator naive(weights);
+    Splitmix rng{42};
+    for (std::size_t step = 0; step < 300; ++step) {
+      const double theta = 0.1 + rng.unit() * 50.0;
+      fast.push(theta);
+      naive.push(theta);
+      check_agreement(fast, naive, rng, step);
+    }
+  }
+}
+
+TEST(EstimatorProperty, WarmupPrefixRenormalizationMatches) {
+  // The pre-warmup renormalization path (mass < 1) is where an incremental
+  // scheme would most plausibly diverge; hammer the first L pushes.
+  const auto weights = ebrc::core::tfrc_weights(16);
+  MovingAverageEstimator fast(weights);
+  NaiveEstimator naive(weights);
+  Splitmix rng{1234};
+  for (std::size_t step = 0; step < 16; ++step) {
+    const double theta = 1.0 + rng.unit() * 10.0;
+    fast.push(theta);
+    naive.push(theta);
+    ASSERT_FALSE(step + 1 < 16 && fast.warmed_up());
+    check_agreement(fast, naive, rng, step);
+  }
+  EXPECT_TRUE(fast.warmed_up());
+}
+
+}  // namespace

@@ -2,6 +2,7 @@
 // spreading, TCP's timer/backoff machinery, and the TFRC feedback loop.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "net/dumbbell.hpp"
@@ -21,17 +22,17 @@ TEST(RedDetail, EwmaTracksOccupancySlowly) {
   prm.min_th = 400;  // keep drops out of the picture
   prm.max_th = 900;
   prm.weight = 0.002;
-  net::RedQueue q(prm, 1);
-  Packet p;
+  net::Queue q = net::Queue::red(prm, 1);
+  Packet p, out;
   // Fill 100 packets back-to-back: the EWMA must lag far behind.
   for (int i = 0; i < 100; ++i) ASSERT_TRUE(q.enqueue(p, i * 1e-4));
-  EXPECT_EQ(q.packets(), 100u);
+  EXPECT_EQ(q.packets(0.01), 100u);
   EXPECT_LT(q.average_queue(), 15.0);
   // Keep the instantaneous queue at 100 long enough and the average closes in.
   double t = 0.01;
   for (int i = 0; i < 3000; ++i) {
     ASSERT_TRUE(q.enqueue(p, t += 1e-4));
-    (void)q.dequeue(t);
+    (void)q.dequeue(out, t);
   }
   EXPECT_GT(q.average_queue(), 80.0);
 }
@@ -43,17 +44,17 @@ TEST(RedDetail, IdlePeriodDecaysAverage) {
   prm.max_th = 190;
   prm.weight = 0.01;
   prm.mean_packet_time = 1e-3;
-  net::RedQueue q(prm, 1);
-  Packet p;
+  net::Queue q = net::Queue::red(prm, 1);
+  Packet p, out;
   double t = 0.0;
   for (int i = 0; i < 2000; ++i) {
     ASSERT_TRUE(q.enqueue(p, t += 1e-4));
-    if (q.packets() > 60) (void)q.dequeue(t);
+    if (q.packets(t) > 60) (void)q.dequeue(out, t);
   }
   const double avg_busy = q.average_queue();
   ASSERT_GT(avg_busy, 30.0);
   // Drain completely, wait 2000 packet-times idle, then touch the queue.
-  while (q.packets() > 0) (void)q.dequeue(t);
+  while (q.packets(t) > 0) (void)q.dequeue(out, t);
   ASSERT_TRUE(q.enqueue(p, t + 2.0));
   EXPECT_LT(q.average_queue(), 0.1 * avg_busy);
 }
@@ -68,8 +69,8 @@ TEST(RedDetail, CountSpreadingShortensDropGaps) {
   prm.max_th = 3000;
   prm.max_p = 0.05;
   prm.weight = 1.0;
-  net::RedQueue q(prm, 42);
-  Packet p;
+  net::Queue q = net::Queue::red(prm, 42);
+  Packet p, out;
   double t = 0.0;
   std::vector<int> gaps;
   int gap = 0;
@@ -77,7 +78,7 @@ TEST(RedDetail, CountSpreadingShortensDropGaps) {
     t += 1e-5;
     if (q.enqueue(p, t)) {
       ++gap;
-      if (q.packets() > 100) (void)q.dequeue(t);
+      if (q.packets(t) > 100) (void)q.dequeue(out, t);
     } else {
       gaps.push_back(gap);
       gap = 0;
@@ -101,7 +102,7 @@ struct TcpWorld {
 
   TcpWorld(double rate_bps, std::size_t buffer, double rtt_s) {
     net = std::make_unique<net::Dumbbell>(
-        sim, std::make_unique<net::DropTailQueue>(buffer), rate_bps, 0.001);
+        sim, net::Queue::drop_tail(buffer), rate_bps, 0.001);
     const int id = net->add_flow(rtt_s / 2.0 - 0.001, rtt_s / 2.0);
     conn = std::make_unique<tcp::TcpConnection>(*net, id, rtt_s);
   }
@@ -152,7 +153,7 @@ TEST(TcpDetail, DelayedAckRatio) {
 
 TEST(TfrcDetail, FeedbackDrivesRateWithinTwoReceiveRates) {
   sim::Simulator sim;
-  net::Dumbbell net(sim, std::make_unique<net::DropTailQueue>(60), 4e6, 0.001);
+  net::Dumbbell net(sim, net::Queue::drop_tail(60), 4e6, 0.001);
   const int id = net.add_flow(0.024, 0.025);
   tfrc::TfrcConnection conn(net, id, 0.050);
   conn.start(0.0);
@@ -170,7 +171,7 @@ TEST(TfrcDetail, HistoryDiscountingSpeedsRecovery) {
 
   const auto run = [](const tfrc::TfrcConfig& cfg) {
     sim::Simulator sim;
-    net::Dumbbell net(sim, std::make_unique<net::DropTailQueue>(25), 2e6, 0.001);
+    net::Dumbbell net(sim, net::Queue::drop_tail(25), 2e6, 0.001);
     const int id = net.add_flow(0.024, 0.025);
     tfrc::TfrcConnection conn(net, id, 0.050, cfg);
     conn.start(0.0);

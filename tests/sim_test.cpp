@@ -183,6 +183,47 @@ TEST(Simulator, NegativeZeroDelayOrdersLikeZero) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
+TEST(Simulator, PinnedEventsInterleaveWithSlabEventsInSeqOrder) {
+  // Pinned callbacks share the global (time, insertion-seq) order with
+  // ordinary events — including FIFO tie-breaks at equal times.
+  Simulator s;
+  std::vector<int> order;
+  const auto ping = s.pin([&] { order.push_back(100); });
+  const auto pong = s.pin([&] { order.push_back(200); });
+  s.schedule_at(1.0, [&] { order.push_back(0); });
+  s.schedule_pinned_at(1.0, ping);   // same time: after 0, before 1
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_pinned(0.5, pong);      // earliest
+  s.schedule_pinned_at(2.0, ping);   // the same pin pending twice is fine
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{200, 0, 100, 1, 100}));
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(Simulator, PinnedSelfRescheduleRunsZeroAlloc) {
+  Simulator s;
+  int count = 0;
+  Simulator::PinnedEvent tick = 0;
+  tick = s.pin([&] {
+    if (++count < 1000) s.schedule_pinned(0.001, tick);
+  });
+  const std::uint64_t allocs0 = ebrc::sim::inline_function_heap_allocs();
+  s.schedule_pinned(0.001, tick);
+  s.run();
+  EXPECT_EQ(count, 1000);
+  EXPECT_DOUBLE_EQ(s.now(), 1.0);
+  EXPECT_EQ(ebrc::sim::inline_function_heap_allocs() - allocs0, 0u);
+}
+
+TEST(Simulator, PinnedRejectsBadTimes) {
+  Simulator s;
+  const auto ev = s.pin([] {});
+  EXPECT_THROW(s.schedule_pinned(-1.0, ev), std::invalid_argument);
+  s.schedule(1.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_pinned_at(0.5, ev), std::invalid_argument);
+}
+
 TEST(Simulator, RejectsPastScheduling) {
   Simulator s;
   s.schedule(1.0, [] {});

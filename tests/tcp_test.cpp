@@ -20,7 +20,7 @@ struct TcpWorld {
 
   TcpWorld(double rate_bps, std::size_t buffer, double rtt_s, tcp::TcpConfig cfg = {}) {
     net = std::make_unique<net::Dumbbell>(
-        sim, std::make_unique<net::DropTailQueue>(buffer), rate_bps, 0.001);
+        sim, net::Queue::drop_tail(buffer), rate_bps, 0.001);
     const int id = net->add_flow(rtt_s / 2.0 - 0.001, rtt_s / 2.0);
     conn = std::make_unique<tcp::TcpConnection>(*net, id, rtt_s, cfg);
   }
@@ -93,7 +93,7 @@ TEST(Tcp, ThroughputTracksPftkWithinFactorTwo) {
 
 TEST(Tcp, TwoConnectionsShareFairly) {
   sim::Simulator sim;
-  net::Dumbbell net(sim, std::make_unique<net::DropTailQueue>(50), 4e6, 0.001);
+  net::Dumbbell net(sim, net::Queue::drop_tail(50), 4e6, 0.001);
   const int a = net.add_flow(0.019, 0.020);
   const int b = net.add_flow(0.019, 0.020);
   tcp::TcpConnection ca(net, a, 0.040);
@@ -109,7 +109,7 @@ TEST(Tcp, TwoConnectionsShareFairly) {
 
 TEST(Tcp, Validation) {
   sim::Simulator sim;
-  net::Dumbbell net(sim, std::make_unique<net::DropTailQueue>(10), 1e6, 0.001);
+  net::Dumbbell net(sim, net::Queue::drop_tail(10), 1e6, 0.001);
   const int id = net.add_flow(0.01, 0.01);
   EXPECT_THROW(tcp::TcpConnection(net, id, -1.0), std::invalid_argument);
 }
@@ -119,7 +119,7 @@ TEST(AimdSender, ConvergesToClosedFormLossRate) {
   // deterministic model: p' ~ 2 alpha / ((1-beta^2) c^2).
   sim::Simulator sim;
   const double capacity_pps = 125.0;  // 1 Mb/s
-  net::Dumbbell net(sim, std::make_unique<net::DropTailQueue>(5), 1e6, 0.0005);
+  net::Dumbbell net(sim, net::Queue::drop_tail(5), 1e6, 0.0005);
   const int id = net.add_flow(0.0005, 0.001);
   tcp::AimdSenderConfig cfg;
   cfg.alpha = 50.0;  // fast sawtooth so many cycles fit
@@ -146,7 +146,7 @@ TEST(AimdSender, ConvergesToClosedFormLossRate) {
 
 TEST(AimdSender, RateOscillatesBetweenBetaCAndC) {
   sim::Simulator sim;
-  net::Dumbbell net(sim, std::make_unique<net::DropTailQueue>(3), 1e6, 0.0005);
+  net::Dumbbell net(sim, net::Queue::drop_tail(3), 1e6, 0.0005);
   const int id = net.add_flow(0.0005, 0.001);
   tcp::AimdSenderConfig cfg;
   cfg.alpha = 1.0;  // gentle slope so the detection lag's overshoot is small

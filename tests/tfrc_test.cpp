@@ -82,7 +82,7 @@ struct TfrcWorld {
 
   TfrcWorld(double rate_bps, std::size_t buffer, double rtt_s, tfrc::TfrcConfig cfg = {}) {
     net = std::make_unique<net::Dumbbell>(
-        sim, std::make_unique<net::DropTailQueue>(buffer), rate_bps, 0.001);
+        sim, net::Queue::drop_tail(buffer), rate_bps, 0.001);
     const int id = net->add_flow(rtt_s / 2.0 - 0.001, rtt_s / 2.0);
     conn = std::make_unique<tfrc::TfrcConnection>(*net, id, rtt_s, cfg);
   }
@@ -145,7 +145,7 @@ TEST(Tfrc, BasicControlVariantDisablesOpenInterval) {
 
 TEST(Tfrc, Validation) {
   sim::Simulator sim;
-  net::Dumbbell net(sim, std::make_unique<net::DropTailQueue>(10), 1e6, 0.001);
+  net::Dumbbell net(sim, net::Queue::drop_tail(10), 1e6, 0.001);
   const int id = net.add_flow(0.01, 0.01);
   EXPECT_THROW(tfrc::TfrcConnection(net, id, 0.0), std::invalid_argument);
   tfrc::TfrcConfig bad;
