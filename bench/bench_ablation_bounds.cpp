@@ -5,35 +5,67 @@
 //   * the effect of the estimator window L and the weight profile (TFRC vs
 //     uniform vs geometric) on conservativeness — the design choices
 //     DESIGN.md calls out.
+//
+// All three studies fan their (parameter × rep) grids out through
+// BatchRunner::map with per-cell seeds derived from (--seed, cell, rep), so
+// numbers depend only on --seed and replications aggregate with a 95% CI.
 #include "bench_common.hpp"
 #include "core/analyzer.hpp"
 #include "core/conditions.hpp"
 #include "core/weights.hpp"
 #include "loss/loss_process.hpp"
 #include "model/throughput_function.hpp"
+#include "sim/random.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
   args.cli.finish();
   bench::banner("Ablation", "Eq. 10 / Prop. 4 bound tightness and weight-profile effects");
+  bench::batch_note(args);
 
   const core::RunConfig cfg{.events = args.events(200000, 2000000), .warmup = 500};
+  const auto runner = args.runner();
+  const auto reps = static_cast<std::size_t>(args.reps);
   std::vector<std::vector<double>> csv_rows;
 
   // --- Eq. 10 tightness across (p, cv).
   {
+    const std::vector<double> ps{0.02, 0.1, 0.25};
+    const std::vector<double> cvs{0.3, 0.7, 0.999};
     const auto f = model::make_throughput_function("pftk-simplified", 1.0);
-    util::Table t({"p", "cv", "x/f(p)", "bound/f(p)", "slack %"});
-    for (double p : {0.02, 0.1, 0.25}) {
-      for (double cv : {0.3, 0.7, 0.999}) {
-        loss::ShiftedExponentialProcess proc(p, cv, args.seed + 100);
-        const auto r = core::run_basic_control(*f, proc, core::tfrc_weights(8), cfg);
-        const double bound = core::theorem1_bound(*f, r.p, r.cov_theta_thetahat);
-        const double bound_norm = bound / f->rate(r.p);
-        t.row({p, cv, r.normalized, bound_norm,
-               100.0 * (bound_norm - r.normalized) / bound_norm});
-        csv_rows.push_back({p, cv, r.normalized, bound_norm});
+
+    struct Cell {
+      double normalized = 0.0;
+      double bound_norm = 0.0;
+    };
+    const bench::CellGrid grid({ps.size(), cvs.size()}, reps);
+    const auto cells = runner.map<Cell>(grid.size(), [&](std::size_t idx) {
+      const double p = ps[grid.at(0, idx)];
+      const double cv = cvs[grid.at(1, idx)];
+      const std::uint64_t seed = sim::hash_seed(
+          args.seed, "ablation-eq10-p" + std::to_string(p) + "-cv" + std::to_string(cv) +
+                         "#rep" + std::to_string(grid.rep(idx)));
+      loss::ShiftedExponentialProcess proc(p, cv, seed);
+      const auto r = core::run_basic_control(*f, proc, core::tfrc_weights(8), cfg);
+      const double bound = core::theorem1_bound(*f, r.p, r.cov_theta_thetahat);
+      return Cell{r.normalized, bound / f->rate(r.p)};
+    });
+
+    util::Table t({"p", "cv", "x/f(p)", "ci95", "bound/f(p)", "slack %"});
+    std::size_t idx = 0;
+    for (double p : ps) {
+      for (double cv : cvs) {
+        stats::OnlineMoments norm_m, bound_m;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+          const auto& c = cells[idx++];
+          norm_m.add(c.normalized);
+          bound_m.add(c.bound_norm);
+        }
+        t.row({util::fmt(p, 4), util::fmt(cv, 4), util::fmt(norm_m.mean(), 5),
+               util::fmt(norm_m.ci_halfwidth(), 3), util::fmt(bound_m.mean(), 5),
+               util::fmt(100.0 * (bound_m.mean() - norm_m.mean()) / bound_m.mean(), 4)});
+        csv_rows.push_back({p, cv, norm_m.mean(), bound_m.mean()});
       }
     }
     t.print("\nEquation (10) bound vs measured normalized throughput (PFTK-simplified):");
@@ -41,37 +73,73 @@ int main(int argc, char** argv) {
 
   // --- Prop. 4 cap for PFTK-standard under (C1).
   {
+    const std::vector<double> ps{0.05, 0.15, 0.3};
     const auto f = model::make_throughput_function("pftk", 1.0);
     const double cap = core::proposition4_bound(*f, 1.5, 50.0, 20000);
-    util::Table t({"p", "x/f(p)", "Prop-4 cap"});
-    for (double p : {0.05, 0.15, 0.3}) {
-      loss::ShiftedExponentialProcess proc(p, 0.9, args.seed + 7);
-      const auto r = core::run_basic_control(*f, proc, core::tfrc_weights(8), cfg);
-      t.row({p, r.normalized, cap});
+
+    const bench::CellGrid grid({ps.size()}, reps);
+    const auto cells = runner.map<double>(grid.size(), [&](std::size_t idx) {
+      const double p = ps[grid.at(0, idx)];
+      const std::uint64_t seed = sim::hash_seed(
+          args.seed, "ablation-prop4-p" + std::to_string(p) + "#rep" +
+                         std::to_string(grid.rep(idx)));
+      loss::ShiftedExponentialProcess proc(p, 0.9, seed);
+      return core::run_basic_control(*f, proc, core::tfrc_weights(8), cfg).normalized;
+    });
+
+    util::Table t({"p", "x/f(p)", "ci95", "Prop-4 cap"});
+    std::size_t idx = 0;
+    for (double p : ps) {
+      stats::OnlineMoments norm_m;
+      for (std::size_t rep = 0; rep < reps; ++rep) norm_m.add(cells[idx++]);
+      t.row({p, norm_m.mean(), norm_m.ci_halfwidth(), cap});
     }
     t.print("\nProposition 4: overshoot never exceeds sup g/g** = " + util::fmt(cap, 6) + ":");
   }
 
-  // --- Weight-profile ablation at fixed (p, cv, L).
+  // --- Weight-profile ablation at fixed (p, cv), sweeping L.
   {
-    const auto f = model::make_throughput_function("pftk-simplified", 1.0);
-    util::Table t({"weights", "L", "x/f(p)", "cv[hat-theta]"});
     const double p = 0.1, cv = 0.999;
-    for (std::size_t L : {4u, 8u, 16u}) {
-      struct Profile {
-        const char* name;
-        std::vector<double> w;
-      };
-      const Profile profiles[] = {
-          {"tfrc", core::tfrc_weights(L)},
-          {"uniform", core::uniform_weights(L)},
-          {"geometric(.7)", core::geometric_weights(L, 0.7)},
-      };
-      for (const auto& prof : profiles) {
-        loss::ShiftedExponentialProcess proc(p, cv, args.seed + 55 + L);
-        const auto r = core::run_basic_control(*f, proc, prof.w, cfg);
-        t.row({prof.name, util::fmt(static_cast<double>(L), 3), util::fmt(r.normalized, 5),
-               util::fmt(r.cv_thetahat, 4)});
+    const std::vector<std::size_t> windows{4, 8, 16};
+    const std::vector<std::string> profiles{"tfrc", "uniform", "geometric(.7)"};
+    const auto f = model::make_throughput_function("pftk-simplified", 1.0);
+    const auto weights_for = [](const std::string& profile, std::size_t L) {
+      if (profile == "tfrc") return core::tfrc_weights(L);
+      if (profile == "uniform") return core::uniform_weights(L);
+      return core::geometric_weights(L, 0.7);
+    };
+
+    struct Cell {
+      double normalized = 0.0;
+      double cv_thetahat = 0.0;
+    };
+    const bench::CellGrid grid({windows.size(), profiles.size()}, reps);
+    const auto cells = runner.map<Cell>(grid.size(), [&](std::size_t idx) {
+      const std::size_t L = windows[grid.at(0, idx)];
+      const std::string& profile = profiles[grid.at(1, idx)];
+      // Common random numbers across profiles (seed depends on L and rep
+      // only): each profile sees the same loss sample path, as in the
+      // original serial study, so profile differences are paired.
+      const std::uint64_t seed = sim::hash_seed(
+          args.seed,
+          "ablation-weights-L" + std::to_string(L) + "#rep" + std::to_string(grid.rep(idx)));
+      loss::ShiftedExponentialProcess proc(p, cv, seed);
+      const auto r = core::run_basic_control(*f, proc, weights_for(profile, L), cfg);
+      return Cell{r.normalized, r.cv_thetahat};
+    });
+
+    util::Table t({"weights", "L", "x/f(p)", "ci95", "cv[hat-theta]"});
+    std::size_t idx = 0;
+    for (std::size_t L : windows) {
+      for (const auto& profile : profiles) {
+        stats::OnlineMoments norm_m, cv_m;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+          const auto& c = cells[idx++];
+          norm_m.add(c.normalized);
+          cv_m.add(c.cv_thetahat);
+        }
+        t.row({profile, util::fmt(static_cast<double>(L), 3), util::fmt(norm_m.mean(), 5),
+               util::fmt(norm_m.ci_halfwidth(), 3), util::fmt(cv_m.mean(), 4)});
       }
     }
     t.print("\nWeight-profile ablation (p = 0.1, cv = 0.999): smoother profiles (uniform,\n"

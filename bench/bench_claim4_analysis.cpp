@@ -5,19 +5,26 @@
 //   3. a stochastic packet-level run (rate-based AIMD vs TFRC on a DropTail
 //      link) showing the deviation "holds, but is somewhat less pronounced"
 //      — exactly the paper's remark about its own (undisplayed) numerics.
+//
+// Layer 3 fans out through BatchRunner::map: one cell for the deterministic
+// AIMD sender, --reps cells for independent TFRC replications (per-rep
+// derived seeds, mean ± 95% CI on p).
 #include "bench_common.hpp"
 #include "model/aimd.hpp"
 #include "net/dumbbell.hpp"
+#include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "stats/online.hpp"
 #include "tcp/aimd_sender.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kBatchFlags | bench::kDurationFlag);
   args.cli.finish();
   bench::banner("Claim 4", "AIMD vs equation-based control on one fixed-capacity link");
+  bench::batch_note(args);
 
   // Layer 1: closed forms across beta.
   util::Table closed({"beta", "p' (AIMD)", "p (EBRC)", "p'/p", "4/(1+beta)^2"});
@@ -51,42 +58,54 @@ int main(int argc, char** argv) {
   // sqrt(alpha(1+beta)/(2(1-beta))) = sqrt(0.375) = 1/c1 for b = 2, i.e.
   // exactly our SQRT formula.
   const double duration = args.seconds(1200.0, 6000.0);
-  sim::Simulator sim_a;
-  net::Dumbbell net_a(sim_a, net::Queue::drop_tail(5), 1e6, 0.0005);
-  const int id_a = net_a.add_flow(0.0005, 0.001);
-  tcp::AimdSenderConfig acfg;
-  acfg.alpha = 0.5;  // matches SQRT's c1 at beta = 1/2
-  acfg.beta = 0.5;
-  acfg.rtt_s = 0.1;
-  acfg.initial_rate = 70.0;
-  tcp::AimdSender aimd(net_a, id_a, acfg);
-  aimd.start(0.0);
-  sim_a.run_until(duration);
-  const double p_aimd = aimd.recorder().loss_event_rate();
-
-  auto s = testbed::lab_scenario(testbed::QueueKind::kDropTail, 5, 1, args.seed);
-  s.n_tcp = 0;
-  s.bottleneck_bps = 1e6;
-  s.base_rtt_s = 0.1;
-  // The comprehensive control is what keeps an isolated sender probing the
-  // capacity (the EBRC counterpart of the AIMD sawtooth); SQRT is the
-  // matched formula.
-  s.tfrc.comprehensive = true;
-  s.tfrc.formula = "sqrt";
-  s.duration_s = duration;
-  s.warmup_s = duration / 5.0;
-  const auto tfrc_run = testbed::run_experiment(s);
+  // Cell 0 is the (deterministic) AIMD sender; cells 1..reps are independent
+  // TFRC replications. Each cell owns its Simulator, so the whole layer runs
+  // through the batch engine's worker pool.
+  const auto cells = args.runner().map<double>(
+      static_cast<std::size_t>(args.reps) + 1, [&](std::size_t idx) {
+        if (idx == 0) {
+          sim::Simulator sim_a;
+          net::Dumbbell net_a(sim_a, net::Queue::drop_tail(5), 1e6, 0.0005);
+          const int id_a = net_a.add_flow(0.0005, 0.001);
+          tcp::AimdSenderConfig acfg;
+          acfg.alpha = 0.5;  // matches SQRT's c1 at beta = 1/2
+          acfg.beta = 0.5;
+          acfg.rtt_s = 0.1;
+          acfg.initial_rate = 70.0;
+          tcp::AimdSender aimd(net_a, id_a, acfg);
+          aimd.start(0.0);
+          sim_a.run_until(duration);
+          return aimd.recorder().loss_event_rate();
+        }
+        auto s = testbed::lab_scenario(testbed::QueueKind::kDropTail, 5, 1, /*seed=*/0);
+        s.name = "claim4-tfrc-alone";
+        s.n_tcp = 0;
+        s.bottleneck_bps = 1e6;
+        s.base_rtt_s = 0.1;
+        // The comprehensive control is what keeps an isolated sender probing
+        // the capacity (the EBRC counterpart of the AIMD sawtooth); SQRT is
+        // the matched formula.
+        s.tfrc.comprehensive = true;
+        s.tfrc.formula = "sqrt";
+        s.duration_s = duration;
+        s.warmup_s = duration / 5.0;
+        s.seed = sim::hash_seed(args.seed, s.name + "#rep" + std::to_string(idx - 1));
+        return testbed::run_experiment(s).tfrc_p;
+      });
+  const double p_aimd = cells[0];
+  stats::OnlineMoments p_tfrc;
+  for (int rep = 0; rep < args.reps; ++rep) p_tfrc.add(cells[static_cast<std::size_t>(rep) + 1]);
 
   const model::AimdParams matched{0.5, 0.5};
   const double c_rtt = 12.5;  // 125 pkt/s * 0.1 s
   std::cout << "\nPacket-level (1 Mb/s DropTail(5), RTT 100 ms, each alone, matched f):\n"
             << "  p' (AIMD sender)  " << util::fmt(p_aimd, 4) << "   (deterministic model "
             << util::fmt(model::aimd_loss_event_rate(matched, c_rtt), 4) << ")\n"
-            << "  p  (EBRC sender)  " << util::fmt(tfrc_run.tfrc_p, 4)
-            << "   (deterministic model "
+            << "  p  (EBRC sender)  " << util::fmt(p_tfrc.mean(), 4) << " ± "
+            << util::fmt(p_tfrc.ci_halfwidth(), 3) << " (deterministic model "
             << util::fmt(model::ebrc_fixed_point_loss_rate(matched, c_rtt), 4) << ")\n"
             << "  ratio             "
-            << util::fmt(tfrc_run.tfrc_p > 0 ? p_aimd / tfrc_run.tfrc_p : 0.0, 4)
+            << util::fmt(p_tfrc.mean() > 0 ? p_aimd / p_tfrc.mean() : 0.0, 4)
             << "   (idealized 16/9 = 1.778; paper: 'holds, but somewhat less\n"
             << "                      pronounced')\n";
   bench::maybe_csv(args, {"beta", "p_aimd", "p_ebrc", "ratio"}, csv_rows);

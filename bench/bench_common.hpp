@@ -9,8 +9,17 @@
 // passing kBatchFlags) additionally accept:
 //   --reps=N      independent replications per configuration (default 1)
 //   --jobs=N      worker threads for the batch engine (default 0 = all cores)
+// time-driven binaries (kDurationFlag):
+//   --duration=S  override the figure's simulated seconds
+// and scenario-sweep binaries (kSweepFlags) the persistence layer:
+//   --cache=DIR       on-disk ResultStore; hits skip simulation bit-identically
+//   --shard-index=I   this process's shard (0-based)
+//   --shard-count=N   total shards; only cells with cell%N == I simulate here
+//   --summary-out=F   write the aggregated BatchResult summary file to F
 // Multi-rep runs aggregate with mean and a 95% CI; per-run numbers depend
-// only on --seed, never on --jobs.
+// only on --seed, never on --jobs, the cache, or the shard layout.
+// Diagnostics ([cache]/[shard] lines) go to stderr so stdout stays
+// bit-comparable across cold, warm, and shard-merged runs.
 #pragma once
 
 #include <iostream>
@@ -20,6 +29,7 @@
 #include <vector>
 
 #include "testbed/batch.hpp"
+#include "testbed/result_store.hpp"
 #include "testbed/wan_paths.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -28,30 +38,78 @@
 namespace ebrc::bench {
 
 /// Tag for binaries ported onto the batch engine; enables --reps/--jobs.
-inline constexpr bool kBatchFlags = true;
+inline constexpr int kBatchFlags = 1;
+/// Tag for binaries whose workload is simulated seconds; enables the
+/// --duration override. Event-count-driven binaries (fig03/04/06, ablation)
+/// must keep rejecting it loudly rather than silently ignoring it.
+inline constexpr int kDurationFlag = 4;
+/// Tag for Scenario-sweep binaries; adds --cache/--shard-index/--shard-count/
+/// --summary-out (and --duration) on top of kBatchFlags.
+inline constexpr int kSweepFlags = kBatchFlags | 2 | kDurationFlag;
 
 struct BenchArgs {
   bool full = false;
   std::uint64_t seed = 1;
   int reps = 1;
   std::size_t jobs = 0;  // 0 = hardware concurrency
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::optional<std::string> cache_dir;
+  std::optional<std::string> summary_out;
+  std::optional<double> duration_override;
   std::optional<std::string> csv_path;
   util::Cli cli;
 
-  /// --reps/--jobs are only registered when the binary opts in with
-  /// kBatchFlags: a binary that still runs its own serial loop must keep
+  /// --reps/--jobs (and the sweep flags) are only registered when the binary
+  /// opts in: a binary that still runs its own serial loop must keep
   /// rejecting them loudly rather than silently running one replication.
-  BenchArgs(int argc, char** argv, bool batch_flags = false) : cli(argc, argv) {
+  BenchArgs(int argc, char** argv, int flags = 0) : cli(argc, argv) {
     cli.know("full").know("seed").know("csv").know("help");
     full = cli.get("full", false);
     seed = cli.get("seed", std::uint64_t{1});
-    if (batch_flags) {
+    if ((flags & kDurationFlag) != 0) {
+      cli.know("duration");
+      if (cli.has("duration")) {
+        const double d = cli.get("duration", 0.0);
+        if (d <= 0) throw std::invalid_argument("--duration must be > 0 seconds");
+        duration_override = d;
+      }
+    }
+    if ((flags & kBatchFlags) != 0) {
       cli.know("reps").know("jobs");
       reps = cli.get("reps", 1);
       if (reps < 1) throw std::invalid_argument("--reps must be >= 1");
       const int jobs_flag = cli.get("jobs", 0);
       if (jobs_flag < 0) throw std::invalid_argument("--jobs must be >= 0");
       jobs = static_cast<std::size_t>(jobs_flag);
+    }
+    if ((flags & kSweepFlags) == kSweepFlags) {
+      cli.know("cache").know("shard-index").know("shard-count").know("summary-out");
+      const int count = cli.get("shard-count", 1);
+      if (count < 1) throw std::invalid_argument("--shard-count must be >= 1");
+      const int index = cli.get("shard-index", 0);
+      if (index < 0) throw std::invalid_argument("--shard-index must be >= 0");
+      // Delegates the index < count check (and its error message) to ShardSpec.
+      const testbed::ShardSpec spec(static_cast<std::size_t>(index),
+                                    static_cast<std::size_t>(count));
+      shard_index = spec.index;
+      shard_count = spec.count;
+      if (cli.has("cache")) {
+        cache_dir = cli.get("cache", std::string{});
+        if (cache_dir->empty()) throw std::invalid_argument("--cache needs a directory path");
+      }
+      if (shard_count > 1 && !cache_dir) {
+        throw std::invalid_argument(
+            "--shard-count > 1 requires --cache: shards persist their cells there and a final "
+            "unsharded run (or merge_results --into) folds them back together");
+      }
+      if (cli.has("summary-out")) {
+        summary_out = cli.get("summary-out", std::string{});
+        // Fail before the sweep, not after hours of simulation.
+        if (summary_out->empty()) {
+          throw std::invalid_argument("--summary-out needs a file path");
+        }
+      }
     }
     if (cli.has("csv")) csv_path = cli.get("csv", std::string{});
   }
@@ -61,12 +119,73 @@ struct BenchArgs {
     return full ? paper : reduced;
   }
   [[nodiscard]] double seconds(double reduced, double paper) const {
+    if (duration_override) return *duration_override;
     return full ? paper : reduced;
   }
 
   /// Batch engine sized by --jobs.
   [[nodiscard]] testbed::BatchRunner runner() const { return testbed::BatchRunner(jobs); }
+
+  [[nodiscard]] testbed::ShardSpec shard() const {
+    return testbed::ShardSpec(shard_index, shard_count);
+  }
 };
+
+/// The outcome of run_sweep: results (input order; unavailable cells are
+/// default-constructed) plus what the persistence layer did.
+struct SweepRun {
+  std::vector<testbed::ExperimentResult> results;
+  testbed::SweepReport report;
+
+  /// True when every cell is populated — print the figure. False only on a
+  /// sharded run against a cold/partial cache; the merge pass prints it.
+  [[nodiscard]] bool complete() const noexcept { return report.complete(); }
+};
+
+/// Runs a Scenario batch through the sweep persistence layer: consults
+/// --cache, simulates only this shard's cache misses, stores what it
+/// simulated, and reports [cache]/[shard] statistics on stderr. Also writes
+/// the --summary-out BatchResult file (aggregated over the available cells)
+/// when requested.
+inline SweepRun run_sweep(const BenchArgs& args, const std::vector<testbed::Scenario>& batch) {
+  std::unique_ptr<testbed::ResultStore> store;
+  if (args.cache_dir) store = std::make_unique<testbed::ResultStore>(*args.cache_dir);
+
+  SweepRun out;
+  out.results = args.runner().run(batch, store.get(), args.shard(), &out.report);
+
+  if (store) {
+    const auto c = store->counters();
+    std::cerr << "[cache] dir=" << store->root().string() << " salt=" << store->salt()
+              << " hits=" << out.report.hits << " simulated=" << out.report.simulated
+              << " skipped=" << out.report.skipped << " corrupt=" << c.corrupt << "\n";
+  }
+  if (args.shard_count > 1) {
+    std::cerr << "[shard] index=" << args.shard_index << " count=" << args.shard_count
+              << " available=" << (out.report.hits + out.report.simulated) << "/"
+              << out.report.total << "\n";
+  }
+  if (args.summary_out) {
+    // Summarize only the cells this process OWNS (shards may also hold
+    // cache hits for other shards' cells — see run()'s probe-all design);
+    // folding per-shard summaries must partition the sweep, never
+    // double-count. An unsharded run owns everything.
+    const auto shard = args.shard();
+    std::vector<testbed::ExperimentResult> owned;
+    owned.reserve(out.results.size());
+    for (std::size_t i = 0; i < out.results.size(); ++i) {
+      if (out.report.available[i] != 0 && shard.owns(i)) owned.push_back(out.results[i]);
+    }
+    testbed::save_batch_result(testbed::aggregate(owned), *args.summary_out);
+    std::cerr << "[summary] wrote " << owned.size() << " runs to " << *args.summary_out << "\n";
+  }
+  if (!out.complete()) {
+    std::cerr << "[sweep] partial shard run (" << out.report.skipped
+              << " cells owned by other shards); re-run unsharded with the same --cache (or "
+               "after merge_results --into) to print the figure\n";
+  }
+  return out;
+}
 
 /// Prints the banner every figure binary starts with.
 inline void banner(const std::string& figure, const std::string& what) {
@@ -156,6 +275,31 @@ inline std::vector<testbed::Scenario> ns2_batch(
       base.duration_s = duration;
       base.warmup_s = duration / 5.0;
       if (customize) customize(base);
+      const auto runs = testbed::replicate(base, root_seed, reps);
+      batch.insert(batch.end(), runs.begin(), runs.end());
+    }
+  }
+  return batch;
+}
+
+/// The lab figures' shared batch layout: a (queue × population) grid of
+/// lab_scenario(queue, 100, n) cells at `duration` (warmup = duration/6),
+/// expanded to `reps` replications per cell. Queue-major,
+/// population-middle, replication-minor. `name_suffix` distinguishes the
+/// figures' cells — cell names feed both the derived seeds and the cache
+/// fingerprint, so two figures sweeping the same grid stay independent.
+inline std::vector<testbed::Scenario> lab_batch(const std::vector<testbed::QueueKind>& queues,
+                                                const std::vector<int>& populations,
+                                                double duration, std::uint64_t root_seed,
+                                                int reps, const std::string& name_suffix = "") {
+  std::vector<testbed::Scenario> batch;
+  batch.reserve(queues.size() * populations.size() * static_cast<std::size_t>(reps));
+  for (auto queue : queues) {
+    for (int n : populations) {
+      auto base = testbed::lab_scenario(queue, 100, n, /*seed=*/0);
+      base.name += name_suffix + "-n" + std::to_string(n);
+      base.duration_s = duration;
+      base.warmup_s = duration / 6.0;
       const auto runs = testbed::replicate(base, root_seed, reps);
       batch.insert(batch.end(), runs.begin(), runs.end());
     }

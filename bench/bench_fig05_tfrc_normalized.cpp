@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
+  bench::BenchArgs args(argc, argv, bench::kSweepFlags);
   args.cli.finish();
   bench::banner("Figure 5", "TFRC normalized throughput and cov*p^2 vs p (RED dumbbell)");
   bench::batch_note(args);
@@ -27,7 +27,9 @@ int main(int argc, char** argv) {
 
   // One flat batch over the whole (L × population × rep) grid.
   const auto batch = bench::ns2_batch(windows, populations, duration, args.seed, args.reps);
-  const auto results = args.runner().run(batch);
+  const auto sweep = bench::run_sweep(args, batch);
+  if (!sweep.complete()) return 0;
+  const auto& results = sweep.results;
 
   util::Table t({"L", "N (tfrc+tcp each)", "p (tfrc)", "x/f(p,r)", "cov*p^2", "events"});
   std::vector<std::vector<double>> csv_rows;

@@ -18,7 +18,7 @@
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
+  bench::BenchArgs args(argc, argv, bench::kSweepFlags);
   args.cli.finish();
   bench::banner("Figure 7", "loss-event rates of TFRC, TCP and Poisson vs #connections");
   bench::batch_note(args);
@@ -34,7 +34,9 @@ int main(int argc, char** argv) {
                                         s.n_poisson = 2;
                                         s.poisson_rate_pps = 10.0;
                                       });
-  const auto results = args.runner().run(batch);
+  const auto sweep = bench::run_sweep(args, batch);
+  if (!sweep.complete()) return 0;
+  const auto& results = sweep.results;
 
   util::Table t(
       {"L", "total conns", "p' (TCP)", "p (TFRC)", "ci95", "p'' (Poisson)", "p'<=p<=p''"});

@@ -14,7 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
+  bench::BenchArgs args(argc, argv, bench::kSweepFlags);
   args.cli.finish();
   bench::banner("Figure 8", "TFRC/TCP throughput ratio vs #connections (RED dumbbell)");
   bench::batch_note(args);
@@ -25,7 +25,9 @@ int main(int argc, char** argv) {
   const double duration = args.seconds(150.0, 600.0);
 
   const auto batch = bench::ns2_batch(windows, populations, duration, args.seed, args.reps);
-  const auto results = args.runner().run(batch);
+  const auto sweep = bench::run_sweep(args, batch);
+  if (!sweep.complete()) return 0;
+  const auto& results = sweep.results;
 
   util::Table t({"L", "total conns", "x(TFRC)/x(TCP)", "ci95", "p'/p", "util"});
   std::vector<std::vector<double>> csv_rows;

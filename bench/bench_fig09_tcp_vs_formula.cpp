@@ -18,7 +18,7 @@
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
+  bench::BenchArgs args(argc, argv, bench::kSweepFlags);
   args.cli.finish();
   bench::banner("Figure 9", "TCP throughput vs PFTK-standard prediction");
   bench::batch_note(args);
@@ -39,7 +39,9 @@ int main(int argc, char** argv) {
     const auto runs = testbed::replicate(base, args.seed, args.reps);
     batch.insert(batch.end(), runs.begin(), runs.end());
   }
-  const auto results = args.runner().run(batch);
+  const auto sweep = bench::run_sweep(args, batch);
+  if (!sweep.complete()) return 0;
+  const auto& results = sweep.results;
 
   util::Table t({"conns/dir", "f(p',r') pkts/s", "E[X] TCP pkts/s", "measured/formula",
                  "ci95", "flows"});

@@ -3,6 +3,12 @@
 // and (Middle) the four emulated WAN paths. The paper finds it mostly near
 // zero (condition C1 holds in practice), noticeably negative where losses
 // arrive in batches (UMELB).
+//
+// The (scenario × population × rep) grid is one flat Scenario batch through
+// the sweep persistence layer; the per-flow scatter of a cell is pooled
+// across flows and replications, with a 95% CI on cov*p^2.
+#include <functional>
+
 #include "bench_common.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scenario.hpp"
@@ -10,48 +16,80 @@
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kSweepFlags);
   args.cli.finish();
   bench::banner("Figure 10", "cov[theta, hat-theta] p^2 across lab and WAN scenarios");
+  bench::batch_note(args);
 
   const double duration = args.seconds(180.0, 2500.0);
   const std::vector<int> populations = args.full ? std::vector<int>{1, 2, 4, 6, 9}
                                                  : std::vector<int>{1, 4};
 
-  util::Table t({"scenario", "n/dir", "p (tfrc)", "cov*p^2", "C1 holds"});
-  std::vector<std::vector<double>> csv_rows;
-  int scenario_idx = 0;
-  const auto run_one = [&](testbed::Scenario s, const std::string& label) {
-    s.duration_s = duration;
-    s.warmup_s = duration / 6.0;
-    const auto r = testbed::run_experiment(s);
-    for (const auto* f : r.of_kind("tfrc")) {
-      if (f->p <= 0) continue;
-      t.row({label, util::fmt(s.n_tfrc, 3), util::fmt(f->p, 4),
-             util::fmt(f->normalized_cov, 4), f->normalized_cov <= 0.02 ? "yes" : "no"});
-      csv_rows.push_back({static_cast<double>(scenario_idx), static_cast<double>(s.n_tfrc),
-                          f->p, f->normalized_cov});
-    }
-    ++scenario_idx;
+  // The figure's scenario axis: three lab configurations, four WAN paths.
+  struct Cell {
+    std::string label;
+    std::function<testbed::Scenario(int)> make;  // population -> scenario
   };
-
-  for (int n : populations) {
-    run_one(testbed::lab_scenario(testbed::QueueKind::kDropTail, 64, n, args.seed + n),
-            "lab DT-64");
-    run_one(testbed::lab_scenario(testbed::QueueKind::kDropTail, 100, n, args.seed + n),
-            "lab DT-100");
-    run_one(testbed::lab_scenario(testbed::QueueKind::kRed, 0, n, args.seed + n), "lab RED");
-  }
+  std::vector<Cell> cells;
+  cells.push_back({"lab DT-64", [](int n) {
+                     return testbed::lab_scenario(testbed::QueueKind::kDropTail, 64, n, 0);
+                   }});
+  cells.push_back({"lab DT-100", [](int n) {
+                     return testbed::lab_scenario(testbed::QueueKind::kDropTail, 100, n, 0);
+                   }});
+  cells.push_back({"lab RED", [](int n) {
+                     return testbed::lab_scenario(testbed::QueueKind::kRed, 0, n, 0);
+                   }});
   for (const auto& path : testbed::table1_paths()) {
+    cells.push_back({"wan " + path.name,
+                     [path](int n) { return testbed::wan_scenario(path, n, 0); }});
+  }
+
+  // Scenario-major, population-middle, replication-minor.
+  std::vector<testbed::Scenario> batch;
+  batch.reserve(cells.size() * populations.size() * static_cast<std::size_t>(args.reps));
+  for (const auto& cell : cells) {
     for (int n : populations) {
-      run_one(testbed::wan_scenario(path, n, args.seed + n), "wan " + path.name);
+      auto base = cell.make(n);
+      base.name += "-fig10-n" + std::to_string(n);
+      base.duration_s = duration;
+      base.warmup_s = duration / 6.0;
+      const auto runs = testbed::replicate(base, args.seed, args.reps);
+      batch.insert(batch.end(), runs.begin(), runs.end());
     }
   }
-  t.print("\nNormalized covariance per TFRC flow:");
+  const auto sweep = bench::run_sweep(args, batch);
+  if (!sweep.complete()) return 0;
+  const auto& results = sweep.results;
+
+  util::Table t({"scenario", "n/dir", "p (tfrc)", "cov*p^2", "ci95", "C1 holds"});
+  std::vector<std::vector<double>> csv_rows;
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    for (int n : populations) {
+      // Pool the per-flow scatter across every flow of every replication.
+      stats::OnlineMoments p_m, cov_m;
+      for (int rep = 0; rep < args.reps; ++rep) {
+        const auto& r = results[idx++];
+        for (const auto* f : r.of_kind("tfrc")) {
+          if (f->p <= 0) continue;
+          p_m.add(f->p);
+          cov_m.add(f->normalized_cov);
+        }
+      }
+      if (p_m.count() == 0) continue;
+      t.row({cells[c].label, util::fmt(n, 3), util::fmt(p_m.mean(), 4),
+             util::fmt(cov_m.mean(), 4), util::fmt(cov_m.ci_halfwidth(), 3),
+             cov_m.mean() <= 0.02 ? "yes" : "no"});
+      csv_rows.push_back({static_cast<double>(c), static_cast<double>(n), p_m.mean(),
+                          cov_m.mean(), cov_m.ci_halfwidth()});
+    }
+  }
+  t.print("\nNormalized covariance of the TFRC flows (pooled over flows and reps):");
 
   std::cout << "\nPaper shape: the normalized covariance clusters near zero in every\n"
             << "scenario (the C1 hypothesis of Theorem 1 / Claim 1 is the common case),\n"
             << "with occasional negative excursions where losses batch.\n";
-  bench::maybe_csv(args, {"scenario", "n", "p", "cov_p2"}, csv_rows);
+  bench::maybe_csv(args, {"scenario", "n", "p", "cov_p2", "ci95"}, csv_rows);
   return 0;
 }

@@ -17,7 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
+  bench::BenchArgs args(argc, argv, bench::kSweepFlags);
   args.cli.finish();
   bench::banner("Figure 11", "TFRC/TCP throughput ratio vs p over the Table-I WAN paths");
   bench::batch_note(args);
@@ -29,7 +29,9 @@ int main(int argc, char** argv) {
 
   // One batch over the whole grid: cell (path, n) × replications.
   const auto batch = bench::wan_batch(paths, populations, duration, args.seed, args.reps);
-  const auto results = args.runner().run(batch);
+  const auto sweep = bench::run_sweep(args, batch);
+  if (!sweep.complete()) return 0;
+  const auto& results = sweep.results;
 
   util::Table t({"path", "n/dir", "p (tfrc)", "x/x' (tfrc/tcp)", "ci95"});
   std::vector<std::vector<double>> csv_rows;

@@ -19,7 +19,7 @@
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
+  bench::BenchArgs args(argc, argv, bench::kSweepFlags);
   args.cli.finish();
   bench::banner("Figures 12-15", "TCP-friendliness breakdown per WAN path");
   bench::batch_note(args);
@@ -30,7 +30,9 @@ int main(int argc, char** argv) {
   const auto paths = testbed::table1_paths();
 
   const auto batch = bench::wan_batch(paths, populations, duration, args.seed, args.reps);
-  const auto results = args.runner().run(batch);
+  const auto sweep = bench::run_sweep(args, batch);
+  if (!sweep.complete()) return 0;
+  const auto& results = sweep.results;
 
   std::vector<std::vector<double>> csv_rows;
   std::size_t idx = 0;

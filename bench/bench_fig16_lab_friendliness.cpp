@@ -2,35 +2,54 @@
 // TFRC and TCP throughputs versus the loss-event rate p, on the DropTail-100
 // and RED bottlenecks, sweeping the population (the paper ran n in
 // {1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36} per direction).
+//
+// The (queue × population × rep) grid is one flat Scenario batch through the
+// sweep persistence layer: per-cell names drive the derived seeds, --cache
+// makes warm re-runs simulation-free and bit-identical, and
+// --shard-index/--shard-count split the grid across processes (merge by
+// re-running unsharded against the shared/merged cache).
 #include "bench_common.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kSweepFlags);
   args.cli.finish();
   bench::banner("Figure 16", "lab TCP-friendliness: x/x' vs p (DropTail-100 and RED)");
+  bench::batch_note(args);
 
   const std::vector<int> populations =
       args.full ? std::vector<int>{1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36}
                 : std::vector<int>{1, 3, 6, 12, 25};
   const double duration = args.seconds(180.0, 2500.0);
+  const std::vector<testbed::QueueKind> queues{testbed::QueueKind::kDropTail,
+                                               testbed::QueueKind::kRed};
+
+  const auto batch = bench::lab_batch(queues, populations, duration, args.seed, args.reps);
+  const auto sweep = bench::run_sweep(args, batch);
+  if (!sweep.complete()) return 0;
+  const auto& results = sweep.results;
 
   std::vector<std::vector<double>> csv_rows;
-  for (auto queue : {testbed::QueueKind::kDropTail, testbed::QueueKind::kRed}) {
-    util::Table t({"n/dir", "p (tfrc)", "x/x'", "p'/p"});
+  std::size_t idx = 0;
+  for (auto queue : queues) {
+    util::Table t({"n/dir", "p (tfrc)", "x/x'", "ci95", "p'/p"});
     for (int n : populations) {
-      auto s = testbed::lab_scenario(queue, 100, n, args.seed + 17 * n);
-      s.duration_s = duration;
-      s.warmup_s = duration / 6.0;
-      const auto r = testbed::run_experiment(s);
-      if (r.breakdown.friendliness <= 0) continue;
-      t.row({static_cast<double>(n), r.tfrc_p, r.breakdown.friendliness,
-             r.breakdown.loss_rate_ratio});
+      stats::OnlineMoments p_m, friendliness_m, ratio_m;
+      for (int rep = 0; rep < args.reps; ++rep) {
+        const auto& r = results[idx++];
+        if (r.breakdown.friendliness <= 0) continue;
+        p_m.add(r.tfrc_p);
+        friendliness_m.add(r.breakdown.friendliness);
+        ratio_m.add(r.breakdown.loss_rate_ratio);
+      }
+      if (friendliness_m.count() == 0) continue;
+      t.row({static_cast<double>(n), p_m.mean(), friendliness_m.mean(),
+             friendliness_m.ci_halfwidth(), ratio_m.mean()});
       csv_rows.push_back({queue == testbed::QueueKind::kDropTail ? 0.0 : 1.0,
-                          static_cast<double>(n), r.tfrc_p, r.breakdown.friendliness,
-                          r.breakdown.loss_rate_ratio});
+                          static_cast<double>(n), p_m.mean(), friendliness_m.mean(),
+                          friendliness_m.ci_halfwidth(), ratio_m.mean()});
     }
     t.print(std::string("\n") +
             (queue == testbed::QueueKind::kDropTail ? "DropTail 100" : "RED") + ":");
@@ -39,6 +58,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper shape: at small p (few senders) the ratio exceeds 1; at larger\n"
             << "populations TFRC turns TCP-friendly or even loses throughput share (its\n"
             << "strong conservativeness under heavy loss, Figure 5).\n";
-  bench::maybe_csv(args, {"queue", "n", "p", "friendliness", "p_ratio"}, csv_rows);
+  bench::maybe_csv(args, {"queue", "n", "p", "friendliness", "ci95", "p_ratio"}, csv_rows);
   return 0;
 }

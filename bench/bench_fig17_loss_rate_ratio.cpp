@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
+  bench::BenchArgs args(argc, argv, bench::kSweepFlags);
   args.cli.finish();
   bench::banner("Figure 17", "p'/p over DropTail(b): isolation and competition");
 
@@ -57,7 +57,9 @@ int main(int argc, char** argv) {
       batch.push_back(make(1, 1, b, "competing", rep));
     }
   }
-  const auto results = args.runner().run(batch);
+  const auto sweep = bench::run_sweep(args, batch);
+  if (!sweep.complete()) return 0;
+  const auto& results = sweep.results;
 
   util::Table t({"buffer b", "p'/p isolated", "p'/p competing"});
   std::vector<std::vector<double>> csv_rows;

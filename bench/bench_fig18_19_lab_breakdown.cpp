@@ -2,37 +2,56 @@
 // scenarios — DropTail-100 (Fig. 18) and RED (Fig. 19) — versus the
 // loss-event rate, with the comprehensive control disabled and
 // PFTK-standard, L = 8, exactly as the paper's lab runs.
+//
+// The (queue × population × rep) grid runs as one Scenario batch through
+// the sweep persistence layer (--cache/--shard-index/--shard-count), with
+// per-cell derived seeds and a 95% CI on the conservativeness column.
 #include "bench_common.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv);
+  bench::BenchArgs args(argc, argv, bench::kSweepFlags);
   args.cli.finish();
   bench::banner("Figures 18-19", "lab breakdown: DropTail-100 and RED");
+  bench::batch_note(args);
 
   const std::vector<int> populations =
       args.full ? std::vector<int>{1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36}
                 : std::vector<int>{1, 3, 6, 12, 25};
   const double duration = args.seconds(180.0, 2500.0);
+  const std::vector<testbed::QueueKind> queues{testbed::QueueKind::kDropTail,
+                                               testbed::QueueKind::kRed};
+
+  const auto batch =
+      bench::lab_batch(queues, populations, duration, args.seed, args.reps, "-breakdown");
+  const auto sweep = bench::run_sweep(args, batch);
+  if (!sweep.complete()) return 0;
+  const auto& results = sweep.results;
 
   std::vector<std::vector<double>> csv_rows;
-  for (auto queue : {testbed::QueueKind::kDropTail, testbed::QueueKind::kRed}) {
-    util::Table t({"n/dir", "p (tfrc)", "x/f(p,r)", "p'/p", "r'/r", "x'/f(p',r')"});
+  std::size_t idx = 0;
+  for (auto queue : queues) {
+    util::Table t(
+        {"n/dir", "p (tfrc)", "x/f(p,r)", "ci95", "p'/p", "r'/r", "x'/f(p',r')"});
     for (int n : populations) {
-      auto s = testbed::lab_scenario(queue, 100, n, args.seed + 19 * n);
-      s.duration_s = duration;
-      s.warmup_s = duration / 6.0;
-      const auto r = testbed::run_experiment(s);
-      if (r.tfrc_p <= 0 || r.tcp_p <= 0) continue;
-      t.row({static_cast<double>(n), r.tfrc_p, r.breakdown.conservativeness,
-             r.breakdown.loss_rate_ratio, r.breakdown.rtt_ratio,
-             r.breakdown.tcp_formula_ratio});
+      stats::OnlineMoments p_m, conserv_m, p_ratio_m, rtt_ratio_m, tcp_formula_m;
+      for (int rep = 0; rep < args.reps; ++rep) {
+        const auto& r = results[idx++];
+        if (r.tfrc_p <= 0 || r.tcp_p <= 0) continue;
+        p_m.add(r.tfrc_p);
+        conserv_m.add(r.breakdown.conservativeness);
+        p_ratio_m.add(r.breakdown.loss_rate_ratio);
+        rtt_ratio_m.add(r.breakdown.rtt_ratio);
+        tcp_formula_m.add(r.breakdown.tcp_formula_ratio);
+      }
+      if (p_m.count() == 0) continue;
+      t.row({static_cast<double>(n), p_m.mean(), conserv_m.mean(), conserv_m.ci_halfwidth(),
+             p_ratio_m.mean(), rtt_ratio_m.mean(), tcp_formula_m.mean()});
       csv_rows.push_back({queue == testbed::QueueKind::kDropTail ? 18.0 : 19.0,
-                          static_cast<double>(n), r.tfrc_p, r.breakdown.conservativeness,
-                          r.breakdown.loss_rate_ratio, r.breakdown.rtt_ratio,
-                          r.breakdown.tcp_formula_ratio});
+                          static_cast<double>(n), p_m.mean(), conserv_m.mean(),
+                          p_ratio_m.mean(), rtt_ratio_m.mean(), tcp_formula_m.mean()});
     }
     t.print(std::string("\nFigure ") +
             (queue == testbed::QueueKind::kDropTail ? "18 — DropTail 100" : "19 — RED") + ":");

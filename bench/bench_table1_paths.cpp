@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace ebrc;
-  bench::BenchArgs args(argc, argv, bench::kBatchFlags);
+  bench::BenchArgs args(argc, argv, bench::kSweepFlags);
   args.cli.finish();
   bench::banner("Table I", "emulated WAN paths vs the paper's receiver hosts");
   bench::batch_note(args);
@@ -32,7 +32,9 @@ int main(int argc, char** argv) {
   // In-simulation validation with one TFRC + one TCP test flow per path.
   const double duration = args.seconds(120.0, 600.0);
   const auto batch = bench::wan_batch(paths, {1}, duration, args.seed, args.reps);
-  const auto results = args.runner().run(batch);
+  const auto sweep = bench::run_sweep(args, batch);
+  if (!sweep.complete()) return 0;
+  const auto& results = sweep.results;
 
   util::Table meas({"Receiver", "tfrc RTT ms", "ambient p (tfrc)", "p ci95", "paper p range"});
   const char* ranges[] = {"0.000-0.008", "0.0005-0.002", "0.0001-0.0006", "0.002-0.008"};

@@ -1,0 +1,115 @@
+# End-to-end assertion for the sweep persistence layer, run as a ctest
+# target (see CMakeLists.txt). Drives a real figure binary through the three
+# workflows that must agree bit-for-bit on stdout:
+#
+#   1. cold run   — every cell simulated, cache populated
+#   2. warm run   — zero simulations, all cells loaded from the cache
+#   3. 2 shards into separate caches, folded with merge_results --into,
+#      then an unsharded pass over the merged cache (zero simulations)
+#
+# Inputs: -DFIGURE=<bench binary> -DMERGE_TOOL=<merge_results binary>
+#         -DWORK_DIR=<scratch dir>
+# Also asserts the unknown-flag error names the new sweep flags.
+
+foreach(var FIGURE MERGE_TOOL WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sweep_roundtrip_test: missing -D${var}")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Small but real: the reduced fig16 grid at a short horizon (20 scenarios).
+set(ARGS --reps=2 --jobs=2 --seed=3 --duration=8)
+
+function(run_figure out_var err_var)
+  execute_process(
+    COMMAND ${FIGURE} ${ARGS} ${ARGN}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "figure run failed (${code}): ${FIGURE} ${ARGS} ${ARGN}\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+  set(${err_var} "${err}" PARENT_SCOPE)
+endfunction()
+
+# --- 1+2: cold then warm against the same cache -------------------------------
+run_figure(cold_out cold_err --cache=${WORK_DIR}/cache)
+if(NOT cold_err MATCHES "simulated=20")
+  message(FATAL_ERROR "cold run did not simulate the full sweep:\n${cold_err}")
+endif()
+
+run_figure(warm_out warm_err --cache=${WORK_DIR}/cache)
+if(NOT warm_err MATCHES "hits=20 simulated=0")
+  message(FATAL_ERROR "warm-cache run was not simulation-free:\n${warm_err}")
+endif()
+if(NOT cold_out STREQUAL warm_out)
+  message(FATAL_ERROR "warm-cache stdout differs from cold run")
+endif()
+
+# --- 3: two shards, separate caches, merged by the tool -----------------------
+run_figure(s0_out s0_err --cache=${WORK_DIR}/shard0 --shard-index=0 --shard-count=2
+           --summary-out=${WORK_DIR}/sum0.txt)
+run_figure(s1_out s1_err --cache=${WORK_DIR}/shard1 --shard-index=1 --shard-count=2
+           --summary-out=${WORK_DIR}/sum1.txt)
+foreach(err IN ITEMS "${s0_err}" "${s1_err}")
+  if(NOT err MATCHES "simulated=10 skipped=10")
+    message(FATAL_ERROR "shard did not simulate exactly its half:\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${MERGE_TOOL} --into=${WORK_DIR}/merged ${WORK_DIR}/shard0 ${WORK_DIR}/shard1
+  RESULT_VARIABLE merge_code
+  OUTPUT_VARIABLE merge_out
+  ERROR_VARIABLE merge_err)
+if(NOT merge_code EQUAL 0)
+  message(FATAL_ERROR "merge_results failed: ${merge_out}${merge_err}")
+endif()
+if(NOT merge_out MATCHES "copied=20")
+  message(FATAL_ERROR "merge_results did not fold both shards: ${merge_out}")
+endif()
+
+run_figure(merged_out merged_err --cache=${WORK_DIR}/merged)
+if(NOT merged_err MATCHES "hits=20 simulated=0")
+  message(FATAL_ERROR "merged-cache run was not simulation-free:\n${merged_err}")
+endif()
+if(NOT cold_out STREQUAL merged_out)
+  message(FATAL_ERROR "2-shard merged stdout differs from the unsharded run")
+endif()
+
+# --- summary fold -------------------------------------------------------------
+execute_process(
+  COMMAND ${MERGE_TOOL} --summaries=${WORK_DIR}/summary.txt ${WORK_DIR}/sum0.txt
+          ${WORK_DIR}/sum1.txt
+  RESULT_VARIABLE sum_code
+  OUTPUT_VARIABLE sum_out
+  ERROR_VARIABLE sum_err)
+if(NOT sum_code EQUAL 0 OR NOT sum_out MATCHES "20 runs")
+  message(FATAL_ERROR "summary fold failed: ${sum_out}${sum_err}")
+endif()
+
+# --- CLI guard rails ----------------------------------------------------------
+execute_process(
+  COMMAND ${FIGURE} --duration=8 --shard-index=2 --shard-count=2
+  RESULT_VARIABLE bad_code
+  OUTPUT_VARIABLE bad_out
+  ERROR_VARIABLE bad_err)
+if(bad_code EQUAL 0 OR NOT bad_err MATCHES "--shard-index \\(2\\) must be < --shard-count")
+  message(FATAL_ERROR "out-of-range shard index not rejected: ${bad_err}")
+endif()
+
+execute_process(
+  COMMAND ${FIGURE} --bogus-flag
+  RESULT_VARIABLE unknown_code
+  OUTPUT_VARIABLE unknown_out
+  ERROR_VARIABLE unknown_err)
+if(unknown_code EQUAL 0 OR NOT unknown_err MATCHES "--shard-index" OR
+   NOT unknown_err MATCHES "--cache")
+  message(FATAL_ERROR "unknown-flag listing misses the sweep flags: ${unknown_err}")
+endif()
+
+message(STATUS "sweep persistence round-trip OK: cold == warm == 2-shard merged")

@@ -27,8 +27,28 @@ class OnlineMoments {
   [[nodiscard]] double max() const noexcept { return max_; }
   [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
 
-  /// Merges another accumulator (parallel Welford combine).
+  /// Merges another accumulator (parallel Welford combine). Exact on count,
+  /// min, and max; mean and M2 are mathematically order-independent but may
+  /// differ from sequential add() by floating-point rounding — tools that
+  /// need bit-identical sweep summaries re-aggregate from per-run results
+  /// (see testbed::merge_batch_results' doc comment).
   void merge(const OnlineMoments& other) noexcept;
+
+  /// Sum of squared deviations (the raw Welford M2 state).
+  [[nodiscard]] double m2() const noexcept { return m2_; }
+
+  /// Rehydrates an accumulator from persisted state (testbed batch-summary
+  /// files). Inverse of reading {count, mean, m2, min, max}.
+  [[nodiscard]] static OnlineMoments from_state(std::uint64_t n, double mean, double m2,
+                                                double min, double max) noexcept {
+    OnlineMoments m;
+    m.n_ = n;
+    m.mean_ = mean;
+    m.m2_ = m2;
+    m.min_ = min;
+    m.max_ = max;
+    return m;
+  }
 
  private:
   std::uint64_t n_ = 0;

@@ -1,11 +1,24 @@
 #include "testbed/batch.hpp"
 
+#include <charconv>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 
 #include "sim/random.hpp"
+#include "testbed/result_store.hpp"
+#include "util/doc.hpp"
 
 namespace ebrc::testbed {
+
+ShardSpec::ShardSpec(std::size_t index, std::size_t count) : index(index), count(count) {
+  if (count < 1) throw std::invalid_argument("ShardSpec: shard count must be >= 1");
+  if (index >= count) {
+    throw std::invalid_argument("ShardSpec: --shard-index (" + std::to_string(index) +
+                                ") must be < --shard-count (" + std::to_string(count) + ")");
+  }
+}
 
 std::vector<Scenario> replicate(const Scenario& base, std::uint64_t root_seed, int reps) {
   if (reps < 1) throw std::invalid_argument("replicate: reps must be >= 1");
@@ -104,8 +117,163 @@ std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scen
                                [&](std::size_t i) { return run_experiment(scenarios[i]); });
 }
 
+std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scenarios,
+                                               const ResultStore* store, ShardSpec shard,
+                                               SweepReport* report) const {
+  const std::size_t n = scenarios.size();
+  std::vector<ExperimentResult> out(n);
+  SweepReport rep;
+  rep.total = n;
+  rep.available.assign(n, 0);
+
+  // Phase 1: probe the cache for EVERY index, not only owned ones — a warm
+  // store makes any shard's run complete, which is exactly how a merge pass
+  // reconstructs the full sweep without simulating.
+  std::vector<std::uint8_t> hit(n, 0);
+  if (store != nullptr) {
+    auto probe = [&](std::size_t i) {
+      if (auto cached = store->load(scenarios[i])) {
+        out[i] = std::move(*cached);
+        hit[i] = 1;
+      }
+    };
+    dispatch(
+        n, [](void* ctx, std::size_t i) { (*static_cast<decltype(probe)*>(ctx))(i); }, &probe);
+  }
+
+  // Phase 2: simulate the misses this shard owns, persisting each result as
+  // it lands so an interrupted sweep keeps its finished work.
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (hit[i] != 0) {
+      rep.available[i] = 1;
+      ++rep.hits;
+    } else if (shard.owns(i)) {
+      todo.push_back(i);
+    } else {
+      ++rep.skipped;
+    }
+  }
+  auto simulate = [&](std::size_t k) {
+    const std::size_t i = todo[k];
+    out[i] = run_experiment(scenarios[i]);
+    if (store != nullptr) store->store(scenarios[i], out[i]);
+  };
+  dispatch(
+      todo.size(), [](void* ctx, std::size_t i) { (*static_cast<decltype(simulate)*>(ctx))(i); },
+      &simulate);
+  for (std::size_t i : todo) rep.available[i] = 1;
+  rep.simulated = todo.size();
+
+  if (report != nullptr) *report = std::move(rep);
+  return out;
+}
+
 BatchResult BatchRunner::run_aggregate(const std::vector<Scenario>& scenarios) const {
   return aggregate(run(scenarios));
+}
+
+// ---- sweep summaries ---------------------------------------------------------
+
+BatchResult merge_batch_results(const std::vector<BatchResult>& parts) {
+  BatchResult out;
+  for (const auto& p : parts) {
+    out.runs += p.runs;
+    for (const auto& [name, moments] : p.metrics) out.metrics[name].merge(moments);
+  }
+  return out;
+}
+
+namespace {
+
+[[nodiscard]] double parse_double_token(const std::string& token, const std::string& context) {
+  double v = 0.0;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto r = std::from_chars(first, last, v);
+  if (r.ec != std::errc{} || r.ptr != last) {
+    throw std::invalid_argument("batch-result file: malformed number '" + token + "' in " +
+                                context);
+  }
+  return v;
+}
+
+}  // namespace
+
+void save_batch_result(const BatchResult& result, const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_batch_result: cannot open " + path.string());
+  out << "ebrc-batch-result v1\n";
+  out << "runs " << result.runs << "\n";
+  for (const auto& [name, m] : result.metrics) {
+    if (name.find_first_of(" \t\n") != std::string::npos) {
+      throw std::invalid_argument("save_batch_result: metric name with whitespace: '" + name +
+                                  "'");
+    }
+    out << "metric " << name << ' ' << m.count() << ' ' << util::format_double(m.mean()) << ' '
+        << util::format_double(m.m2()) << ' ' << util::format_double(m.min()) << ' '
+        << util::format_double(m.max()) << "\n";
+  }
+  if (!out.flush()) {
+    throw std::runtime_error("save_batch_result: write failed for " + path.string());
+  }
+}
+
+BatchResult load_batch_result(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_batch_result: cannot open " + path.string());
+  std::string header;
+  std::getline(in, header);
+  if (header != "ebrc-batch-result v1") {
+    throw std::invalid_argument("load_batch_result: " + path.string() +
+                                " is not a batch-result file");
+  }
+  BatchResult out;
+  std::string line;
+  bool saw_runs = false;
+  const auto parse_count = [](const std::string& token, const std::string& context) {
+    std::uint64_t count = 0;
+    const auto r = std::from_chars(token.data(), token.data() + token.size(), count);
+    if (token.empty() || r.ec != std::errc{} || r.ptr != token.data() + token.size()) {
+      throw std::invalid_argument("batch-result file: malformed count '" + token + "' in " +
+                                  context);
+    }
+    return count;
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "runs") {
+      if (saw_runs) {
+        throw std::invalid_argument("load_batch_result: duplicate 'runs' line");
+      }
+      std::string runs_tok;
+      fields >> runs_tok;
+      out.runs = parse_count(runs_tok, line);
+      saw_runs = true;
+    } else if (tag == "metric") {
+      std::string name, count_tok, mean_tok, m2_tok, min_tok, max_tok;
+      fields >> name >> count_tok >> mean_tok >> m2_tok >> min_tok >> max_tok;
+      if (fields.fail() || name.empty()) {
+        throw std::invalid_argument("load_batch_result: malformed metric line '" + line + "'");
+      }
+      if (out.metrics.count(name) != 0) {
+        throw std::invalid_argument("load_batch_result: duplicate metric '" + name + "'");
+      }
+      out.metrics[name] = stats::OnlineMoments::from_state(
+          parse_count(count_tok, line), parse_double_token(mean_tok, line),
+          parse_double_token(m2_tok, line), parse_double_token(min_tok, line),
+          parse_double_token(max_tok, line));
+    } else {
+      throw std::invalid_argument("load_batch_result: unknown line '" + line + "'");
+    }
+  }
+  if (!saw_runs) {
+    throw std::invalid_argument("load_batch_result: missing 'runs' line in " + path.string());
+  }
+  return out;
 }
 
 }  // namespace ebrc::testbed

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <thread>
@@ -24,6 +25,37 @@
 #include "testbed/scenario.hpp"
 
 namespace ebrc::testbed {
+
+class ResultStore;
+
+/// One process's slice of a sweep: this process owns batch indices i with
+/// i % count == index (interleaved, so every shard gets a balanced mix of
+/// cheap and expensive grid cells). count == 1 is the whole sweep.
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  ShardSpec() = default;
+  /// Throws std::invalid_argument unless index < count and count >= 1.
+  ShardSpec(std::size_t index, std::size_t count);
+
+  [[nodiscard]] bool owns(std::size_t i) const noexcept { return i % count == index; }
+  [[nodiscard]] bool whole() const noexcept { return count == 1; }
+};
+
+/// What a (possibly cached, possibly sharded) batch run actually did.
+/// complete() means every result slot is populated — either freshly
+/// simulated or loaded bit-identical from the store — so downstream
+/// aggregation and table printing are meaningful.
+struct SweepReport {
+  std::size_t total = 0;
+  std::size_t hits = 0;       // loaded from the store
+  std::size_t simulated = 0;  // run here (and stored, when a store is attached)
+  std::size_t skipped = 0;    // cache misses owned by other shards
+  std::vector<std::uint8_t> available;  // per-index: result slot populated
+
+  [[nodiscard]] bool complete() const noexcept { return hits + simulated == total; }
+};
 
 /// Expands `base` into `reps` replications whose seeds are derived
 /// deterministically from `root_seed` and the replication index (not from the
@@ -65,6 +97,18 @@ class BatchRunner {
   /// Runs every scenario through run_experiment(); results in input order.
   [[nodiscard]] std::vector<ExperimentResult> run(const std::vector<Scenario>& scenarios) const;
 
+  /// The sweep-persistence entry point: consults `store` (may be null) before
+  /// simulating, simulates only the cache-missing indices owned by `shard`,
+  /// and persists what it simulated. Results come back in input order;
+  /// indices that were neither cached nor owned stay default-constructed
+  /// (report->available tells them apart). Cache hits are bit-identical to
+  /// the simulation they stand in for, so a warm-cache run reproduces a cold
+  /// run exactly while performing zero simulations.
+  [[nodiscard]] std::vector<ExperimentResult> run(const std::vector<Scenario>& scenarios,
+                                                  const ResultStore* store,
+                                                  ShardSpec shard = {},
+                                                  SweepReport* report = nullptr) const;
+
   /// run() followed by aggregate().
   [[nodiscard]] BatchResult run_aggregate(const std::vector<Scenario>& scenarios) const;
 
@@ -94,5 +138,22 @@ class BatchRunner {
 
   std::size_t jobs_;
 };
+
+// ---- sweep summaries across processes ---------------------------------------
+
+/// Folds per-shard summaries into one via stats::OnlineMoments::merge
+/// (count/min/max exact; mean/variance agree with the unsharded aggregate up
+/// to floating-point rounding). For BIT-identical merged sweeps, shard
+/// through a shared ResultStore and re-run the sweep unsharded against the
+/// warm cache instead: aggregate() then folds the same per-run results in
+/// the same order as a from-scratch run.
+[[nodiscard]] BatchResult merge_batch_results(const std::vector<BatchResult>& parts);
+
+/// Text round-trip for BatchResult summary files (one "metric <name> <count>
+/// <mean> <m2> <min> <max>" line per metric; doubles in std::to_chars
+/// shortest form, so values survive exactly). load throws
+/// std::runtime_error/std::invalid_argument on unreadable or malformed files.
+void save_batch_result(const BatchResult& result, const std::filesystem::path& path);
+[[nodiscard]] BatchResult load_batch_result(const std::filesystem::path& path);
 
 }  // namespace ebrc::testbed

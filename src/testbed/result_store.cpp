@@ -1,0 +1,232 @@
+#include "testbed/result_store.hpp"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "testbed/scenario_io.hpp"
+#include "util/binary_io.hpp"
+
+namespace ebrc::testbed {
+
+namespace {
+
+// "EBRCRES1" little-endian.
+constexpr std::uint64_t kMagic = 0x3153455243524245ull;
+constexpr std::uint64_t kFormatVersion = 1;
+
+[[nodiscard]] std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return s;
+}
+
+[[nodiscard]] std::uint64_t payload_hash(std::string_view payload) {
+  util::Fnv1a h;
+  h.bytes(payload.data(), payload.size());
+  return h.digest();
+}
+
+[[nodiscard]] std::optional<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return std::move(buf).str();
+}
+
+struct Header {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t salt = 0;
+  std::string_view payload;
+};
+
+/// Splits and structurally validates a raw file; nullopt on any defect.
+[[nodiscard]] std::optional<Header> open_envelope(std::string_view bytes) {
+  util::ByteReader r(bytes);
+  if (r.u64() != kMagic) return std::nullopt;
+  if (r.u64() != kFormatVersion) return std::nullopt;
+  Header h;
+  h.fingerprint = r.u64();
+  h.seed = r.u64();
+  h.salt = r.u64();
+  const std::uint64_t hash = r.u64();
+  const std::uint64_t len = r.u64();
+  if (!r.ok()) return std::nullopt;
+  constexpr std::size_t kHeaderBytes = 7 * 8;
+  if (bytes.size() != kHeaderBytes + len) return std::nullopt;
+  h.payload = bytes.substr(kHeaderBytes);
+  if (payload_hash(h.payload) != hash) return std::nullopt;
+  return h;
+}
+
+}  // namespace
+
+std::string encode_result(const ExperimentResult& r) {
+  util::ByteWriter w;
+  w.str(r.scenario_name);
+  w.u64(r.flows.size());
+  for (const auto& f : r.flows) {
+    w.str(f.kind);
+    w.i64(f.flow_id);
+    w.f64(f.throughput_pps);
+    w.f64(f.p);
+    w.f64(f.mean_rtt_s);
+    w.f64(f.formula_rate);
+    w.f64(f.normalized);
+    w.f64(f.cov_theta_thetahat);
+    w.f64(f.normalized_cov);
+    w.u64(f.loss_events);
+  }
+  w.f64(r.tfrc_throughput);
+  w.f64(r.tcp_throughput);
+  w.f64(r.tfrc_p);
+  w.f64(r.tcp_p);
+  w.f64(r.poisson_p);
+  w.f64(r.tfrc_rtt);
+  w.f64(r.tcp_rtt);
+  w.f64(r.bottleneck_utilization);
+  w.f64(r.breakdown.conservativeness);
+  w.f64(r.breakdown.loss_rate_ratio);
+  w.f64(r.breakdown.rtt_ratio);
+  w.f64(r.breakdown.tcp_formula_ratio);
+  w.f64(r.breakdown.friendliness);
+  return w.take();
+}
+
+std::optional<ExperimentResult> decode_result(std::string_view payload) {
+  util::ByteReader r(payload);
+  ExperimentResult out;
+  out.scenario_name = r.str();
+  const std::uint64_t n_flows = r.u64();
+  for (std::uint64_t i = 0; i < n_flows && r.ok(); ++i) {
+    FlowStats f;
+    f.kind = r.str();
+    f.flow_id = static_cast<int>(r.i64());
+    f.throughput_pps = r.f64();
+    f.p = r.f64();
+    f.mean_rtt_s = r.f64();
+    f.formula_rate = r.f64();
+    f.normalized = r.f64();
+    f.cov_theta_thetahat = r.f64();
+    f.normalized_cov = r.f64();
+    f.loss_events = r.u64();
+    out.flows.push_back(std::move(f));
+  }
+  out.tfrc_throughput = r.f64();
+  out.tcp_throughput = r.f64();
+  out.tfrc_p = r.f64();
+  out.tcp_p = r.f64();
+  out.poisson_p = r.f64();
+  out.tfrc_rtt = r.f64();
+  out.tcp_rtt = r.f64();
+  out.bottleneck_utilization = r.f64();
+  out.breakdown.conservativeness = r.f64();
+  out.breakdown.loss_rate_ratio = r.f64();
+  out.breakdown.rtt_ratio = r.f64();
+  out.breakdown.tcp_formula_ratio = r.f64();
+  out.breakdown.friendliness = r.f64();
+  if (!r.ok() || !r.exhausted() || out.flows.size() != n_flows) return std::nullopt;
+  return out;
+}
+
+ResultStore::ResultStore(std::filesystem::path root, std::uint64_t salt)
+    : root_(std::move(root)), salt_(salt) {
+  std::filesystem::create_directories(root_);
+}
+
+std::filesystem::path ResultStore::path_for(std::uint64_t fp, std::uint64_t seed) const {
+  const std::string name =
+      hex16(fp) + "-" + hex16(seed) + "-" + hex16(salt_) + std::string(result_file_extension());
+  return root_ / hex16(fp).substr(0, 2) / name;
+}
+
+std::filesystem::path ResultStore::path_for(const Scenario& s) const {
+  return path_for(fingerprint(s), s.seed);
+}
+
+std::optional<ExperimentResult> ResultStore::load(const Scenario& s) const {
+  const std::uint64_t fp = fingerprint(s);
+  const auto path = path_for(fp, s.seed);
+  const auto bytes = read_file(path);
+  if (!bytes) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const auto envelope = open_envelope(*bytes);
+  if (!envelope || envelope->fingerprint != fp || envelope->seed != s.seed ||
+      envelope->salt != salt_) {
+    // A file that exists but does not verify is a damaged entry, not a miss:
+    // count it separately so operators can see a sick cache.
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  auto result = decode_result(envelope->payload);
+  if (!result) {
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void ResultStore::store(const Scenario& s, const ExperimentResult& r) const {
+  const std::string payload = encode_result(r);
+  const std::uint64_t fp = fingerprint(s);
+  util::ByteWriter w;
+  w.u64(kMagic);
+  w.u64(kFormatVersion);
+  w.u64(fp);
+  w.u64(s.seed);
+  w.u64(salt_);
+  w.u64(payload_hash(payload));
+  w.u64(payload.size());
+  const auto path = path_for(fp, s.seed);
+  std::filesystem::create_directories(path.parent_path());
+
+  // Temp name unique across threads (counter) AND processes (pid): shards
+  // sharing one cache directory may race on the same key, and each writer
+  // must own its in-flight bytes until the atomic POSIX rename.
+  static std::atomic<std::uint64_t> temp_counter{0};
+  const auto temp =
+      path.parent_path() /
+      (path.filename().string() + ".tmp" + std::to_string(::getpid()) + "." +
+       std::to_string(temp_counter.fetch_add(1)));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("ResultStore: cannot create " + temp.string());
+    out << w.bytes() << payload;
+    if (!out.flush()) {
+      throw std::runtime_error("ResultStore: write failed for " + temp.string());
+    }
+  }
+  std::filesystem::rename(temp, path);
+  stored_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ResultStore::Counters ResultStore::counters() const noexcept {
+  return Counters{hits_.load(std::memory_order_relaxed), misses_.load(std::memory_order_relaxed),
+                  corrupt_.load(std::memory_order_relaxed),
+                  stored_.load(std::memory_order_relaxed)};
+}
+
+bool validate_result_file(const std::filesystem::path& path) {
+  const auto bytes = read_file(path);
+  if (!bytes) return false;
+  const auto envelope = open_envelope(*bytes);
+  return envelope && decode_result(envelope->payload).has_value();
+}
+
+std::string_view result_file_extension() { return ".ebrcres"; }
+
+}  // namespace ebrc::testbed

@@ -1,0 +1,91 @@
+// Content-addressed on-disk cache of ExperimentResults.
+//
+// A run is keyed by (scenario fingerprint, derived seed, code-version salt):
+// the fingerprint covers every Scenario field except the seed
+// (scenario_io.hpp), the seed is the per-replication derived seed assigned
+// before the batch launches, and the salt names the simulator's behavioral
+// version — bump kResultCacheSalt whenever a change shifts sample paths or
+// metric definitions, and every stale entry silently becomes a miss.
+//
+// Files are self-contained: a header carrying the magic, format version, the
+// full key, and an FNV-1a checksum of the payload, then the payload with
+// every double stored as its IEEE bit pattern. Loads therefore return
+// bit-identical results, and ANY defect — truncation, flipped bytes, a
+// foreign file — fails validation and reads as a miss (the runner falls back
+// to re-simulating; it never crashes on a bad cache). Writes go through a
+// temp file + rename so concurrent readers and crashed writers cannot
+// observe a half-written entry.
+//
+// Layout under root(): <2 hex of fingerprint>/<fingerprint>-<seed>-<salt>.ebrcres
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "testbed/experiment.hpp"
+#include "testbed/scenario.hpp"
+
+namespace ebrc::testbed {
+
+/// Behavioral version of the simulator baked into every cache key. Bump on
+/// any change that alters sample paths or metrics (new RNG, packet-path
+/// reorder, metric redefinition, ...) so old entries are never replayed.
+inline constexpr std::uint64_t kResultCacheSalt = 4;  // PR 4: store introduced at PR-3 physics
+
+class ResultStore {
+ public:
+  /// Creates `root` (and parents) if absent.
+  explicit ResultStore(std::filesystem::path root, std::uint64_t salt = kResultCacheSalt);
+
+  [[nodiscard]] const std::filesystem::path& root() const noexcept { return root_; }
+  [[nodiscard]] std::uint64_t salt() const noexcept { return salt_; }
+
+  /// Cache probe; nullopt on miss or on a malformed/corrupt file (which also
+  /// bumps counters().corrupt). Thread-safe.
+  [[nodiscard]] std::optional<ExperimentResult> load(const Scenario& s) const;
+
+  /// Persists the result under the scenario's key (temp file + rename; the
+  /// last writer of identical content wins harmlessly). Thread-safe.
+  void store(const Scenario& s, const ExperimentResult& r) const;
+
+  /// Where the scenario's entry lives (exposed for tests and tooling).
+  [[nodiscard]] std::filesystem::path path_for(const Scenario& s) const;
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t corrupt = 0;
+    std::uint64_t stored = 0;
+  };
+  [[nodiscard]] Counters counters() const noexcept;
+
+ private:
+  /// Fingerprint-precomputed variant behind both load() and store(), so one
+  /// call hashes the scenario exactly once.
+  [[nodiscard]] std::filesystem::path path_for(std::uint64_t fp, std::uint64_t seed) const;
+
+  std::filesystem::path root_;
+  std::uint64_t salt_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> corrupt_{0};
+  mutable std::atomic<std::uint64_t> stored_{0};
+};
+
+/// The raw payload codec, exposed for the merge tool and tests.
+[[nodiscard]] std::string encode_result(const ExperimentResult& r);
+[[nodiscard]] std::optional<ExperimentResult> decode_result(std::string_view payload);
+
+/// True when `path` holds a structurally valid result file (any key):
+/// magic, version, length, and checksum all verify. merge_results uses this
+/// to skip corrupt shard entries instead of propagating them.
+[[nodiscard]] bool validate_result_file(const std::filesystem::path& path);
+
+/// The store's file extension (".ebrcres").
+[[nodiscard]] std::string_view result_file_extension();
+
+}  // namespace ebrc::testbed

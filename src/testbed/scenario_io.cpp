@@ -1,0 +1,348 @@
+#include "testbed/scenario_io.hpp"
+
+#include <concepts>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <type_traits>
+
+#include "util/binary_io.hpp"
+#include "util/doc.hpp"
+
+namespace ebrc::testbed {
+
+namespace {
+
+using util::DocTable;
+using util::DocValue;
+
+// ---- the single field traversal ---------------------------------------------
+// Every serializable Scenario field is listed exactly once, here. The three
+// visitors below (writer, reader, hasher) all run through this function, so
+// the TOML/JSON schema and the fingerprint cannot disagree about what a
+// Scenario is.
+
+template <class V, class S>
+void visit_scenario(V& v, S& s) {
+  v.field("name", s.name);
+  v.field("bottleneck_bps", s.bottleneck_bps);
+  v.field("base_rtt_s", s.base_rtt_s);
+  v.enum_field("queue", s.queue);
+  v.field("droptail_buffer", s.droptail_buffer);
+  v.field("n_tfrc", s.n_tfrc);
+  v.field("n_tcp", s.n_tcp);
+  v.field("n_poisson", s.n_poisson);
+  v.field("poisson_rate_pps", s.poisson_rate_pps);
+  v.field("n_onoff", s.n_onoff);
+  v.field("onoff_peak_pps", s.onoff_peak_pps);
+  v.field("onoff_mean_on_s", s.onoff_mean_on_s);
+  v.field("onoff_mean_off_s", s.onoff_mean_off_s);
+  v.field("duration_s", s.duration_s);
+  v.field("warmup_s", s.warmup_s);
+  v.seed_field("seed", s.seed);
+  v.field("rtt_spread", s.rtt_spread);
+  v.optional_table("red", s.red, [](auto& vv, auto& r) {
+    vv.field("buffer_packets", r.buffer_packets);
+    vv.field("min_th", r.min_th);
+    vv.field("max_th", r.max_th);
+    vv.field("max_p", r.max_p);
+    vv.field("weight", r.weight);
+    vv.field("gentle", r.gentle);
+    vv.field("mean_packet_time", r.mean_packet_time);
+  });
+  v.table("tfrc", s.tfrc, [](auto& vv, auto& t) {
+    vv.field("history_length", t.history_length);
+    vv.field("comprehensive", t.comprehensive);
+    vv.field("history_discounting", t.history_discounting);
+    vv.field("receive_rate_cap", t.receive_rate_cap);
+    vv.field("formula", t.formula);
+    vv.field("packet_bytes", t.packet_bytes);
+    vv.field("initial_rate_pps", t.initial_rate_pps);
+    vv.field("rtt_smoothing", t.rtt_smoothing);
+    vv.field("min_rate_pps", t.min_rate_pps);
+  });
+  v.table("tcp", s.tcp, [](auto& vv, auto& t) {
+    vv.field("packet_bytes", t.packet_bytes);
+    vv.field("initial_cwnd", t.initial_cwnd);
+    vv.field("initial_ssthresh", t.initial_ssthresh);
+    vv.field("dupack_threshold", t.dupack_threshold);
+    vv.field("ack_every", t.ack_every);
+    vv.field("delayed_ack_timeout", t.delayed_ack_timeout);
+    vv.field("min_rto", t.min_rto);
+    vv.field("max_rto", t.max_rto);
+    vv.field("max_cwnd", t.max_cwnd);
+  });
+}
+
+// ---- writer -----------------------------------------------------------------
+
+struct DocWriter {
+  DocTable out;
+
+  void field(const char* k, const std::string& v) { out.push_back({k, DocValue(v)}); }
+  void field(const char* k, double v) { out.push_back({k, DocValue(v)}); }
+  void field(const char* k, bool v) { out.push_back({k, DocValue(v)}); }
+  template <std::integral T>
+  void field(const char* k, T v) {
+    if constexpr (std::is_signed_v<T>) {
+      if (v < 0) {
+        out.push_back({k, DocValue(static_cast<std::int64_t>(v))});
+        return;
+      }
+    }
+    out.push_back({k, DocValue(static_cast<std::uint64_t>(v))});
+  }
+  void seed_field(const char* k, std::uint64_t v) { field(k, v); }
+  void enum_field(const char* k, QueueKind q) { field(k, std::string(queue_kind_name(q))); }
+
+  template <class Opt, class Fn>
+  void optional_table(const char* k, const Opt& opt, Fn fn) {
+    if (!opt) return;
+    DocWriter w;
+    fn(w, *opt);
+    out.push_back({k, DocValue(std::move(w.out))});
+  }
+  template <class Sub, class Fn>
+  void table(const char* k, const Sub& sub, Fn fn) {
+    DocWriter w;
+    fn(w, sub);
+    out.push_back({k, DocValue(std::move(w.out))});
+  }
+};
+
+// ---- reader -----------------------------------------------------------------
+
+struct DocReader {
+  DocReader(const DocTable& t, std::string ctx) : ctx_(std::move(ctx)) {
+    for (const auto& e : t) remaining_.emplace(e.key, &e.value);
+  }
+
+  [[nodiscard]] const DocValue* take(const char* k) {
+    const auto it = remaining_.find(k);
+    if (it == remaining_.end()) return nullptr;
+    const DocValue* v = it->second;
+    remaining_.erase(it);
+    return v;
+  }
+
+  [[noreturn]] void type_error(const char* k, const DocValue& v, const char* want) const {
+    throw std::invalid_argument("scenario field '" + ctx_ + k + "': expected " + want +
+                                ", got " + v.type_name());
+  }
+
+  void field(const char* k, std::string& out) {
+    if (const DocValue* v = take(k)) {
+      if (const std::string* s = v->if_string()) {
+        out = *s;
+      } else {
+        type_error(k, *v, "string");
+      }
+    }
+  }
+  void field(const char* k, double& out) {
+    if (const DocValue* v = take(k)) {
+      if (const double* d = v->if_double()) {
+        out = *d;
+      } else if (const std::uint64_t* u = v->if_u64()) {
+        out = static_cast<double>(*u);
+      } else if (const std::int64_t* i = v->if_i64()) {
+        out = static_cast<double>(*i);
+      } else {
+        type_error(k, *v, "float");
+      }
+    }
+  }
+  void field(const char* k, bool& out) {
+    if (const DocValue* v = take(k)) {
+      if (const bool* b = v->if_bool()) {
+        out = *b;
+      } else {
+        type_error(k, *v, "bool");
+      }
+    }
+  }
+  template <std::integral T>
+  void field(const char* k, T& out) {
+    const DocValue* v = take(k);
+    if (v == nullptr) return;
+    if (const std::uint64_t* u = v->if_u64()) {
+      if (*u > static_cast<std::uint64_t>(std::numeric_limits<T>::max())) {
+        type_error(k, *v, "integer in range");
+      }
+      out = static_cast<T>(*u);
+    } else if (const std::int64_t* i = v->if_i64()) {
+      if constexpr (std::is_signed_v<T>) {
+        if (*i < static_cast<std::int64_t>(std::numeric_limits<T>::min()) ||
+            *i > static_cast<std::int64_t>(std::numeric_limits<T>::max())) {
+          type_error(k, *v, "integer in range");
+        }
+        out = static_cast<T>(*i);
+      } else {
+        type_error(k, *v, "non-negative integer");
+      }
+    } else {
+      type_error(k, *v, "integer");
+    }
+  }
+  void seed_field(const char* k, std::uint64_t& out) { field(k, out); }
+  void enum_field(const char* k, QueueKind& q) {
+    std::string name(queue_kind_name(q));
+    field(k, name);
+    q = queue_kind_from(name);
+  }
+
+  template <class Opt, class Fn>
+  void optional_table(const char* k, Opt& opt, Fn fn) {
+    const DocValue* v = take(k);
+    if (v == nullptr) {
+      opt.reset();
+      return;
+    }
+    const DocTable* t = v->if_table();
+    if (t == nullptr) type_error(k, *v, "table");
+    opt.emplace();
+    DocReader r(*t, ctx_ + k + ".");
+    fn(r, *opt);
+    r.finish();
+  }
+  template <class Sub, class Fn>
+  void table(const char* k, Sub& sub, Fn fn) {
+    const DocValue* v = take(k);
+    if (v == nullptr) return;
+    const DocTable* t = v->if_table();
+    if (t == nullptr) type_error(k, *v, "table");
+    DocReader r(*t, ctx_ + k + ".");
+    fn(r, sub);
+    r.finish();
+  }
+
+  /// Rejects keys the schema does not know — a typo in a scenario file must
+  /// not silently run the default configuration.
+  void finish() const {
+    if (remaining_.empty()) return;
+    std::string msg = "unknown scenario field(s):";
+    for (const auto& [k, v] : remaining_) {
+      (void)v;
+      msg += " '" + ctx_ + k + "'";
+    }
+    throw std::invalid_argument(msg);
+  }
+
+  std::map<std::string, const DocValue*> remaining_;
+  std::string ctx_;
+};
+
+// ---- hasher -----------------------------------------------------------------
+
+struct Hasher {
+  util::Fnv1a h;
+
+  void field(const char* k, const std::string& v) {
+    h.str(k);
+    h.str(v);
+  }
+  void field(const char* k, double v) {
+    h.str(k);
+    h.f64(v);
+  }
+  void field(const char* k, bool v) {
+    h.str(k);
+    h.u64(v ? 1 : 0);
+  }
+  template <std::integral T>
+  void field(const char* k, T v) {
+    h.str(k);
+    if constexpr (std::is_signed_v<T>) {
+      h.i64(static_cast<std::int64_t>(v));
+    } else {
+      h.u64(static_cast<std::uint64_t>(v));
+    }
+  }
+  // The seed is a separate cache-key component, not scenario content.
+  void seed_field(const char*, std::uint64_t) {}
+  void enum_field(const char* k, QueueKind q) { field(k, std::string(queue_kind_name(q))); }
+
+  template <class Opt, class Fn>
+  void optional_table(const char* k, const Opt& opt, Fn fn) {
+    h.str(k);
+    h.u64(opt ? 1 : 0);
+    if (opt) fn(*this, *opt);
+  }
+  template <class Sub, class Fn>
+  void table(const char* k, const Sub& sub, Fn fn) {
+    h.str(k);
+    fn(*this, sub);
+  }
+};
+
+[[nodiscard]] DocTable to_doc(const Scenario& s) {
+  DocWriter w;
+  visit_scenario(w, s);
+  return std::move(w.out);
+}
+
+[[nodiscard]] Scenario from_doc(const DocTable& doc) {
+  Scenario s;
+  DocReader r(doc, "");
+  visit_scenario(r, s);
+  r.finish();
+  return s;
+}
+
+}  // namespace
+
+std::string scenario_to_toml(const Scenario& s) { return util::to_toml(to_doc(s)); }
+std::string scenario_to_json(const Scenario& s) { return util::to_json(to_doc(s)); }
+
+Scenario scenario_from_toml(std::string_view text) { return from_doc(util::parse_toml(text)); }
+Scenario scenario_from_json(std::string_view text) { return from_doc(util::parse_json(text)); }
+
+void save_scenario(const Scenario& s, const std::filesystem::path& path) {
+  const auto ext = path.extension().string();
+  std::string text;
+  if (ext == ".toml") {
+    text = scenario_to_toml(s);
+  } else if (ext == ".json") {
+    text = scenario_to_json(s);
+  } else {
+    throw std::invalid_argument("save_scenario: unsupported extension '" + ext +
+                                "' (use .toml or .json)");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_scenario: cannot open " + path.string());
+  out << text;
+  if (!out.flush()) throw std::runtime_error("save_scenario: write failed for " + path.string());
+}
+
+Scenario load_scenario(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_scenario: cannot open " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto ext = path.extension().string();
+  if (ext == ".toml") return scenario_from_toml(buf.str());
+  if (ext == ".json") return scenario_from_json(buf.str());
+  throw std::invalid_argument("load_scenario: unsupported extension '" + ext +
+                              "' (use .toml or .json)");
+}
+
+std::uint64_t fingerprint(const Scenario& s) {
+  Hasher h;
+  visit_scenario(h, s);
+  return h.h.digest();
+}
+
+std::string_view queue_kind_name(QueueKind kind) {
+  return kind == QueueKind::kDropTail ? "droptail" : "red";
+}
+
+QueueKind queue_kind_from(std::string_view name) {
+  if (name == "droptail") return QueueKind::kDropTail;
+  if (name == "red") return QueueKind::kRed;
+  throw std::invalid_argument("unknown queue kind '" + std::string(name) +
+                              "' (expected droptail | red)");
+}
+
+}  // namespace ebrc::testbed

@@ -1,0 +1,47 @@
+// Scenario ⇄ TOML/JSON round-trip and content fingerprinting.
+//
+// Registry entries and grid sweeps become definable in files — new workloads
+// without recompiling — and the fingerprint is the scenario half of the
+// ResultStore cache key. One field-visitor traversal (scenario_io.cpp)
+// drives the serializer, the parser, and the hash, so a field added there is
+// automatically round-tripped AND invalidates stale cache entries; a field
+// added to Scenario but not to the visitor is caught by the property test's
+// perturbation sweep.
+//
+// Round-trips are lossless: doubles are printed with std::to_chars shortest
+// form and re-parsed with std::from_chars, which restores the exact bit
+// pattern, so fingerprint(parse(serialize(s))) == fingerprint(s).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "testbed/scenario.hpp"
+
+namespace ebrc::testbed {
+
+[[nodiscard]] std::string scenario_to_toml(const Scenario& s);
+[[nodiscard]] std::string scenario_to_json(const Scenario& s);
+
+/// Parse a scenario document. Missing keys keep their Scenario defaults
+/// (files only need to state what they change); unknown keys and type
+/// mismatches throw std::invalid_argument naming the offending field.
+[[nodiscard]] Scenario scenario_from_toml(std::string_view text);
+[[nodiscard]] Scenario scenario_from_json(std::string_view text);
+
+/// File I/O dispatching on the extension: ".toml" or ".json".
+void save_scenario(const Scenario& s, const std::filesystem::path& path);
+[[nodiscard]] Scenario load_scenario(const std::filesystem::path& path);
+
+/// Content hash over every field EXCEPT the seed (the ResultStore keys runs
+/// by (fingerprint, seed, code salt); the seed axis stays separate so one
+/// scenario's replications share a fingerprint).
+[[nodiscard]] std::uint64_t fingerprint(const Scenario& s);
+
+/// QueueKind ⇄ its serialized name ("droptail" | "red").
+[[nodiscard]] std::string_view queue_kind_name(QueueKind kind);
+[[nodiscard]] QueueKind queue_kind_from(std::string_view name);
+
+}  // namespace ebrc::testbed

@@ -1,22 +1,30 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "stats/online.hpp"
 #include "testbed/batch.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scenario_registry.hpp"
 
 namespace {
 
+using ebrc::stats::OnlineMoments;
 using ebrc::testbed::BatchRunner;
 using ebrc::testbed::ExperimentResult;
 using ebrc::testbed::Scenario;
 using ebrc::testbed::ScenarioRegistry;
+using ebrc::testbed::ShardSpec;
 
 Scenario short_ns2(std::uint64_t seed) {
   auto s = ebrc::testbed::ns2_scenario(1, 1, 8, seed);
@@ -177,6 +185,188 @@ TEST(ScenarioRegistry, SweepSeedsMatchReplicateForTheSameScenario) {
     EXPECT_EQ(via_sweep[i].seed, via_replicate[i].seed);
     EXPECT_EQ(via_sweep[i].name, via_replicate[i].name);
   }
+}
+
+// ---- shard partitioning ------------------------------------------------------
+
+TEST(ShardSpec, RejectsOutOfRangeIndexWithClearMessage) {
+  try {
+    (void)ShardSpec(2, 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--shard-index"), std::string::npos);
+    EXPECT_NE(msg.find("--shard-count"), std::string::npos);
+    EXPECT_NE(msg.find("2"), std::string::npos);
+  }
+  EXPECT_THROW((void)ShardSpec(0, 0), std::invalid_argument);
+  EXPECT_NO_THROW((void)ShardSpec(0, 1));
+  EXPECT_NO_THROW((void)ShardSpec(7, 8));
+}
+
+TEST(ShardSpec, ShardsPartitionEveryIndexExactlyOnce) {
+  for (const std::size_t count : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                  std::size_t{8}}) {
+    for (std::size_t i = 0; i < 100; ++i) {
+      std::size_t owners = 0;
+      for (std::size_t index = 0; index < count; ++index) {
+        if (ShardSpec(index, count).owns(i)) ++owners;
+      }
+      EXPECT_EQ(owners, 1u) << "index " << i << " count " << count;
+    }
+  }
+  EXPECT_TRUE(ShardSpec{}.whole());
+  EXPECT_FALSE(ShardSpec(0, 2).whole());
+}
+
+// ---- merge algebra -----------------------------------------------------------
+
+/// Deterministic value stream for the algebra checks.
+std::vector<double> algebra_samples(std::size_t n, std::uint64_t seed) {
+  std::vector<double> out;
+  out.reserve(n);
+  std::uint64_t x = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    // Spread across magnitudes and signs.
+    out.push_back((static_cast<double>(x >> 11) * 0x1.0p-53 - 0.5) *
+                  static_cast<double>(1 + (x % 1000)));
+  }
+  return out;
+}
+
+OnlineMoments accumulate(const std::vector<double>& xs) {
+  OnlineMoments m;
+  for (double x : xs) m.add(x);
+  return m;
+}
+
+void expect_bits(double a, double b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b)) << what;
+}
+
+TEST(OnlineMomentsMerge, CommutativeAndExactOnCountMinMax) {
+  const auto xs = algebra_samples(64, 1);
+  const auto ys = algebra_samples(41, 2);
+  auto ab = accumulate(xs);
+  ab.merge(accumulate(ys));
+  auto ba = accumulate(ys);
+  ba.merge(accumulate(xs));
+
+  EXPECT_EQ(ab.count(), 105u);
+  EXPECT_EQ(ab.count(), ba.count());
+  expect_bits(ab.min(), ba.min(), "min");
+  expect_bits(ab.max(), ba.max(), "max");
+  // Mean and variance are mathematically symmetric; allow only rounding.
+  EXPECT_NEAR(ab.mean(), ba.mean(), 1e-12 * std::abs(ab.mean()) + 1e-300);
+  EXPECT_NEAR(ab.variance(), ba.variance(), 1e-9 * ab.variance() + 1e-300);
+}
+
+TEST(OnlineMomentsMerge, AssociativeUpToRounding) {
+  const auto xs = algebra_samples(30, 3);
+  const auto ys = algebra_samples(50, 4);
+  const auto zs = algebra_samples(17, 5);
+  auto left = accumulate(xs);
+  left.merge(accumulate(ys));
+  left.merge(accumulate(zs));
+  auto right_tail = accumulate(ys);
+  right_tail.merge(accumulate(zs));
+  auto right = accumulate(xs);
+  right.merge(right_tail);
+
+  EXPECT_EQ(left.count(), right.count());
+  expect_bits(left.min(), right.min(), "min");
+  expect_bits(left.max(), right.max(), "max");
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-12 * std::abs(left.mean()) + 1e-300);
+  EXPECT_NEAR(left.variance(), right.variance(), 1e-9 * left.variance() + 1e-300);
+
+  // And both agree with the single-pass accumulation over everything.
+  std::vector<double> all;
+  all.insert(all.end(), xs.begin(), xs.end());
+  all.insert(all.end(), ys.begin(), ys.end());
+  all.insert(all.end(), zs.begin(), zs.end());
+  const auto direct = accumulate(all);
+  EXPECT_EQ(left.count(), direct.count());
+  EXPECT_NEAR(left.mean(), direct.mean(), 1e-12 * std::abs(direct.mean()) + 1e-300);
+  EXPECT_NEAR(left.variance(), direct.variance(), 1e-9 * direct.variance() + 1e-300);
+}
+
+TEST(OnlineMomentsMerge, EmptySidesAreExactIdentities) {
+  const auto xs = algebra_samples(23, 6);
+  const auto reference = accumulate(xs);
+
+  auto into_empty = OnlineMoments{};
+  into_empty.merge(reference);
+  EXPECT_EQ(into_empty.count(), reference.count());
+  expect_bits(into_empty.mean(), reference.mean(), "mean");
+  expect_bits(into_empty.m2(), reference.m2(), "m2");
+
+  auto with_empty = reference;
+  with_empty.merge(OnlineMoments{});
+  EXPECT_EQ(with_empty.count(), reference.count());
+  expect_bits(with_empty.mean(), reference.mean(), "mean");
+  expect_bits(with_empty.m2(), reference.m2(), "m2");
+}
+
+TEST(BatchResult, MergeBatchResultsFoldsRunsAndMetrics) {
+  ebrc::testbed::BatchResult a, b;
+  a.runs = 3;
+  a.metrics["friendliness"] = accumulate({1.0, 2.0, 3.0});
+  a.metrics["only_in_a"] = accumulate({5.0});
+  b.runs = 2;
+  b.metrics["friendliness"] = accumulate({4.0, 5.0});
+  const auto merged = ebrc::testbed::merge_batch_results({a, b});
+  EXPECT_EQ(merged.runs, 5u);
+  EXPECT_EQ(merged.metric("friendliness").count(), 5u);
+  EXPECT_NEAR(merged.mean("friendliness"), 3.0, 1e-12);
+  EXPECT_EQ(merged.metric("only_in_a").count(), 1u);
+  EXPECT_DOUBLE_EQ(merged.metric("friendliness").min(), 1.0);
+  EXPECT_DOUBLE_EQ(merged.metric("friendliness").max(), 5.0);
+}
+
+TEST(BatchResult, SummaryFileRoundTripIsExact) {
+  namespace fs = std::filesystem;
+  ebrc::testbed::BatchResult r;
+  r.runs = 4;
+  // Values chosen to stress shortest-round-trip formatting.
+  r.metrics["alpha"] = accumulate({0.1, 1.0 / 3.0, -0.0, 1e-300});
+  r.metrics["beta"] = accumulate(algebra_samples(64, 9));
+  const fs::path path =
+      fs::temp_directory_path() / ("ebrc_batch_summary_" + std::to_string(::getpid()) + ".txt");
+  ebrc::testbed::save_batch_result(r, path);
+  const auto back = ebrc::testbed::load_batch_result(path);
+  EXPECT_EQ(back.runs, r.runs);
+  ASSERT_EQ(back.metrics.size(), r.metrics.size());
+  for (const auto& [name, m] : r.metrics) {
+    const auto& o = back.metric(name);
+    EXPECT_EQ(o.count(), m.count()) << name;
+    expect_bits(o.mean(), m.mean(), name.c_str());
+    expect_bits(o.m2(), m.m2(), name.c_str());
+    expect_bits(o.min(), m.min(), name.c_str());
+    expect_bits(o.max(), m.max(), name.c_str());
+  }
+  fs::remove(path);
+
+  // Malformed inputs fail loudly.
+  const fs::path bad =
+      fs::temp_directory_path() / ("ebrc_batch_summary_bad_" + std::to_string(::getpid()));
+  {
+    std::ofstream f(bad);
+    f << "not a summary\n";
+  }
+  EXPECT_THROW((void)ebrc::testbed::load_batch_result(bad), std::invalid_argument);
+  {
+    std::ofstream f(bad, std::ios::trunc);
+    f << "ebrc-batch-result v1\nruns abc\n";
+  }
+  EXPECT_THROW((void)ebrc::testbed::load_batch_result(bad), std::invalid_argument);
+  {
+    std::ofstream f(bad, std::ios::trunc);
+    f << "ebrc-batch-result v1\nruns 2\nmetric m 1 0.5 0.0 0.5 0.5\nmetric m 1 0.5 0.0 0.5 0.5\n";
+  }
+  EXPECT_THROW((void)ebrc::testbed::load_batch_result(bad), std::invalid_argument);
+  fs::remove(bad);
+  EXPECT_THROW((void)ebrc::testbed::load_batch_result(bad), std::runtime_error);
 }
 
 TEST(ScenarioRegistry, GridSweepAppliesValuesDeterministically) {

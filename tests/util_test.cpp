@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "util/binary_io.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/doc.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
 
@@ -71,6 +75,26 @@ TEST(Cli, UnknownFlagErrorListsKnownFlags) {
     EXPECT_NE(msg.find("--oops"), std::string::npos);
     EXPECT_NE(msg.find("--seed"), std::string::npos);
     EXPECT_NE(msg.find("--jobs"), std::string::npos);
+  }
+}
+
+TEST(Cli, SweepFlagListingNamesShardAndCacheFlags) {
+  // The sweep binaries register these through BenchArgs; a typo'd flag must
+  // point the operator at the persistence-layer spelling.
+  const char* argv[] = {"prog", "--shard=1"};
+  Cli cli(2, argv);
+  cli.know("reps").know("jobs").know("cache").know("shard-index").know("shard-count")
+      .know("summary-out");
+  try {
+    cli.finish();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--shard (known"), std::string::npos);
+    EXPECT_NE(msg.find("--shard-index"), std::string::npos);
+    EXPECT_NE(msg.find("--shard-count"), std::string::npos);
+    EXPECT_NE(msg.find("--cache"), std::string::npos);
+    EXPECT_NE(msg.find("--summary-out"), std::string::npos);
   }
 }
 
@@ -149,6 +173,137 @@ TEST(Table, RejectsBadArity) {
 TEST(Fmt, SignificantDigits) {
   EXPECT_EQ(fmt(1.0 / 3.0, 3), "0.333");
   EXPECT_EQ(fmt(1234.0, 2), "1.2e+03");
+}
+
+// ---- doc: the TOML/JSON carrier of scenario files ----------------------------
+
+TEST(Doc, FormatDoubleRoundTripsExactly) {
+  for (double v : {0.1, 1.0 / 3.0, -0.0, 1e-300, 1e300, 15e6, -2.5, 4.9e-324}) {
+    const std::string s = format_double(v);
+    double back = 0.0;
+    const auto r = std::from_chars(s.data(), s.data() + s.size(), back);
+    ASSERT_EQ(r.ec, std::errc{}) << s;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back), std::bit_cast<std::uint64_t>(v)) << s;
+  }
+  // Integral doubles stay float-shaped so parsers type them as floats.
+  EXPECT_NE(format_double(4.0).find_first_of(".eE"), std::string::npos);
+}
+
+TEST(Doc, TomlParsesScalarsCommentsAndSections) {
+  const DocTable doc = parse_toml(
+      "# a scenario file\n"
+      "name = \"lab \\\"A\\\"\"   # trailing comment\n"
+      "rate = 1.5e7\n"
+      "count = -3\n"
+      "big = 18446744073709551615\n"
+      "on = true\n"
+      "\n"
+      "[sub]\n"
+      "x = 2.0\n");
+  ASSERT_NE(doc_find(doc, "name"), nullptr);
+  EXPECT_EQ(*doc_find(doc, "name")->if_string(), "lab \"A\"");
+  EXPECT_DOUBLE_EQ(*doc_find(doc, "rate")->if_double(), 1.5e7);
+  EXPECT_EQ(*doc_find(doc, "count")->if_i64(), -3);
+  EXPECT_EQ(*doc_find(doc, "big")->if_u64(), ~std::uint64_t{0});
+  EXPECT_TRUE(*doc_find(doc, "on")->if_bool());
+  const DocTable* sub = doc_find(doc, "sub")->if_table();
+  ASSERT_NE(sub, nullptr);
+  EXPECT_DOUBLE_EQ(*doc_find(*sub, "x")->if_double(), 2.0);
+}
+
+TEST(Doc, TomlRejectsMalformedInputWithLineNumbers) {
+  EXPECT_THROW((void)parse_toml("a = 1\na = 2\n"), std::invalid_argument);  // duplicate
+  EXPECT_THROW((void)parse_toml("a 1\n"), std::invalid_argument);           // no '='
+  EXPECT_THROW((void)parse_toml("[t\n"), std::invalid_argument);            // missing ']'
+  EXPECT_THROW((void)parse_toml("a = \"x\\q\"\n"), std::invalid_argument);  // bad escape
+  EXPECT_THROW((void)parse_toml("a = 12x\n"), std::invalid_argument);       // bad number
+  try {
+    (void)parse_toml("ok = 1\nbroken\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Doc, TomlAndJsonRoundTripADocumentExactly) {
+  DocTable doc;
+  doc.push_back({"s", DocValue(std::string("quotes \" slashes \\ lines \n tabs \t"))});
+  doc.push_back({"f", DocValue(0.1)});
+  doc.push_back({"neg", DocValue(std::int64_t{-42})});
+  doc.push_back({"u", DocValue(~std::uint64_t{0})});
+  doc.push_back({"b", DocValue(false)});
+  DocTable sub;
+  sub.push_back({"inner", DocValue(2.5)});
+  doc.push_back({"t", DocValue(std::move(sub))});
+
+  EXPECT_TRUE(parse_toml(to_toml(doc)) == doc);
+  EXPECT_TRUE(parse_json(to_json(doc)) == doc);
+}
+
+TEST(Doc, JsonRejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json("{"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{\"a\": }"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{\"a\": 1} trailing"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{\"a\": 1, \"a\": 2}"), std::invalid_argument);
+}
+
+TEST(Doc, TomlNestedTablesBeyondOneLevelThrow) {
+  DocTable inner_inner;
+  inner_inner.push_back({"x", DocValue(1.0)});
+  DocTable inner;
+  inner.push_back({"deep", DocValue(std::move(inner_inner))});
+  DocTable doc;
+  doc.push_back({"t", DocValue(std::move(inner))});
+  EXPECT_THROW((void)to_toml(doc), std::invalid_argument);
+  EXPECT_NO_THROW((void)to_json(doc));  // JSON nests freely
+}
+
+// ---- binary_io: the cache codec primitives -----------------------------------
+
+TEST(BinaryIo, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.u64(~std::uint64_t{0});
+  w.i64(-17);
+  w.f64(-0.0);
+  w.str("hello \0 world");  // embedded NUL via string_view literal truncation is fine
+  w.str("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u64(), ~std::uint64_t{0});
+  EXPECT_EQ(r.i64(), -17);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()), std::bit_cast<std::uint64_t>(-0.0));
+  EXPECT_EQ(r.str(), "hello ");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BinaryIo, ReaderFlagsOverrunsInsteadOfThrowing) {
+  ByteWriter w;
+  w.u64(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u64(), 7u);
+  EXPECT_EQ(r.u64(), 0u);  // past the end
+  EXPECT_FALSE(r.ok());
+
+  // A length-prefixed string whose length exceeds the buffer must not read
+  // out of bounds.
+  ByteWriter bad;
+  bad.u64(1000);
+  ByteReader rb(bad.bytes());
+  EXPECT_EQ(rb.str(), "");
+  EXPECT_FALSE(rb.ok());
+}
+
+TEST(BinaryIo, Fnv1aSeparatesFieldBoundaries) {
+  Fnv1a a;
+  a.str("ab");
+  a.str("c");
+  Fnv1a b;
+  b.str("a");
+  b.str("bc");
+  EXPECT_NE(a.digest(), b.digest());
+  Fnv1a empty;
+  EXPECT_NE(empty.digest(), 0u);  // FNV offset basis
 }
 
 }  // namespace

@@ -1,0 +1,124 @@
+// Folds the artifacts of a sharded sweep back into one.
+//
+// Two modes, matching the two things shards produce:
+//
+//   merge_results --into=DIR SRC_DIR...
+//     Merges per-shard ResultStore caches: every valid *.ebrcres entry from
+//     the source directories is copied under DIR (entries are content-
+//     addressed, so collisions are identical by construction and the first
+//     copy wins). Corrupt or truncated entries are skipped and counted, not
+//     propagated. Re-running the sweep unsharded with --cache=DIR then
+//     performs zero simulations and reproduces the unsharded output
+//     bit-for-bit — the exact merge workflow CI asserts.
+//
+//   merge_results --summaries=OUT FILE...
+//     Folds per-shard BatchResult summary files (--summary-out) into OUT via
+//     stats::OnlineMoments::merge: counts/min/max exact, mean/variance equal
+//     to the unsharded aggregate up to floating-point rounding. Use this for
+//     quick cross-host summaries when shipping the caches is not worth it.
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "testbed/batch.hpp"
+#include "testbed/result_store.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int merge_caches(const fs::path& into, const std::vector<std::string>& sources) {
+  fs::create_directories(into);
+  std::size_t copied = 0, already = 0, corrupt = 0;
+  for (const auto& src : sources) {
+    if (!fs::is_directory(src)) {
+      std::cerr << "merge_results: source '" << src << "' is not a directory\n";
+      return 1;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(src)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& p = entry.path();
+      if (p.extension() != ebrc::testbed::result_file_extension()) continue;
+      if (!ebrc::testbed::validate_result_file(p)) {
+        ++corrupt;
+        std::cerr << "merge_results: skipping corrupt entry " << p << "\n";
+        continue;
+      }
+      // Entries are content-addressed by filename; keep the 2-hex fan-out.
+      const fs::path dest = into / p.filename().string().substr(0, 2) / p.filename();
+      if (fs::exists(dest) && ebrc::testbed::validate_result_file(dest)) {
+        ++already;
+        continue;
+      }
+      fs::create_directories(dest.parent_path());
+      fs::copy_file(p, dest, fs::copy_options::overwrite_existing);
+      ++copied;
+    }
+  }
+  std::cout << "[merge] cache " << into.string() << ": copied=" << copied
+            << " already-present=" << already << " corrupt-skipped=" << corrupt << "\n";
+  return 0;
+}
+
+int merge_summaries(const fs::path& out_path, const std::vector<std::string>& files) {
+  std::vector<ebrc::testbed::BatchResult> parts;
+  parts.reserve(files.size());
+  for (const auto& f : files) parts.push_back(ebrc::testbed::load_batch_result(f));
+  const auto merged = ebrc::testbed::merge_batch_results(parts);
+  ebrc::testbed::save_batch_result(merged, out_path);
+
+  ebrc::util::Table t({"metric", "n", "mean", "ci95", "min", "max"});
+  for (const auto& [name, m] : merged.metrics) {
+    t.row({name, ebrc::util::fmt(static_cast<double>(m.count()), 4),
+           ebrc::util::fmt(m.mean(), 5), ebrc::util::fmt(m.ci_halfwidth(), 3),
+           ebrc::util::fmt(m.min(), 5), ebrc::util::fmt(m.max(), 5)});
+  }
+  t.print("Merged " + std::to_string(parts.size()) + " summaries (" +
+          std::to_string(merged.runs) + " runs) into " + out_path.string() + ":");
+  return 0;
+}
+
+void usage() {
+  std::cerr << "usage:\n"
+            << "  merge_results --into=DIR SRC_DIR...    merge shard result caches into DIR\n"
+            << "  merge_results --summaries=OUT FILE...  fold BatchResult summaries into OUT\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    ebrc::util::Cli cli(argc, argv);
+    cli.know("into").know("summaries").know("help");
+    cli.finish();
+    if (cli.has("help")) {
+      usage();
+      return 0;
+    }
+    const auto& positional = cli.positional();
+    if (cli.has("into")) {
+      const std::string into = cli.get("into", std::string{});
+      if (into.empty() || positional.empty()) {
+        usage();
+        return 1;
+      }
+      return merge_caches(into, positional);
+    }
+    if (cli.has("summaries")) {
+      const std::string out = cli.get("summaries", std::string{});
+      if (out.empty() || positional.empty()) {
+        usage();
+        return 1;
+      }
+      return merge_summaries(out, positional);
+    }
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "merge_results: " << e.what() << "\n";
+    return 1;
+  }
+}
