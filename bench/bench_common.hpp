@@ -16,6 +16,9 @@
 //   --shard-index=I   this process's shard (0-based)
 //   --shard-count=N   total shards; only cells with cell%N == I simulate here
 //   --summary-out=F   write the aggregated BatchResult summary file to F
+//   --scenario=FILE   run a stored .toml/.json scenario file (replicated
+//                     --reps times) through the persistence layer INSTEAD of
+//                     the binary's built-in grid, with a generic summary
 // Multi-rep runs aggregate with mean and a 95% CI; per-run numbers depend
 // only on --seed, never on --jobs, the cache, or the shard layout.
 // Diagnostics ([cache]/[shard] lines) go to stderr so stdout stays
@@ -30,6 +33,7 @@
 
 #include "testbed/batch.hpp"
 #include "testbed/result_store.hpp"
+#include "testbed/scenario_io.hpp"
 #include "testbed/wan_paths.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -56,6 +60,7 @@ struct BenchArgs {
   std::size_t shard_count = 1;
   std::optional<std::string> cache_dir;
   std::optional<std::string> summary_out;
+  std::optional<std::string> scenario_file;
   std::optional<double> duration_override;
   std::optional<std::string> csv_path;
   util::Cli cli;
@@ -108,6 +113,13 @@ struct BenchArgs {
         // Fail before the sweep, not after hours of simulation.
         if (summary_out->empty()) {
           throw std::invalid_argument("--summary-out needs a file path");
+        }
+      }
+      cli.know("scenario");
+      if (cli.has("scenario")) {
+        scenario_file = cli.get("scenario", std::string{});
+        if (scenario_file->empty()) {
+          throw std::invalid_argument("--scenario needs a .toml or .json file path");
         }
       }
     }
@@ -190,6 +202,39 @@ inline SweepRun run_sweep(const BenchArgs& args, const std::vector<testbed::Scen
 /// Prints the banner every figure binary starts with.
 inline void banner(const std::string& figure, const std::string& what) {
   std::cout << "=== " << figure << " — " << what << " ===\n";
+}
+
+/// The --scenario=FILE escape hatch shared by every sweep driver: when the
+/// flag was given, loads the stored scenario (load_scenario rejects unknown
+/// extensions, naming .toml/.json), replicates it --reps times, runs the
+/// batch through the same persistence layer as the built-in grid, prints a
+/// generic per-metric table (mean, ci95, min, max over replications), and
+/// returns true — the caller skips its figure entirely. A --duration
+/// override rescales the stored warmup proportionally when it would
+/// otherwise swallow the whole run.
+inline bool run_scenario_file(const BenchArgs& args) {
+  if (!args.scenario_file) return false;
+  testbed::Scenario base = testbed::load_scenario(*args.scenario_file);
+  if (args.duration_override) {
+    const double d = *args.duration_override;
+    if (base.warmup_s >= d) {
+      base.warmup_s = base.duration_s > 0 ? d * (base.warmup_s / base.duration_s) : d / 6.0;
+    }
+    base.duration_s = d;
+  }
+  std::cout << "[scenario] " << *args.scenario_file << " (" << base.name << ")\n";
+  const auto batch = testbed::replicate(base, args.seed, args.reps);
+  const auto sweep = run_sweep(args, batch);
+  if (!sweep.complete()) return true;  // partial shard pass; the merge run prints
+
+  const auto agg = testbed::aggregate(sweep.results);
+  util::Table t({"metric", "mean", "ci95", "min", "max"});
+  for (const auto& [name, m] : agg.metrics) {
+    t.row({name, util::fmt(m.mean(), 6), util::fmt(m.ci_halfwidth(), 3),
+           util::fmt(m.min(), 6), util::fmt(m.max(), 6)});
+  }
+  t.print("\nStored-scenario batch over " + std::to_string(agg.runs) + " replication(s):");
+  return true;
 }
 
 /// One-line note on the batch configuration, printed under the banner.

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   args.cli.finish();
   bench::banner("Figure 5", "TFRC normalized throughput and cov*p^2 vs p (RED dumbbell)");
   bench::batch_note(args);
+  if (bench::run_scenario_file(args)) return 0;
 
   const std::vector<std::size_t> windows{2, 4, 8, 16};
   const std::vector<int> populations =

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   args.cli.finish();
   bench::banner("Figure 9", "TCP throughput vs PFTK-standard prediction");
   bench::batch_note(args);
+  if (bench::run_scenario_file(args)) return 0;
 
   const std::vector<int> populations =
       args.full ? std::vector<int>{1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36}

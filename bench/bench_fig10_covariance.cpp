@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   args.cli.finish();
   bench::banner("Figure 10", "cov[theta, hat-theta] p^2 across lab and WAN scenarios");
   bench::batch_note(args);
+  if (bench::run_scenario_file(args)) return 0;
 
   const double duration = args.seconds(180.0, 2500.0);
   const std::vector<int> populations = args.full ? std::vector<int>{1, 2, 4, 6, 9}

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   args.cli.finish();
   bench::banner("Figure 11", "TFRC/TCP throughput ratio vs p over the Table-I WAN paths");
   bench::batch_note(args);
+  if (bench::run_scenario_file(args)) return 0;
 
   const std::vector<int> populations =
       args.full ? std::vector<int>{1, 2, 4, 6, 8, 10} : std::vector<int>{1, 3, 8};

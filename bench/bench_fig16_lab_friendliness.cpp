@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   args.cli.finish();
   bench::banner("Figure 16", "lab TCP-friendliness: x/x' vs p (DropTail-100 and RED)");
   bench::batch_note(args);
+  if (bench::run_scenario_file(args)) return 0;
 
   const std::vector<int> populations =
       args.full ? std::vector<int>{1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36}

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   if (!args.cli.has("reps")) args.reps = args.full ? 5 : 3;
   const int reps = args.reps;
   bench::batch_note(args);
+  if (bench::run_scenario_file(args)) return 0;
 
   const std::vector<std::size_t> buffers =
       args.full ? std::vector<std::size_t>{5, 10, 25, 50, 100, 150, 200, 250}

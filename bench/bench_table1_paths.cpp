@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   args.cli.finish();
   bench::banner("Table I", "emulated WAN paths vs the paper's receiver hosts");
   bench::batch_note(args);
+  if (bench::run_scenario_file(args)) return 0;
 
   util::Table spec({"Receiver", "paper Mb/s", "emulated Mb/s", "paper RTT ms",
                     "emulated RTT ms", "bg load"});

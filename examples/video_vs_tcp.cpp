@@ -3,9 +3,17 @@
 // judge TCP-friendliness from the throughput ratio alone; break it down
 // into the four sub-conditions first.
 //
+// Ported onto Scenario + the batch engine: the setup is a named Scenario
+// (the same construction path every figure driver uses), expanded with
+// testbed::replicate into --reps seeded replications and run through
+// BatchRunner — the breakdown is then a mean with a 95% CI instead of one
+// sample. Per-flow numbers are shown for the first replication.
+//
 // Build & run:  ./build/examples/video_vs_tcp [--n 2] [--queue red|droptail]
+//                 [--seconds 200] [--reps 1] [--jobs 0] [--seed 1]
 #include <iostream>
 
+#include "testbed/batch.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scenario.hpp"
 #include "util/cli.hpp"
@@ -14,22 +22,28 @@
 int main(int argc, char** argv) {
   using namespace ebrc;
   util::Cli cli(argc, argv);
-  cli.know("n").know("queue").know("seconds").know("seed");
+  cli.know("n").know("queue").know("seconds").know("seed").know("reps").know("jobs");
   cli.finish();
   const int n = cli.get("n", 2);
   const std::string queue = cli.get("queue", std::string("red"));
   const double seconds = cli.get("seconds", 200.0);
+  const int reps = cli.get("reps", 1);
+  const auto jobs = static_cast<std::size_t>(cli.get("jobs", 0));
+  const std::uint64_t seed = cli.get("seed", std::uint64_t{1});
+  if (reps < 1) throw std::invalid_argument("--reps must be >= 1");
 
   testbed::Scenario s =
-      queue == "red"
-          ? testbed::ns2_scenario(n, n, 8, static_cast<std::uint64_t>(cli.get("seed", 1)))
-          : testbed::lab_scenario(testbed::QueueKind::kDropTail, 100, n,
-                                  static_cast<std::uint64_t>(cli.get("seed", 1)));
+      queue == "red" ? testbed::ns2_scenario(n, n, 8, /*seed=*/0)
+                     : testbed::lab_scenario(testbed::QueueKind::kDropTail, 100, n,
+                                             /*seed=*/0);
   s.duration_s = seconds;
   s.warmup_s = seconds / 5.0;
 
-  std::cout << "Scenario: " << s.name << "\n";
-  const auto r = testbed::run_experiment(s);
+  std::cout << "Scenario: " << s.name << " (reps=" << reps << ")\n";
+  const auto batch = testbed::replicate(s, seed, reps);
+  const auto runs = testbed::BatchRunner(jobs).run(batch);
+  const auto agg = testbed::aggregate(runs);
+  const auto& r = runs.front();
 
   util::Table flows({"flow", "kind", "goodput pkt/s", "p", "mean RTT ms", "x/f(p,r)"});
   for (const auto& f : r.flows) {
@@ -37,28 +51,30 @@ int main(int argc, char** argv) {
                util::fmt(f.p, 3), util::fmt(f.mean_rtt_s * 1e3, 4),
                util::fmt(f.normalized, 3)});
   }
-  flows.print("\nPer-flow measurements:");
+  flows.print("\nPer-flow measurements (replication 0):");
 
+  const double friendliness = agg.mean("friendliness");
   std::cout << "\nThe naive check (throughput ratio): x(TFRC)/x(TCP) = "
-            << util::fmt(r.breakdown.friendliness, 4)
-            << (r.breakdown.friendliness > 1.05
+            << util::fmt(friendliness, 4);
+  if (reps > 1) std::cout << " ± " << util::fmt(agg.ci("friendliness"), 3);
+  std::cout << (friendliness > 1.05
                     ? "  -> looks NON-TCP-friendly"
-                    : (r.breakdown.friendliness < 0.95 ? "  -> looks over-polite"
-                                                       : "  -> looks friendly"))
-            << "\n\nThe paper's breakdown of WHY:\n";
-  util::Table b({"sub-condition", "ratio", "reading"});
-  b.row({std::string("(1) conservativeness x/f(p,r)"),
-         util::fmt(r.breakdown.conservativeness, 4),
-         r.breakdown.conservativeness <= 1.0 ? "TFRC within its formula"
+                    : (friendliness < 0.95 ? "  -> looks over-polite" : "  -> looks friendly"))
+            << "\n\nThe paper's breakdown of WHY (mean over replications):\n";
+  util::Table b({"sub-condition", "ratio", "ci95", "reading"});
+  b.row({std::string("(1) conservativeness x/f(p,r)"), util::fmt(agg.mean("conservativeness"), 4),
+         util::fmt(agg.ci("conservativeness"), 3),
+         agg.mean("conservativeness") <= 1.0 ? "TFRC within its formula"
                                              : "TFRC above its formula"});
-  b.row({std::string("(2) loss-event rates p'/p"), util::fmt(r.breakdown.loss_rate_ratio, 4),
-         r.breakdown.loss_rate_ratio > 1.0 ? "TCP sees MORE loss events"
+  b.row({std::string("(2) loss-event rates p'/p"), util::fmt(agg.mean("loss_rate_ratio"), 4),
+         util::fmt(agg.ci("loss_rate_ratio"), 3),
+         agg.mean("loss_rate_ratio") > 1.0 ? "TCP sees MORE loss events"
                                            : "TFRC sees more loss events"});
-  b.row({std::string("(3) round-trip times r'/r"), util::fmt(r.breakdown.rtt_ratio, 4),
-         "near 1 = no RTT bias"});
+  b.row({std::string("(3) round-trip times r'/r"), util::fmt(agg.mean("rtt_ratio"), 4),
+         util::fmt(agg.ci("rtt_ratio"), 3), "near 1 = no RTT bias"});
   b.row({std::string("(4) TCP vs its formula x'/f(p',r')"),
-         util::fmt(r.breakdown.tcp_formula_ratio, 4),
-         r.breakdown.tcp_formula_ratio < 1.0 ? "TCP UNDERSHOOTS its formula"
+         util::fmt(agg.mean("tcp_formula_ratio"), 4), util::fmt(agg.ci("tcp_formula_ratio"), 3),
+         agg.mean("tcp_formula_ratio") < 1.0 ? "TCP UNDERSHOOTS its formula"
                                              : "TCP meets its formula"});
   b.print();
 

@@ -9,6 +9,8 @@
 #
 # Inputs: -DFIGURE=<bench binary> -DMERGE_TOOL=<merge_results binary>
 #         -DWORK_DIR=<scratch dir>
+#         -DCELLS=<total sweep cells at --reps=2> (default 20, the fig16 grid;
+#          the churn driver registers a second instance with its own count)
 # Also asserts the unknown-flag error names the new sweep flags.
 
 foreach(var FIGURE MERGE_TOOL WORK_DIR)
@@ -16,6 +18,11 @@ foreach(var FIGURE MERGE_TOOL WORK_DIR)
     message(FATAL_ERROR "sweep_roundtrip_test: missing -D${var}")
   endif()
 endforeach()
+
+if(NOT DEFINED CELLS)
+  set(CELLS 20)
+endif()
+math(EXPR HALF "${CELLS} / 2")
 
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
@@ -38,12 +45,12 @@ endfunction()
 
 # --- 1+2: cold then warm against the same cache -------------------------------
 run_figure(cold_out cold_err --cache=${WORK_DIR}/cache)
-if(NOT cold_err MATCHES "simulated=20")
+if(NOT cold_err MATCHES "simulated=${CELLS}")
   message(FATAL_ERROR "cold run did not simulate the full sweep:\n${cold_err}")
 endif()
 
 run_figure(warm_out warm_err --cache=${WORK_DIR}/cache)
-if(NOT warm_err MATCHES "hits=20 simulated=0")
+if(NOT warm_err MATCHES "hits=${CELLS} simulated=0")
   message(FATAL_ERROR "warm-cache run was not simulation-free:\n${warm_err}")
 endif()
 if(NOT cold_out STREQUAL warm_out)
@@ -56,7 +63,7 @@ run_figure(s0_out s0_err --cache=${WORK_DIR}/shard0 --shard-index=0 --shard-coun
 run_figure(s1_out s1_err --cache=${WORK_DIR}/shard1 --shard-index=1 --shard-count=2
            --summary-out=${WORK_DIR}/sum1.txt)
 foreach(err IN ITEMS "${s0_err}" "${s1_err}")
-  if(NOT err MATCHES "simulated=10 skipped=10")
+  if(NOT err MATCHES "simulated=${HALF} skipped=${HALF}")
     message(FATAL_ERROR "shard did not simulate exactly its half:\n${err}")
   endif()
 endforeach()
@@ -69,12 +76,12 @@ execute_process(
 if(NOT merge_code EQUAL 0)
   message(FATAL_ERROR "merge_results failed: ${merge_out}${merge_err}")
 endif()
-if(NOT merge_out MATCHES "copied=20")
+if(NOT merge_out MATCHES "copied=${CELLS}")
   message(FATAL_ERROR "merge_results did not fold both shards: ${merge_out}")
 endif()
 
 run_figure(merged_out merged_err --cache=${WORK_DIR}/merged)
-if(NOT merged_err MATCHES "hits=20 simulated=0")
+if(NOT merged_err MATCHES "hits=${CELLS} simulated=0")
   message(FATAL_ERROR "merged-cache run was not simulation-free:\n${merged_err}")
 endif()
 if(NOT cold_out STREQUAL merged_out)
@@ -88,7 +95,7 @@ execute_process(
   RESULT_VARIABLE sum_code
   OUTPUT_VARIABLE sum_out
   ERROR_VARIABLE sum_err)
-if(NOT sum_code EQUAL 0 OR NOT sum_out MATCHES "20 runs")
+if(NOT sum_code EQUAL 0 OR NOT sum_out MATCHES "${CELLS} runs")
   message(FATAL_ERROR "summary fold failed: ${sum_out}${sum_err}")
 endif()
 

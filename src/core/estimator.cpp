@@ -29,6 +29,15 @@ void MovingAverageEstimator::seed(double theta) {
   recompute();
 }
 
+void MovingAverageEstimator::reset() noexcept {
+  std::fill(ring_.begin(), ring_.end(), 0.0);
+  newest_ = 0;
+  count_ = 0;
+  value_ = 0.0;
+  tail_ = 0.0;
+  tail_mass_ = 0.0;
+}
+
 void MovingAverageEstimator::recompute() noexcept {
   // theta_{n-l} lives at ring_[(newest_ + l) % L]; accumulate newest-first,
   // exactly like the per-query loops this cache replaced.

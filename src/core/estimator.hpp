@@ -30,6 +30,11 @@ class MovingAverageEstimator {
   /// the first loss event).
   void seed(double theta);
 
+  /// Forgets every observed interval (connection reuse in the flow pool);
+  /// the weight profile is kept and the ring's storage is retained, so a
+  /// reset-and-refill allocates nothing.
+  void reset() noexcept;
+
   /// True once L intervals have been observed.
   [[nodiscard]] bool warmed_up() const noexcept { return count_ >= weights_.size(); }
   [[nodiscard]] std::size_t history_size() const noexcept { return count_; }

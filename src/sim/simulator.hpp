@@ -373,6 +373,11 @@ class Simulator {
   /// Number of events currently pending (including cancelled-but-unpopped).
   [[nodiscard]] std::size_t queue_size() const noexcept { return heap_.size(); }
 
+  /// Number of pinned callbacks ever registered. Pins are permanent, so a
+  /// component that pins per-flow-arrival instead of per-component leaks
+  /// them; the workload churn tests assert this stays flat in steady state.
+  [[nodiscard]] std::size_t pinned_callbacks() const noexcept { return pinned_.size(); }
+
   /// Liveness slab (exposed for allocation-churn tests).
   [[nodiscard]] const EventSlab& slab() const noexcept { return *slab_; }
 

@@ -1,0 +1,75 @@
+#include "stats/population.hpp"
+
+#include <stdexcept>
+
+namespace ebrc::stats {
+
+namespace {
+void check_class(int cls) {
+  if (cls < 0 || cls >= PopulationTracker::kClasses) {
+    throw std::invalid_argument("PopulationTracker: class out of range");
+  }
+}
+}  // namespace
+
+int PopulationTracker::active_total() const noexcept {
+  int n = 0;
+  for (int a : active_) n += a;
+  return n;
+}
+
+void PopulationTracker::set_population(double t) {
+  for (std::size_t c = 0; c < flows_avg_.size(); ++c) {
+    flows_avg_[c].set(t, static_cast<double>(active_[c]));
+  }
+  total_avg_.set(t, static_cast<double>(active_total()));
+}
+
+void PopulationTracker::on_open(double t, int cls) {
+  check_class(cls);
+  ++active_[static_cast<std::size_t>(cls)];
+  ++arrivals_;
+  const auto total = static_cast<std::uint64_t>(active_total());
+  if (total > peak_) peak_ = total;
+  set_population(t);
+}
+
+void PopulationTracker::on_reject(double t, int cls) {
+  check_class(cls);
+  ++rejections_;
+  set_population(t);  // keeps the time average exact through idle stretches
+}
+
+void PopulationTracker::on_close(double t, int cls, double duration_s, double size_pkts) {
+  check_class(cls);
+  auto& n = active_[static_cast<std::size_t>(cls)];
+  if (n <= 0) throw std::logic_error("PopulationTracker: close without open");
+  --n;
+  ++completions_;
+  completion_s_[static_cast<std::size_t>(cls)].add(duration_s);
+  completion_pkts_[static_cast<std::size_t>(cls)].add(size_pkts);
+  set_population(t);
+}
+
+void PopulationTracker::begin_epoch(double t) {
+  arrivals_ = 0;
+  completions_ = 0;
+  rejections_ = 0;
+  for (std::size_t c = 0; c < flows_avg_.size(); ++c) {
+    flows_avg_[c] = TimeWeightedAverage{};
+    flows_avg_[c].start(t, static_cast<double>(active_[c]));
+    completion_s_[c] = OnlineMoments{};
+    completion_pkts_[c] = OnlineMoments{};
+  }
+  total_avg_ = TimeWeightedAverage{};
+  total_avg_.start(t, static_cast<double>(active_total()));
+}
+
+void PopulationTracker::finish(double t) {
+  for (auto& a : flows_avg_) {
+    if (a.started()) a.finish(t);
+  }
+  if (total_avg_.started()) total_avg_.finish(t);
+}
+
+}  // namespace ebrc::stats

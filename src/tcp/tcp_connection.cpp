@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace ebrc::tcp {
@@ -9,6 +10,7 @@ namespace ebrc::tcp {
 TcpConnection::TcpConnection(net::Dumbbell& net, int flow_id, double base_rtt_s, TcpConfig cfg)
     : net_(net),
       flow_(flow_id),
+      base_rtt_s_(base_rtt_s),
       cfg_(cfg),
       cwnd_(cfg.initial_cwnd),
       ssthresh_(cfg.initial_ssthresh),
@@ -33,6 +35,64 @@ void TcpConnection::stop() {
   delack_timer_.cancel();
 }
 
+void TcpConnection::open(std::uint64_t transfer_packets, CompletionFn on_complete) {
+  if (transfer_packets >
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    // Silently treating this as the 0 = unbounded mode would strand the
+    // completion callback (and the pool slot waiting on it) forever.
+    throw std::invalid_argument("TcpConnection::open: transfer size exceeds sequence space");
+  }
+  reset_transfer_state();
+  limit_seq_ = static_cast<std::int64_t>(transfer_packets);
+  done_ = std::move(on_complete);
+  running_ = true;
+  try_send();
+  arm_rto();
+}
+
+void TcpConnection::close() {
+  running_ = false;
+  rto_timer_.cancel();
+  delack_timer_.cancel();
+  done_ = CompletionFn{};
+}
+
+void TcpConnection::finish_transfer() {
+  running_ = false;
+  rto_timer_.cancel();
+  delack_timer_.cancel();
+  ++transfers_completed_;
+  if (done_) {
+    CompletionFn done = std::move(done_);
+    done_ = CompletionFn{};
+    done();
+  }
+}
+
+void TcpConnection::reset_transfer_state() {
+  cwnd_ = cfg_.initial_cwnd;
+  ssthresh_ = cfg_.initial_ssthresh;
+  next_seq_ = 0;
+  high_ack_ = 0;
+  dup_count_ = 0;
+  in_recovery_ = false;
+  recover_ = 0;
+  srtt_ = 0.0;
+  rttvar_ = 0.0;
+  have_rtt_ = false;
+  rto_ = std::max(cfg_.min_rto, 2.0 * base_rtt_s_);
+  backoff_ = 1;
+  last_retransmit_time_ = -1.0;
+  limit_seq_ = 0;
+  rto_timer_.cancel();
+  expected_ = 0;
+  out_of_order_.clear();  // capacity retained — reuse allocates nothing
+  pending_acks_ = 0;
+  last_echo_ = 0.0;
+  delack_timer_.cancel();
+  recorder_.set_rtt_window(base_rtt_s_);
+}
+
 void TcpConnection::reset_counters() {
   sent_ = 0;
   delivered_ = 0;
@@ -44,7 +104,8 @@ void TcpConnection::reset_counters() {
 
 void TcpConnection::try_send() {
   if (!running_) return;
-  while (flight() < std::min(cwnd_, cfg_.max_cwnd)) {
+  while (flight() < std::min(cwnd_, cfg_.max_cwnd) &&
+         (limit_seq_ == 0 || next_seq_ < limit_seq_)) {
     transmit(next_seq_, /*retransmission=*/false);
     ++next_seq_;
   }
@@ -82,6 +143,12 @@ void TcpConnection::on_new_ack(std::int64_t ack, double echo_time) {
     note_rtt_sample(net_.simulator().now() - echo_time);
   }
   backoff_ = 1;
+
+  // Finite transfer: done when the final byte is cumulatively acknowledged.
+  if (limit_seq_ != 0 && high_ack_ >= limit_seq_) {
+    finish_transfer();
+    return;
+  }
 
   if (in_recovery_) {
     if (ack >= recover_) {

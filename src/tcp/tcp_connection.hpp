@@ -33,6 +33,9 @@ struct TcpConfig {
 
 class TcpConnection {
  public:
+  /// Flow-retirement notification for pooled (finite-transfer) use.
+  using CompletionFn = sim::InlineFunction<void(), 24>;
+
   /// Wires the connection onto flow `flow_id` of the dumbbell. `base_rtt_s`
   /// seeds the RTO before the first measurement.
   TcpConnection(net::Dumbbell& net, int flow_id, double base_rtt_s, TcpConfig cfg = {});
@@ -44,6 +47,30 @@ class TcpConnection {
 
   void start(double at);
   void stop();
+
+  // --- pooled lifecycle (dynamic workloads) --------------------------------
+  //
+  // Same contract as TfrcConnection: construct once per pool slot, open()
+  // per transfer. open() rewinds the congestion/sequencing/RTT-estimator
+  // state to a fresh connection's while cumulative counters and the
+  // loss-event recorder keep accumulating. Timers are LazyTimers — close()
+  // cancels them and any stale kernel event dies against `running_`. The
+  // pool quarantines retired slots for a drain interval, so no packet of a
+  // previous transfer can reach the next incarnation.
+
+  /// (Re)opens the connection for a reliable transfer of `transfer_packets`
+  /// data packets (0 = unbounded greedy source). The first window is sent
+  /// at the current simulated time; `on_complete` fires once, when the
+  /// final byte is cumulatively acknowledged.
+  void open(std::uint64_t transfer_packets, CompletionFn on_complete = {});
+
+  /// Retires the flow (timers cancelled, completion dropped, counters kept).
+  void close();
+
+  [[nodiscard]] bool active() const noexcept { return running_; }
+  [[nodiscard]] std::uint64_t transfers_completed() const noexcept {
+    return transfers_completed_;
+  }
 
   // --- measurement ---------------------------------------------------------
   [[nodiscard]] const stats::LossEventRecorder& recorder() const noexcept { return recorder_; }
@@ -63,6 +90,8 @@ class TcpConnection {
  private:
   // sender side
   void try_send();
+  void finish_transfer();
+  void reset_transfer_state();
   void transmit(std::int64_t seq, bool retransmission);
   void on_packet_at_sender(const net::Packet& p);
   void on_new_ack(std::int64_t ack, double echo_time);
@@ -84,7 +113,13 @@ class TcpConnection {
 
   net::Dumbbell& net_;
   int flow_;
+  double base_rtt_s_;
   TcpConfig cfg_;
+
+  // pooled-lifecycle state
+  std::int64_t limit_seq_ = 0;  // first sequence NOT in the transfer; 0 = unbounded
+  std::uint64_t transfers_completed_ = 0;
+  CompletionFn done_;
 
   // sender state
   bool running_ = false;

@@ -34,6 +34,47 @@ std::vector<Scenario> replicate(const Scenario& base, std::uint64_t root_seed, i
   return out;
 }
 
+PairedBatch replicate_paired(const Scenario& a, const Scenario& b, const std::string& pair_tag,
+                             std::uint64_t root_seed, int reps) {
+  if (reps < 1) throw std::invalid_argument("replicate_paired: reps must be >= 1");
+  if (pair_tag.empty()) throw std::invalid_argument("replicate_paired: empty pair_tag");
+  PairedBatch out;
+  out.a.reserve(static_cast<std::size_t>(reps));
+  out.b.reserve(static_cast<std::size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::uint64_t seed =
+        sim::hash_seed(root_seed, pair_tag + "#pair" + std::to_string(rep));
+    Scenario sa = a;
+    Scenario sb = b;
+    sa.seed = seed;
+    sb.seed = seed;  // common random numbers: identical derived streams
+    out.a.push_back(std::move(sa));
+    out.b.push_back(std::move(sb));
+  }
+  return out;
+}
+
+BatchResult paired_difference(const std::vector<ExperimentResult>& a,
+                              const std::vector<ExperimentResult>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("paired_difference: arm sizes differ (" +
+                                std::to_string(a.size()) + " vs " + std::to_string(b.size()) +
+                                ")");
+  }
+  BatchResult out;
+  out.runs = a.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const BatchResult ra = aggregate({a[i]});
+    const BatchResult rb = aggregate({b[i]});
+    for (const auto& [name, moments] : ra.metrics) {
+      const auto it = rb.metrics.find(name);
+      if (it == rb.metrics.end()) continue;  // keep only metrics both arms report
+      out.metrics[name].add(moments.mean() - it->second.mean());
+    }
+  }
+  return out;
+}
+
 const stats::OnlineMoments& BatchResult::metric(const std::string& name) const {
   const auto it = metrics.find(name);
   if (it == metrics.end()) {
@@ -65,6 +106,27 @@ BatchResult aggregate(const std::vector<ExperimentResult>& runs) {
     out.metrics["rtt_ratio"].add(r.breakdown.rtt_ratio);
     out.metrics["tcp_formula_ratio"].add(r.breakdown.tcp_formula_ratio);
     out.metrics["friendliness"].add(r.breakdown.friendliness);
+    // Workload telemetry, only for churn runs — batches are homogeneous (one
+    // scenario shape), so the metric key set stays consistent within a batch
+    // and pre-workload summary files keep their exact key set.
+    if (!r.workload_active) continue;
+    const auto& wl = r.workload;
+    out.metrics["wl_arrivals"].add(static_cast<double>(wl.arrivals));
+    out.metrics["wl_completions"].add(static_cast<double>(wl.completions));
+    out.metrics["wl_rejections"].add(static_cast<double>(wl.rejections));
+    out.metrics["wl_mean_flows"].add(wl.mean_flows);
+    out.metrics["wl_mean_flows_tfrc"].add(wl.mean_flows_tfrc);
+    out.metrics["wl_mean_flows_tcp"].add(wl.mean_flows_tcp);
+    out.metrics["wl_peak_flows"].add(static_cast<double>(wl.peak_flows));
+    out.metrics["wl_tfrc_completion_s"].add(wl.tfrc_completion_s);
+    out.metrics["wl_tcp_completion_s"].add(wl.tcp_completion_s);
+    out.metrics["wl_tfrc_completion_cov"].add(wl.tfrc_completion_cov);
+    out.metrics["wl_tcp_completion_cov"].add(wl.tcp_completion_cov);
+    out.metrics["wl_tfrc_goodput_pps"].add(wl.tfrc_goodput_pps);
+    out.metrics["wl_tcp_goodput_pps"].add(wl.tcp_goodput_pps);
+    out.metrics["wl_tfrc_share"].add(wl.tfrc_share);
+    out.metrics["wl_tfrc_p"].add(wl.tfrc_p);
+    out.metrics["wl_tcp_p"].add(wl.tcp_p);
   }
   return out;
 }

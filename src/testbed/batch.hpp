@@ -63,6 +63,24 @@ struct SweepReport {
 [[nodiscard]] std::vector<Scenario> replicate(const Scenario& base, std::uint64_t root_seed,
                                               int reps);
 
+/// A variance-reduction pairing of two configurations: a[i] and b[i] carry
+/// the SAME derived seed, so every stochastic component that hashes its name
+/// off the scenario seed draws common random numbers in both runs and their
+/// metric difference cancels the shared sampling noise.
+struct PairedBatch {
+  std::vector<Scenario> a;
+  std::vector<Scenario> b;
+};
+
+/// Expands the (a, b) contrast into `reps` common-random-number pairs. Seeds
+/// derive from (root_seed, pair_tag, rep) — NOT from either scenario's name,
+/// so renaming one arm never silently unpairs the contrast. The scenarios'
+/// fingerprints still differ (name + differing fields), so a shared result
+/// cache keeps the two arms' entries apart.
+[[nodiscard]] PairedBatch replicate_paired(const Scenario& a, const Scenario& b,
+                                           const std::string& pair_tag,
+                                           std::uint64_t root_seed, int reps);
+
 /// Per-metric summary of a batch: mean/stddev/CI across runs via
 /// stats::OnlineMoments. Metric keys are the ExperimentResult aggregate names
 /// ("tfrc_throughput", "friendliness", "conservativeness", ...).
@@ -84,6 +102,14 @@ struct BatchResult {
 /// BatchResult. Runs with a zero metric still contribute zeros — callers that
 /// want "valid runs only" should filter first.
 [[nodiscard]] BatchResult aggregate(const std::vector<ExperimentResult>& runs);
+
+/// Paired-difference fold over CRN-paired runs: for every metric common to
+/// both arms, metric(name) accumulates (a[i] − b[i]) across pairs, so
+/// mean(name) is the paired-difference estimate and ci(name) its 95%
+/// half-width — typically far tighter than differencing two independent
+/// CIs when the arms share seeds (replicate_paired). Requires equal sizes.
+[[nodiscard]] BatchResult paired_difference(const std::vector<ExperimentResult>& a,
+                                            const std::vector<ExperimentResult>& b);
 
 /// Bounded parallel executor over self-contained simulation runs; at most
 /// `jobs` worker threads live at a time, spawned per call.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <optional>
 #include <stdexcept>
 
 #include "core/conditions.hpp"
@@ -56,6 +57,27 @@ net::Queue make_queue(const Scenario& sc) {
                                     : net::red_params_for_bdp(sc.bottleneck_bps, sc.base_rtt_s,
                                                               sc.tfrc.packet_bytes);
   return net::Queue::red(prm, sim::hash_seed(sc.seed, "red"));
+}
+
+/// Upper bound on how long a retired dynamic flow's packets can stay in the
+/// network: worst-case bottleneck queueing plus a full (spread-inflated)
+/// round trip, plus the delayed-ACK timeout a receiver may sit on before
+/// answering the transfer's final packet. The flow pool quarantines retired
+/// slots this long before reusing them.
+double drain_guard(const Scenario& sc) {
+  double buffer_packets;
+  if (sc.queue == QueueKind::kDropTail) {
+    buffer_packets = static_cast<double>(sc.droptail_buffer);
+  } else if (sc.red) {
+    buffer_packets = static_cast<double>(sc.red->buffer_packets);
+  } else {
+    buffer_packets = static_cast<double>(
+        net::red_params_for_bdp(sc.bottleneck_bps, sc.base_rtt_s, sc.tfrc.packet_bytes)
+            .buffer_packets);
+  }
+  const double packet_time = 8.0 * sc.tfrc.packet_bytes / sc.bottleneck_bps;
+  return sc.base_rtt_s * (1.0 + sc.rtt_spread) + buffer_packets * packet_time +
+         sc.tcp.delayed_ack_timeout + 0.05;
 }
 
 }  // namespace
@@ -122,8 +144,26 @@ ExperimentResult run_experiment(const Scenario& sc) {
         .start(rng.uniform(0.0, 1.0));
   }
 
+  // Dynamic workload: flow churn on the same bottleneck, after the static
+  // population so flow-id assignment of existing scenarios is untouched.
+  std::optional<workload::FlowManager> churn;
+  if (workload::workload_enabled(sc.workload)) {
+    workload::FlowManagerConfig wcfg;
+    wcfg.workload = sc.workload;
+    wcfg.tfrc = sc.tfrc;
+    wcfg.tcp = sc.tcp;
+    wcfg.base_rtt_s = sc.base_rtt_s;
+    wcfg.rtt_spread = sc.rtt_spread;
+    wcfg.shared_prop_s = kSharedProp;
+    wcfg.drain_s = drain_guard(sc);
+    wcfg.seed = sim::hash_seed(sc.seed, "workload");
+    churn.emplace(net, wcfg);
+    churn->start(rng.uniform(0.0, 1.0));
+  }
+
   // Warm-up, snapshot, measure.
   sim.run_until(sc.warmup_s);
+  if (churn) churn->begin_epoch();
   std::vector<RecorderSnapshot> tfrc_s, tcp_s, probe_s;
   std::vector<std::uint64_t> tfrc_d0, tcp_d0;
   for (auto& c : tfrcs) {
@@ -142,6 +182,10 @@ ExperimentResult run_experiment(const Scenario& sc) {
   ExperimentResult out;
   out.scenario_name = sc.name;
   out.bottleneck_utilization = net.bottleneck().utilization();
+  if (churn) {
+    out.workload_active = true;
+    out.workload = churn->summarize();
+  }
 
   const auto analyze = [&](const std::string& kind, int flow_id,
                            const stats::LossEventRecorder& rec, const RecorderSnapshot& s0,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "testbed/scenario.hpp"
+#include "workload/flow_manager.hpp"
 
 namespace ebrc::testbed {
 
@@ -53,6 +54,11 @@ struct ExperimentResult {
   double bottleneck_utilization = 0.0;
 
   Breakdown breakdown;
+
+  // Dynamic-workload telemetry; meaningful only when workload_active (the
+  // scenario's workload block was enabled).
+  bool workload_active = false;
+  workload::WorkloadSummary workload;
 
   [[nodiscard]] std::vector<const FlowStats*> of_kind(const std::string& kind) const;
 };

@@ -99,6 +99,24 @@ std::string encode_result(const ExperimentResult& r) {
   w.f64(r.breakdown.rtt_ratio);
   w.f64(r.breakdown.tcp_formula_ratio);
   w.f64(r.breakdown.friendliness);
+  w.u64(r.workload_active ? 1 : 0);
+  const auto& wl = r.workload;
+  w.u64(wl.arrivals);
+  w.u64(wl.completions);
+  w.u64(wl.rejections);
+  w.f64(wl.mean_flows);
+  w.f64(wl.mean_flows_tfrc);
+  w.f64(wl.mean_flows_tcp);
+  w.u64(wl.peak_flows);
+  w.f64(wl.tfrc_completion_s);
+  w.f64(wl.tcp_completion_s);
+  w.f64(wl.tfrc_completion_cov);
+  w.f64(wl.tcp_completion_cov);
+  w.f64(wl.tfrc_goodput_pps);
+  w.f64(wl.tcp_goodput_pps);
+  w.f64(wl.tfrc_share);
+  w.f64(wl.tfrc_p);
+  w.f64(wl.tcp_p);
   return w.take();
 }
 
@@ -134,6 +152,24 @@ std::optional<ExperimentResult> decode_result(std::string_view payload) {
   out.breakdown.rtt_ratio = r.f64();
   out.breakdown.tcp_formula_ratio = r.f64();
   out.breakdown.friendliness = r.f64();
+  out.workload_active = r.u64() != 0;
+  auto& wl = out.workload;
+  wl.arrivals = r.u64();
+  wl.completions = r.u64();
+  wl.rejections = r.u64();
+  wl.mean_flows = r.f64();
+  wl.mean_flows_tfrc = r.f64();
+  wl.mean_flows_tcp = r.f64();
+  wl.peak_flows = r.u64();
+  wl.tfrc_completion_s = r.f64();
+  wl.tcp_completion_s = r.f64();
+  wl.tfrc_completion_cov = r.f64();
+  wl.tcp_completion_cov = r.f64();
+  wl.tfrc_goodput_pps = r.f64();
+  wl.tcp_goodput_pps = r.f64();
+  wl.tfrc_share = r.f64();
+  wl.tfrc_p = r.f64();
+  wl.tcp_p = r.f64();
   if (!r.ok() || !r.exhausted() || out.flows.size() != n_flows) return std::nullopt;
   return out;
 }

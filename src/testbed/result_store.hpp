@@ -34,7 +34,7 @@ namespace ebrc::testbed {
 /// Behavioral version of the simulator baked into every cache key. Bump on
 /// any change that alters sample paths or metrics (new RNG, packet-path
 /// reorder, metric redefinition, ...) so old entries are never replayed.
-inline constexpr std::uint64_t kResultCacheSalt = 4;  // PR 4: store introduced at PR-3 physics
+inline constexpr std::uint64_t kResultCacheSalt = 5;  // PR 5: workload telemetry in the payload
 
 class ResultStore {
  public:

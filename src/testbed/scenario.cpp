@@ -1,5 +1,7 @@
 #include "testbed/scenario.hpp"
 
+#include <cstdio>
+
 namespace ebrc::testbed {
 
 Scenario ns2_scenario(int n_tfrc, int n_tcp, std::size_t history_length, std::uint64_t seed) {
@@ -45,6 +47,32 @@ Scenario lab_scenario(QueueKind queue, std::size_t buffer_packets, int n_each,
   s.tfrc.history_length = 8;
   s.tfrc.comprehensive = false;  // disabled in the lab experiments
   s.tfrc.formula = "pftk";
+  s.seed = seed;
+  return s;
+}
+
+Scenario churn_scenario(double offered_load, double tfrc_fraction, std::uint64_t seed) {
+  Scenario s;
+  char name[64];
+  std::snprintf(name, sizeof(name), "churn-rho%.2f-tfrc%.2f", offered_load, tfrc_fraction);
+  s.name = name;
+  s.bottleneck_bps = 15e6;
+  s.base_rtt_s = 0.050;
+  s.queue = QueueKind::kRed;
+  s.n_tfrc = 0;  // the population is entirely dynamic
+  s.n_tcp = 0;
+  s.tfrc.history_length = 8;
+  s.tfrc.formula = "pftk";
+  s.workload.mean_size_pkts = 100.0;
+  // Offered load rho = lambda * E[S] / C with C the bottleneck's packet
+  // capacity: lambda = rho * C / E[S].
+  const double capacity_pps = s.bottleneck_bps / (8.0 * s.tfrc.packet_bytes);
+  s.workload.arrival_rate_per_s =
+      offered_load * capacity_pps / s.workload.mean_size_pkts;
+  s.workload.tfrc_fraction = tfrc_fraction;
+  s.workload.max_concurrent = 128;
+  s.duration_s = 120.0;
+  s.warmup_s = 20.0;
   s.seed = seed;
   return s;
 }

@@ -9,6 +9,7 @@
 #include "net/queue.hpp"
 #include "tcp/tcp_connection.hpp"
 #include "tfrc/tfrc_connection.hpp"
+#include "workload/workload_config.hpp"
 
 namespace ebrc::testbed {
 
@@ -40,6 +41,12 @@ struct Scenario {
   tfrc::TfrcConfig tfrc{};
   tcp::TcpConfig tcp{};
 
+  // Dynamic workload: flow churn layered on top of (or replacing) the static
+  // population above. Default-disabled; a disabled block is invisible to
+  // serialization and the cache fingerprint, so pre-workload scenario files
+  // parse and fingerprint unchanged.
+  workload::WorkloadConfig workload{};
+
   // Measurement window.
   double duration_s = 300.0;  // total simulated time
   double warmup_s = 50.0;     // discarded prefix (the paper truncates 200 s)
@@ -59,5 +66,14 @@ struct Scenario {
 /// comprehensive control disabled.
 [[nodiscard]] Scenario lab_scenario(QueueKind queue, std::size_t buffer_packets, int n_each,
                                     std::uint64_t seed);
+
+/// A flow-churn scenario on the ns-2 bottleneck: NO static flows; finite
+/// transfers (mean 100 packets) arrive as a Poisson process whose rate is
+/// set so the offered load is `offered_load` × the bottleneck's packet
+/// capacity, with a `tfrc_fraction` : (1 − tfrc_fraction) TFRC : TCP mix and
+/// a 128-slot pool. offered_load > 1 drives the pool to saturation — the
+/// many-flows regime.
+[[nodiscard]] Scenario churn_scenario(double offered_load, double tfrc_fraction,
+                                      std::uint64_t seed);
 
 }  // namespace ebrc::testbed

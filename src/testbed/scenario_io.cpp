@@ -74,6 +74,25 @@ void visit_scenario(V& v, S& s) {
     vv.field("max_rto", t.max_rto);
     vv.field("max_cwnd", t.max_cwnd);
   });
+  // Back-compat contract: a default (disabled) workload block is emitted to
+  // neither the document nor the fingerprint, so pre-workload scenario files
+  // parse unchanged and keep their exact pre-workload fingerprints
+  // (scenario_io_test pins the golden values).
+  v.defaulted_table("workload", s.workload, [](auto& vv, auto& w) {
+    vv.field("arrival_rate_per_s", w.arrival_rate_per_s);
+    vv.field("interarrival", w.interarrival);
+    vv.field("interarrival_shape", w.interarrival_shape);
+    vv.field("size_dist", w.size_dist);
+    vv.field("mean_size_pkts", w.mean_size_pkts);
+    vv.field("pareto_shape", w.pareto_shape);
+    vv.field("max_size_pkts", w.max_size_pkts);
+    vv.field("min_size_pkts", w.min_size_pkts);
+    vv.field("tfrc_fraction", w.tfrc_fraction);
+    vv.field("max_concurrent", w.max_concurrent);
+    vv.field("session_fraction", w.session_fraction);
+    vv.field("session_transfers_mean", w.session_transfers_mean);
+    vv.field("session_think_s", w.session_think_s);
+  });
 }
 
 // ---- writer -----------------------------------------------------------------
@@ -109,6 +128,12 @@ struct DocWriter {
     DocWriter w;
     fn(w, sub);
     out.push_back({k, DocValue(std::move(w.out))});
+  }
+  /// Sub-table elided entirely while it equals its default-constructed value.
+  template <class Sub, class Fn>
+  void defaulted_table(const char* k, const Sub& sub, Fn fn) {
+    if (sub == Sub{}) return;
+    table(k, sub, fn);
   }
 };
 
@@ -217,6 +242,11 @@ struct DocReader {
     fn(r, sub);
     r.finish();
   }
+  /// Reading: identical to table() — an absent block keeps the default.
+  template <class Sub, class Fn>
+  void defaulted_table(const char* k, Sub& sub, Fn fn) {
+    table(k, sub, fn);
+  }
 
   /// Rejects keys the schema does not know — a typo in a scenario file must
   /// not silently run the default configuration.
@@ -274,6 +304,15 @@ struct Hasher {
   void table(const char* k, const Sub& sub, Fn fn) {
     h.str(k);
     fn(*this, sub);
+  }
+  /// A default sub-table contributes NOTHING to the digest (not even its
+  /// key): fingerprints of pre-existing scenarios survive schema growth, so
+  /// their cache entries are invalidated by the salt policy, never by the
+  /// mere existence of a new feature they do not use.
+  template <class Sub, class Fn>
+  void defaulted_table(const char* k, const Sub& sub, Fn fn) {
+    if (sub == Sub{}) return;
+    table(k, sub, fn);
   }
 };
 

@@ -64,6 +64,14 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
           [](std::uint64_t seed) { return lab_scenario(QueueKind::kDropTail, 100, 1, seed); });
     r.add("lab-red", "lab hub: 10 Mb/s RED (tc parameters), 1 TFRC + 1 TCP",
           [](std::uint64_t seed) { return lab_scenario(QueueKind::kRed, 100, 1, seed); });
+    r.add("churn-mixed",
+          "flow churn: Poisson arrivals of finite transfers at 85% offered load, "
+          "50/50 TFRC:TCP mix, 128-slot pool",
+          [](std::uint64_t seed) { return churn_scenario(0.85, 0.5, seed); });
+    r.add("churn-overload",
+          "flow churn: offered load 1.2 (pool saturates — the many-flows regime), "
+          "50/50 TFRC:TCP mix",
+          [](std::uint64_t seed) { return churn_scenario(1.2, 0.5, seed); });
     for (const auto& path : table1_paths()) {
       std::string lower = path.name;
       for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));

@@ -46,6 +46,8 @@ class ScenarioRegistry {
   ///   lab-droptail-100         ... DropTail(100)
   ///   lab-red                  ... lab RED parameters
   ///   wan-inria|kth|umass|umelb  the Table-I emulated paths (1 flow each)
+  ///   churn-mixed              dynamic workload, 85% offered load, 50/50 mix
+  ///   churn-overload           dynamic workload, offered load 1.2 (saturated pool)
   [[nodiscard]] static const ScenarioRegistry& builtin();
 
  private:

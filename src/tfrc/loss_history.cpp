@@ -35,6 +35,15 @@ void LossHistory::seed(double interval_packets) {
   seeded_ = true;
 }
 
+void LossHistory::reset() noexcept {
+  estimator_.reset();
+  seeded_ = false;
+  open_packets_ = 0.0;
+  last_event_time_ = -1.0;
+  events_ = 0;
+  closed_.clear();
+}
+
 double LossHistory::mean_interval() const {
   if (!has_loss() || !seeded_) throw std::logic_error("LossHistory: no loss events yet");
   if (!comprehensive_) return estimator_.value();

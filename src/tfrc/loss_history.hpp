@@ -45,6 +45,11 @@ class LossHistory {
   /// matches the current throughput (RFC 3448 Section 6.3.1).
   void seed(double interval_packets);
 
+  /// Forgets all loss state (connection reuse in the flow pool): the next
+  /// transfer on this history starts from a clean estimator. Retains the
+  /// weight profile and every vector's capacity — reset allocates nothing.
+  void reset() noexcept;
+
   [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
   [[nodiscard]] double open_interval() const noexcept { return open_packets_; }
   [[nodiscard]] const core::MovingAverageEstimator& estimator() const noexcept {

@@ -24,6 +24,7 @@ double invert_rate(const model::ThroughputFunction& f, double target_rate) {
 TfrcConnection::TfrcConnection(net::Dumbbell& net, int flow_id, double base_rtt_s, TfrcConfig cfg)
     : net_(net),
       flow_(flow_id),
+      base_rtt_s_(base_rtt_s),
       cfg_(std::move(cfg)),
       unit_formula_(model::make_throughput_function(cfg_.formula, 1.0)),  // q = 4r implied
       send_ev_(net.simulator().pin([this] { send_next(); })),
@@ -51,6 +52,55 @@ void TfrcConnection::start(double at) {
 
 void TfrcConnection::stop() { running_ = false; }
 
+void TfrcConnection::open(std::uint64_t transfer_packets, CompletionFn on_complete) {
+  reset_transfer_state();
+  transfer_limit_ = transfer_packets;
+  done_ = std::move(on_complete);
+  running_ = true;
+  // Reuse a pacing chain still armed from the previous incarnation (close()
+  // between its scheduling and its firing); otherwise start a fresh one at
+  // the current time. Either way exactly one chain is live.
+  if (!pacing_armed_) {
+    pacing_armed_ = true;
+    net_.simulator().schedule_pinned(0.0, send_ev_);
+  }
+}
+
+void TfrcConnection::close() {
+  running_ = false;
+  done_ = CompletionFn{};
+}
+
+void TfrcConnection::finish_transfer() {
+  running_ = false;
+  ++transfers_completed_;
+  if (done_) {
+    // Move out first: the callback may re-enter the pool and hand this slot
+    // a fresh done_ later (never synchronously — slots are quarantined).
+    CompletionFn done = std::move(done_);
+    done_ = CompletionFn{};
+    done();
+  }
+}
+
+void TfrcConnection::reset_transfer_state() {
+  rate_ = cfg_.initial_rate_pps;
+  srtt_ = base_rtt_s_;
+  have_rtt_ = false;
+  saw_loss_ = false;
+  next_seq_ = 0;
+  transfer_limit_ = 0;
+  transfer_sent_ = 0;
+  history_.reset();
+  expected_seq_ = 0;
+  rtt_hint_ = base_rtt_s_;
+  recv_since_feedback_ = 0;
+  last_feedback_time_ = 0.0;
+  last_data_send_time_ = 0.0;
+  receiver_started_ = false;
+  recorder_.set_rtt_window(base_rtt_s_);
+}
+
 void TfrcConnection::reset_counters() {
   sent_ = 0;
   delivered_ = 0;
@@ -66,7 +116,10 @@ double TfrcConnection::formula_rate() const {
 // --------------------------------------------------------------- sender ----
 
 void TfrcConnection::send_next() {
-  if (!running_) return;
+  if (!running_) {
+    pacing_armed_ = false;  // the chain dies here; open() may start a new one
+    return;
+  }
   net::Packet p;
   p.seq = next_seq_++;
   p.size_bytes = cfg_.packet_bytes;
@@ -74,6 +127,16 @@ void TfrcConnection::send_next() {
   p.rtt_hint = srtt_;
   net_.send_data(flow_, p);
   ++sent_;
+  ++transfer_sent_;
+  if (transfer_limit_ != 0 && transfer_sent_ >= transfer_limit_) {
+    // Finite transfer: the paced source is done the moment it emits its last
+    // packet (TFRC has no retransmission — delivery of the tail is the
+    // network's business). The pacing chain ends with it.
+    pacing_armed_ = false;
+    finish_transfer();
+    return;
+  }
+  pacing_armed_ = true;
   net_.simulator().schedule_pinned(1.0 / rate_, send_ev_);
 }
 
@@ -144,12 +207,18 @@ void TfrcConnection::on_data(const net::Packet& p) {
   if (!receiver_started_) {
     receiver_started_ = true;
     last_feedback_time_ = now;
-    net_.simulator().schedule_pinned(std::max(1e-3, rtt_hint_), feedback_ev_);
+    if (!feedback_armed_) {
+      feedback_armed_ = true;
+      net_.simulator().schedule_pinned(std::max(1e-3, rtt_hint_), feedback_ev_);
+    }
   }
 }
 
 void TfrcConnection::feedback_tick() {
-  if (!running_) return;
+  if (!running_) {
+    feedback_armed_ = false;  // chain dies; the next incarnation re-arms
+    return;
+  }
   const double now = net_.simulator().now();
   if (recv_since_feedback_ > 0) {
     net::Packet report;
@@ -164,6 +233,7 @@ void TfrcConnection::feedback_tick() {
     recv_since_feedback_ = 0;
     last_feedback_time_ = now;
   }
+  feedback_armed_ = true;
   net_.simulator().schedule_pinned(std::max(1e-3, rtt_hint_), feedback_ev_);
 }
 

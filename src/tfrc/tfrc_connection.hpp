@@ -51,6 +51,9 @@ struct TfrcConfig {
 
 class TfrcConnection {
  public:
+  /// Flow-retirement notification for pooled (finite-transfer) use.
+  using CompletionFn = sim::InlineFunction<void(), 24>;
+
   TfrcConnection(net::Dumbbell& net, int flow_id, double base_rtt_s, TfrcConfig cfg = {});
 
   // Registers this-capturing handlers and pinned events at construction;
@@ -60,6 +63,38 @@ class TfrcConnection {
 
   void start(double at);
   void stop();
+
+  // --- pooled lifecycle (dynamic workloads) ----------------------------
+  //
+  // A pool slot constructs the connection ONCE (handlers and pinned events
+  // are permanent) and then open()s it for each transfer it carries. open()
+  // resets every piece of per-transfer protocol and estimator state —
+  // sequencing, rate, smoothed RTT, the loss history — while the cumulative
+  // measurement counters (sent/delivered, the loss-event recorder, RTT
+  // moments) keep accumulating across incarnations for long-run statistics.
+  // The pacing and feedback pinned chains are guarded, not cancelled: a
+  // chain that is still armed from the previous incarnation is reused, never
+  // doubled. The pool must quarantine a retired slot for a drain interval
+  // before reopening it, so packets of the previous transfer cannot reach
+  // the new one (see workload::FlowManager).
+
+  /// (Re)opens the connection for a transfer of `transfer_packets` data
+  /// packets (0 = unbounded stream); the first packet is paced out at the
+  /// current simulated time. `on_complete` fires once, at the emission of
+  /// the transfer's final packet — TFRC is an unreliable paced stream, so
+  /// the source is done when it has paced everything out.
+  void open(std::uint64_t transfer_packets, CompletionFn on_complete = {});
+
+  /// Retires the flow: pacing and feedback chains die lazily, pending
+  /// completion is dropped. Counters survive for post-run analysis.
+  void close();
+
+  /// True between open()/start() and close()/completion.
+  [[nodiscard]] bool active() const noexcept { return running_; }
+  /// Transfers completed (completion fired) since construction.
+  [[nodiscard]] std::uint64_t transfers_completed() const noexcept {
+    return transfers_completed_;
+  }
 
   // --- measurement -----------------------------------------------------
   [[nodiscard]] const stats::LossEventRecorder& recorder() const noexcept { return recorder_; }
@@ -78,12 +113,17 @@ class TfrcConnection {
   // sender side
   void send_next();
   void on_feedback(const net::Packet& p);
+  void finish_transfer();
+  /// Rewinds per-transfer protocol/estimator state to the constructor's
+  /// (cumulative counters and the recorder survive).
+  void reset_transfer_state();
   // receiver side
   void on_data(const net::Packet& p);
   void feedback_tick();
 
   net::Dumbbell& net_;
   int flow_;
+  double base_rtt_s_;
   TfrcConfig cfg_;
   std::shared_ptr<const model::ThroughputFunction> unit_formula_;  // rtt = 1, q = 4
 
@@ -94,12 +134,20 @@ class TfrcConnection {
 
   // sender state
   bool running_ = false;
+  bool pacing_armed_ = false;    // a pinned send_next is pending in the kernel
+  bool feedback_armed_ = false;  // a pinned feedback_tick is pending
   double rate_;
   double srtt_;
   bool have_rtt_ = false;
   bool saw_loss_ = false;
   std::int64_t next_seq_ = 0;
   std::uint64_t sent_ = 0;
+
+  // pooled-lifecycle state
+  std::uint64_t transfer_limit_ = 0;  // 0 = unbounded stream
+  std::uint64_t transfer_sent_ = 0;   // packets emitted this incarnation
+  std::uint64_t transfers_completed_ = 0;
+  CompletionFn done_;
 
   // receiver state
   LossHistory history_;

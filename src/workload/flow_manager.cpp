@@ -1,0 +1,253 @@
+#include "workload/flow_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ebrc::workload {
+
+namespace {
+
+[[nodiscard]] int class_index(FlowClass c) noexcept { return static_cast<int>(c); }
+
+}  // namespace
+
+FlowManager::FlowManager(net::Dumbbell& net, FlowManagerConfig cfg)
+    : net_(net),
+      cfg_(std::move(cfg)),
+      workload_rng_(sim::Rng(cfg_.seed).split("workload-stream")),
+      path_rng_(sim::Rng(cfg_.seed).split("path-stream")),
+      arrival_ev_(net.simulator().pin([this] { arrival(); })) {
+  const WorkloadConfig& w = cfg_.workload;
+  if (!workload_enabled(w)) {
+    throw std::invalid_argument("FlowManager: arrival_rate_per_s must be > 0");
+  }
+  if (w.mean_size_pkts <= 0 || w.min_size_pkts <= 0 || w.max_size_pkts < w.min_size_pkts) {
+    throw std::invalid_argument("FlowManager: bad size distribution bounds");
+  }
+  if (w.interarrival != "exponential" && w.interarrival != "pareto") {
+    throw std::invalid_argument("FlowManager: unknown interarrival '" + w.interarrival +
+                                "' (expected exponential | pareto)");
+  }
+  if (w.size_dist != "exponential" && w.size_dist != "pareto") {
+    throw std::invalid_argument("FlowManager: unknown size_dist '" + w.size_dist +
+                                "' (expected exponential | pareto)");
+  }
+  if (w.tfrc_fraction < 0.0 || w.tfrc_fraction > 1.0 || w.session_fraction < 0.0 ||
+      w.session_fraction > 1.0) {
+    throw std::invalid_argument("FlowManager: fractions must lie in [0, 1]");
+  }
+  if (w.max_concurrent < 1) {
+    throw std::invalid_argument("FlowManager: max_concurrent must be >= 1");
+  }
+  if (w.session_transfers_mean < 1.0) {
+    throw std::invalid_argument("FlowManager: session_transfers_mean must be >= 1");
+  }
+  free_.reserve(static_cast<std::size_t>(w.max_concurrent));
+}
+
+void FlowManager::start(double at) {
+  running_ = true;
+  pop_.begin_epoch(net_.simulator().now());
+  epoch_start_ = net_.simulator().now();
+  epoch_open_ = true;
+  net_.simulator().schedule_pinned_at(at, arrival_ev_);
+}
+
+void FlowManager::begin_epoch() {
+  const double now = net_.simulator().now();
+  pop_.begin_epoch(now);
+  epoch_start_ = now;
+  epoch_open_ = true;
+  for (auto& slot : slots_) {
+    for (int c = 0; c < 2; ++c) {
+      Side& sd = slot.side[c];
+      if (sd.flow_id < 0) continue;
+      const bool is_tfrc = c == class_index(FlowClass::kTfrc);
+      const auto& rec = is_tfrc ? slot.tfrc->recorder() : slot.tcp->recorder();
+      sd.delivered0 = is_tfrc ? slot.tfrc->delivered() : slot.tcp->delivered();
+      sd.packets0 = rec.packets();
+      sd.losses0 = rec.losses();
+      sd.events0 = rec.events();
+    }
+  }
+}
+
+double FlowManager::draw_interarrival() {
+  const WorkloadConfig& w = cfg_.workload;
+  const double mean = 1.0 / w.arrival_rate_per_s;
+  if (w.interarrival == "pareto") {
+    return workload_rng_.pareto_mean(mean, w.interarrival_shape);
+  }
+  return workload_rng_.exponential_mean(mean);
+}
+
+double FlowManager::draw_size() {
+  const WorkloadConfig& w = cfg_.workload;
+  double size;
+  if (w.size_dist == "pareto") {
+    // Bounded Pareto: an unbounded pareto_mean draw truncated at the cap.
+    // The truncation slightly lowers the realized mean; the heavy tail (the
+    // property the churn experiments care about) survives the cap.
+    size = std::min(workload_rng_.pareto_mean(w.mean_size_pkts, w.pareto_shape),
+                    w.max_size_pkts);
+  } else {
+    size = workload_rng_.exponential_mean(w.mean_size_pkts);
+  }
+  return std::max(w.min_size_pkts, size);
+}
+
+int FlowManager::draw_session_remaining() {
+  const WorkloadConfig& w = cfg_.workload;
+  if (w.session_fraction <= 0.0 || workload_rng_.uniform() >= w.session_fraction) return 0;
+  if (w.session_transfers_mean <= 1.0) return 0;
+  // Geometric number of transfers with the configured mean m: success
+  // probability 1/m, so K = 1 + floor(ln U / ln(1 - 1/m)); returns K - 1
+  // follow-ups beyond the transfer being admitted now.
+  const double q = 1.0 - 1.0 / w.session_transfers_mean;
+  const double u = std::max(1e-300, workload_rng_.uniform());
+  const double k = std::floor(std::log(u) / std::log(q));
+  return static_cast<int>(std::min(k, 1e6));
+}
+
+void FlowManager::arrival() {
+  if (!running_) return;  // stop(): the arrival chain dies here
+  admit(draw_session_remaining());
+  net_.simulator().schedule_pinned(draw_interarrival(), arrival_ev_);
+}
+
+void FlowManager::ensure_side(std::size_t idx, FlowClass cls) {
+  Slot& slot = slots_[idx];
+  Side& sd = slot.side[class_index(cls)];
+  if (sd.flow_id >= 0) return;
+  // First use of this slot under `cls`: wire a dumbbell flow and construct
+  // the connection permanently (handlers + pinned events registered once).
+  const double jitter =
+      cfg_.rtt_spread > 0 ? cfg_.rtt_spread * (path_rng_.uniform() - 0.5) : 0.0;
+  const double rtt = cfg_.base_rtt_s * (1.0 + jitter);
+  const double one_way = std::max(0.0, rtt / 2.0 - cfg_.shared_prop_s);
+  sd.flow_id = net_.add_flow(one_way, rtt / 2.0);
+  if (cls == FlowClass::kTfrc) {
+    slot.tfrc.emplace(net_, sd.flow_id, rtt, cfg_.tfrc);
+  } else {
+    slot.tcp.emplace(net_, sd.flow_id, rtt, cfg_.tcp);
+  }
+}
+
+void FlowManager::admit(int session_remaining) {
+  const double now = net_.simulator().now();
+  // Fixed draw order BEFORE the admission check: rejected arrivals consume
+  // the same randomness as admitted ones, keeping CRN-paired workloads in
+  // step even when only one of them saturates its pool.
+  const FlowClass cls =
+      workload_rng_.uniform() < cfg_.workload.tfrc_fraction ? FlowClass::kTfrc : FlowClass::kTcp;
+  const double size = draw_size();
+
+  std::size_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else if (slots_.size() < static_cast<std::size_t>(cfg_.workload.max_concurrent)) {
+    slots_.emplace_back();
+    idx = slots_.size() - 1;
+  } else {
+    pop_.on_reject(now, class_index(cls));
+    return;  // loss-system admission: the transfer (and its session) is gone
+  }
+
+  ensure_side(idx, cls);
+  Slot& slot = slots_[idx];
+  assert(!slot.busy && "free-listed slot still occupied");
+  slot.busy = true;
+  slot.cls = cls;
+  slot.size_pkts = size;
+  slot.opened_at = now;
+  slot.session_remaining = session_remaining;
+  pop_.on_open(now, class_index(cls));
+
+  const auto packets = static_cast<std::uint64_t>(std::llround(size));
+  if (cls == FlowClass::kTfrc) {
+    slot.tfrc->open(packets, [this, idx] { complete(idx); });
+  } else {
+    slot.tcp->open(packets, [this, idx] { complete(idx); });
+  }
+}
+
+void FlowManager::complete(std::size_t idx) {
+  Slot& slot = slots_[idx];
+  assert(slot.busy && "completion from an unoccupied slot");
+  const double now = net_.simulator().now();
+  pop_.on_close(now, class_index(slot.cls), now - slot.opened_at, slot.size_pkts);
+  slot.busy = false;
+
+  // Quarantine: the slot rejoins the free list only once every in-flight
+  // packet of the finished transfer has left the network.
+  net_.simulator().schedule(cfg_.drain_s, [this, idx] { release(idx); });
+
+  if (slot.session_remaining > 0) {
+    const int remaining = slot.session_remaining - 1;
+    ++session_followups_;
+    const double think = path_rng_.exponential_mean(cfg_.workload.session_think_s);
+    net_.simulator().schedule(think, [this, remaining] { admit(remaining); });
+  }
+}
+
+void FlowManager::release(std::size_t idx) { free_.push_back(idx); }
+
+WorkloadSummary FlowManager::summarize() {
+  const double now = net_.simulator().now();
+  if (!epoch_open_) throw std::logic_error("FlowManager::summarize: no open epoch");
+  epoch_open_ = false;
+  pop_.finish(now);
+  const double window = std::max(1e-9, now - epoch_start_);
+
+  WorkloadSummary out;
+  out.arrivals = pop_.arrivals();
+  out.completions = pop_.completions();
+  out.rejections = pop_.rejections();
+  out.mean_flows = pop_.mean_flows_total();
+  out.mean_flows_tfrc = pop_.mean_flows(class_index(FlowClass::kTfrc));
+  out.mean_flows_tcp = pop_.mean_flows(class_index(FlowClass::kTcp));
+  out.peak_flows = pop_.peak();
+  const auto& tfrc_t = pop_.completion_time(class_index(FlowClass::kTfrc));
+  const auto& tcp_t = pop_.completion_time(class_index(FlowClass::kTcp));
+  out.tfrc_completion_s = tfrc_t.mean();
+  out.tcp_completion_s = tcp_t.mean();
+  out.tfrc_completion_cov = tfrc_t.cv();
+  out.tcp_completion_cov = tcp_t.cv();
+
+  // Per-class goodput and aggregate loss-event rate over the window, from
+  // the slots' cumulative counters against the epoch snapshots.
+  std::uint64_t delivered[2] = {0, 0};
+  std::uint64_t packets[2] = {0, 0};
+  std::uint64_t losses[2] = {0, 0};
+  std::uint64_t events[2] = {0, 0};
+  for (const auto& slot : slots_) {
+    for (int c = 0; c < 2; ++c) {
+      const Side& sd = slot.side[c];
+      if (sd.flow_id < 0) continue;
+      const bool is_tfrc = c == class_index(FlowClass::kTfrc);
+      const auto& rec = is_tfrc ? slot.tfrc->recorder() : slot.tcp->recorder();
+      delivered[c] += (is_tfrc ? slot.tfrc->delivered() : slot.tcp->delivered()) - sd.delivered0;
+      packets[c] += rec.packets() - sd.packets0;
+      losses[c] += rec.losses() - sd.losses0;
+      events[c] += rec.events() - sd.events0;
+    }
+  }
+  const int tfrc_i = class_index(FlowClass::kTfrc);
+  const int tcp_i = class_index(FlowClass::kTcp);
+  out.tfrc_goodput_pps = static_cast<double>(delivered[tfrc_i]) / window;
+  out.tcp_goodput_pps = static_cast<double>(delivered[tcp_i]) / window;
+  const double total = out.tfrc_goodput_pps + out.tcp_goodput_pps;
+  out.tfrc_share = total > 0 ? out.tfrc_goodput_pps / total : 0.0;
+  const auto rate = [](std::uint64_t ev, std::uint64_t pk, std::uint64_t lo) {
+    const std::uint64_t denom = pk + lo;
+    return denom > 0 ? static_cast<double>(ev) / static_cast<double>(denom) : 0.0;
+  };
+  out.tfrc_p = rate(events[tfrc_i], packets[tfrc_i], losses[tfrc_i]);
+  out.tcp_p = rate(events[tcp_i], packets[tcp_i], losses[tcp_i]);
+  return out;
+}
+
+}  // namespace ebrc::workload

@@ -1,0 +1,173 @@
+// The dynamic-workload engine: spawns and retires TFRC/TCP transfers
+// DURING a run.
+//
+// Arrivals fire on one pinned simulator event (Poisson or Pareto-renewal
+// inter-arrival gaps from the manager's own Rng); each arrival draws a
+// traffic class, a finite flow size, and possibly a session continuation,
+// then claims a slot from the run-time flow pool.
+//
+// The pool is where the zero-steady-state-allocation contract lives. A slot
+// wires itself into the dumbbell ONCE per traffic class — one dumbbell flow
+// id plus one permanently constructed TfrcConnection or TcpConnection, with
+// its pinned pacing/feedback events and packet handlers registered at that
+// first use and never again. Every later transfer the slot carries merely
+// open()s the existing connection (a state rewind, no construction, no
+// pins, no handler churn). Once every slot has served both classes the pool
+// is saturated: spawning and retiring thousands of further flows performs
+// no heap allocation and registers no new kernel state, which is what keeps
+// the many-flows churn regime running at packet-path speed (asserted by
+// tests/workload_alloc_test.cpp).
+//
+// Retired slots are QUARANTINED for a drain interval before re-entering the
+// free list: a packet of the previous transfer still inside the bottleneck
+// queue, the tail pipe, or the reverse path must not reach the slot's next
+// incarnation (the connections reset their sequencing state at open, so a
+// stale packet arriving before the quarantine expires lands in the OLD
+// incarnation's tolerant, closed state instead). The drain bound is
+// computed by the caller from the scenario's worst-case path residency.
+//
+// Determinism: all draws come from strictly event-ordered callbacks inside
+// a single-threaded Simulator — runs are bit-identical for a fixed seed
+// under any BatchRunner --jobs, shard layout, or cache state. The
+// randomness is split into TWO streams so common-random-number pairing
+// works: the WORKLOAD stream (inter-arrival gaps, traffic class, transfer
+// size, session length — drawn in fixed order per arrival, BEFORE the
+// admission check, so rejected arrivals consume exactly what admitted ones
+// would) is a pure function of the seed and the arrival index; the PATH
+// stream (per-slot RTT jitter, session think times) absorbs every draw
+// whose timing depends on pool state. Two configs paired on one seed
+// therefore see identical arrival times, classes, and sizes even when
+// their completions, slot reuse, and rejections diverge. (Session
+// follow-up admissions draw from the workload stream at completion-driven
+// times, so CRN contrasts should pair session-free workloads.)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/dumbbell.hpp"
+#include "sim/random.hpp"
+#include "stats/population.hpp"
+#include "tcp/tcp_connection.hpp"
+#include "tfrc/tfrc_connection.hpp"
+#include "workload/workload_config.hpp"
+
+namespace ebrc::workload {
+
+enum class FlowClass : int { kTfrc = 0, kTcp = 1 };
+
+/// Everything the manager needs beyond the dumbbell: the workload law, the
+/// protocol configurations shared with the static population, the path
+/// geometry for per-slot RTT draws, and the drain quarantine.
+struct FlowManagerConfig {
+  WorkloadConfig workload{};
+  tfrc::TfrcConfig tfrc{};
+  tcp::TcpConfig tcp{};
+  double base_rtt_s = 0.050;
+  double rtt_spread = 0.1;
+  /// Propagation of the dumbbell's shared segment (subtracted from the
+  /// forward one-way delay, as the static flow constructor does).
+  double shared_prop_s = 0.001;
+  /// Quarantine after retirement before a slot can be reused; must bound the
+  /// residency of any in-flight packet of the retired transfer.
+  double drain_s = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Long-run churn telemetry over the measurement window (begin_epoch to
+/// summarize), embedded into testbed::ExperimentResult.
+struct WorkloadSummary {
+  std::uint64_t arrivals = 0;     // admitted transfers
+  std::uint64_t completions = 0;  // transfers finished
+  std::uint64_t rejections = 0;   // turned away, pool full
+  double mean_flows = 0.0;        // time-averaged concurrent dynamic flows
+  double mean_flows_tfrc = 0.0;
+  double mean_flows_tcp = 0.0;
+  std::uint64_t peak_flows = 0;   // max concurrent over the whole run
+  double tfrc_completion_s = 0.0;    // mean per-transfer completion time
+  double tcp_completion_s = 0.0;
+  double tfrc_completion_cov = 0.0;  // CoV of the completion time
+  double tcp_completion_cov = 0.0;
+  double tfrc_goodput_pps = 0.0;  // delivered packets / window, per class
+  double tcp_goodput_pps = 0.0;
+  double tfrc_share = 0.0;        // tfrc goodput / (tfrc + tcp goodput)
+  double tfrc_p = 0.0;            // aggregate per-class loss-event rates
+  double tcp_p = 0.0;
+};
+
+class FlowManager {
+ public:
+  FlowManager(net::Dumbbell& net, FlowManagerConfig cfg);
+
+  FlowManager(const FlowManager&) = delete;  // pinned arrival event captures this
+  FlowManager& operator=(const FlowManager&) = delete;
+
+  /// Schedules the first arrival at absolute time `at` (>= now).
+  void start(double at);
+
+  /// Stops generating arrivals (active transfers run to completion; their
+  /// session continuations still fire).
+  void stop() noexcept { running_ = false; }
+
+  /// Warm-up truncation: restarts the windowed statistics and snapshots
+  /// every slot's cumulative counters at the CURRENT simulated time.
+  void begin_epoch();
+
+  /// Closes the window at the current time and folds the telemetry.
+  /// Callable once per epoch (finishes the population time averages).
+  [[nodiscard]] WorkloadSummary summarize();
+
+  // --- introspection (tests, drivers) ----------------------------------
+  [[nodiscard]] const stats::PopulationTracker& population() const noexcept { return pop_; }
+  [[nodiscard]] std::size_t pool_slots() const noexcept { return slots_.size(); }
+  [[nodiscard]] int active_flows() const noexcept { return pop_.active_total(); }
+  /// Transfers started as session follow-ups (after a think time).
+  [[nodiscard]] std::uint64_t session_followups() const noexcept { return session_followups_; }
+
+ private:
+  struct Side {  // one traffic class of a slot; wired once, reused forever
+    int flow_id = -1;
+    // epoch snapshots of the cumulative per-connection counters
+    std::uint64_t delivered0 = 0;
+    std::uint64_t packets0 = 0;
+    std::uint64_t losses0 = 0;
+    std::uint64_t events0 = 0;
+  };
+  struct Slot {
+    std::optional<tfrc::TfrcConnection> tfrc;
+    std::optional<tcp::TcpConnection> tcp;
+    Side side[2];
+    FlowClass cls = FlowClass::kTfrc;  // current/last occupant
+    double size_pkts = 0.0;
+    double opened_at = 0.0;
+    int session_remaining = 0;  // follow-up transfers after this one
+    bool busy = false;          // occupancy guard: admit/complete must alternate
+  };
+
+  void arrival();                    // pinned: admit one arrival, schedule the next
+  void admit(int session_remaining);
+  void complete(std::size_t idx);
+  void release(std::size_t idx);     // post-quarantine: slot back on the free list
+  void ensure_side(std::size_t idx, FlowClass cls);
+
+  [[nodiscard]] double draw_interarrival();
+  [[nodiscard]] double draw_size();
+  [[nodiscard]] int draw_session_remaining();
+
+  net::Dumbbell& net_;
+  FlowManagerConfig cfg_;
+  sim::Rng workload_rng_;  // arrival process + transfer attributes (CRN-common)
+  sim::Rng path_rng_;      // RTT jitter + think times (pool-state dependent)
+  sim::Simulator::PinnedEvent arrival_ev_;
+  std::deque<Slot> slots_;           // deque: connections never relocate
+  std::vector<std::size_t> free_;    // LIFO free list of drained slots
+  stats::PopulationTracker pop_;
+  double epoch_start_ = 0.0;
+  bool running_ = false;
+  bool epoch_open_ = false;
+  std::uint64_t session_followups_ = 0;
+};
+
+}  // namespace ebrc::workload

@@ -114,6 +114,56 @@ TEST(BatchResult, AggregatesMeanAndCi) {
   EXPECT_THROW((void)agg.metric("no-such-metric"), std::out_of_range);
 }
 
+TEST(ReplicatePaired, SharesSeedsWithinPairsDistinctAcrossReps) {
+  Scenario a = short_ns2(0);
+  a.name = "arm-a";
+  Scenario b = short_ns2(0);
+  b.name = "arm-b";
+  b.n_tcp = 2;
+  const auto paired = ebrc::testbed::replicate_paired(a, b, "contrast", 9, 5);
+  ASSERT_EQ(paired.a.size(), 5u);
+  ASSERT_EQ(paired.b.size(), 5u);
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < paired.a.size(); ++i) {
+    EXPECT_EQ(paired.a[i].seed, paired.b[i].seed);
+    seeds.insert(paired.a[i].seed);
+    EXPECT_EQ(paired.a[i].n_tcp, 1);  // configs survive, only seeds assigned
+    EXPECT_EQ(paired.b[i].n_tcp, 2);
+  }
+  EXPECT_EQ(seeds.size(), 5u);
+  // The seed derivation keys on the pair tag, not either arm's name.
+  Scenario renamed = a;
+  renamed.name = "renamed";
+  const auto again = ebrc::testbed::replicate_paired(renamed, b, "contrast", 9, 5);
+  for (std::size_t i = 0; i < 5u; ++i) EXPECT_EQ(again.a[i].seed, paired.a[i].seed);
+  EXPECT_THROW((void)ebrc::testbed::replicate_paired(a, b, "contrast", 9, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)ebrc::testbed::replicate_paired(a, b, "", 9, 2), std::invalid_argument);
+}
+
+TEST(PairedDifference, ExactAlgebraOnSyntheticRuns) {
+  // Construct per-pair results whose difference is a known constant plus a
+  // pair-specific common term: the paired fold must see EXACTLY the
+  // constant with a zero-width interval, while the unpaired CIs are wide.
+  std::vector<ExperimentResult> a(4), b(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double common = static_cast<double>(i) * 10.0;  // shared noise
+    a[i].tfrc_throughput = common + 3.0;
+    b[i].tfrc_throughput = common;
+    a[i].bottleneck_utilization = 0.9;
+    b[i].bottleneck_utilization = 0.8;
+  }
+  const auto diff = ebrc::testbed::paired_difference(a, b);
+  EXPECT_EQ(diff.runs, 4u);
+  EXPECT_DOUBLE_EQ(diff.mean("tfrc_throughput"), 3.0);
+  EXPECT_DOUBLE_EQ(diff.ci("tfrc_throughput"), 0.0);  // noise cancelled exactly
+  EXPECT_NEAR(diff.mean("bottleneck_utilization"), 0.1, 1e-12);
+  const auto unpaired = ebrc::testbed::aggregate(a).metric("tfrc_throughput");
+  EXPECT_GT(unpaired.ci_halfwidth(), 1.0) << "the common term must dominate unpaired spread";
+  EXPECT_THROW((void)ebrc::testbed::paired_difference(a, std::vector<ExperimentResult>(3)),
+               std::invalid_argument);
+}
+
 TEST(Replicate, RejectsNonPositiveReps) {
   EXPECT_THROW((void)ebrc::testbed::replicate(short_ns2(0), 1, 0), std::invalid_argument);
 }
@@ -139,7 +189,12 @@ TEST(ScenarioRegistry, BuiltinNamesConstructAndRun) {
   ASSERT_EQ(results.size(), names.size());
   for (const auto& r : results) {
     EXPECT_FALSE(r.scenario_name.empty());
-    EXPECT_FALSE(r.flows.empty());
+    if (r.workload_active) {
+      // Churn scenarios carry no static flows; their population is dynamic.
+      EXPECT_GT(r.workload.arrivals + r.workload.rejections, 0u);
+    } else {
+      EXPECT_FALSE(r.flows.empty());
+    }
     EXPECT_GT(r.bottleneck_utilization, 0.0);
   }
 }

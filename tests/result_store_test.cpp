@@ -90,6 +90,26 @@ void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
   expect_bits(a.breakdown.tcp_formula_ratio, b.breakdown.tcp_formula_ratio,
               "tcp_formula_ratio");
   expect_bits(a.breakdown.friendliness, b.breakdown.friendliness, "friendliness");
+  EXPECT_EQ(a.workload_active, b.workload_active);
+  EXPECT_EQ(a.workload.arrivals, b.workload.arrivals);
+  EXPECT_EQ(a.workload.completions, b.workload.completions);
+  EXPECT_EQ(a.workload.rejections, b.workload.rejections);
+  expect_bits(a.workload.mean_flows, b.workload.mean_flows, "wl.mean_flows");
+  expect_bits(a.workload.mean_flows_tfrc, b.workload.mean_flows_tfrc, "wl.mean_flows_tfrc");
+  expect_bits(a.workload.mean_flows_tcp, b.workload.mean_flows_tcp, "wl.mean_flows_tcp");
+  EXPECT_EQ(a.workload.peak_flows, b.workload.peak_flows);
+  expect_bits(a.workload.tfrc_completion_s, b.workload.tfrc_completion_s,
+              "wl.tfrc_completion_s");
+  expect_bits(a.workload.tcp_completion_s, b.workload.tcp_completion_s, "wl.tcp_completion_s");
+  expect_bits(a.workload.tfrc_completion_cov, b.workload.tfrc_completion_cov,
+              "wl.tfrc_completion_cov");
+  expect_bits(a.workload.tcp_completion_cov, b.workload.tcp_completion_cov,
+              "wl.tcp_completion_cov");
+  expect_bits(a.workload.tfrc_goodput_pps, b.workload.tfrc_goodput_pps, "wl.tfrc_goodput_pps");
+  expect_bits(a.workload.tcp_goodput_pps, b.workload.tcp_goodput_pps, "wl.tcp_goodput_pps");
+  expect_bits(a.workload.tfrc_share, b.workload.tfrc_share, "wl.tfrc_share");
+  expect_bits(a.workload.tfrc_p, b.workload.tfrc_p, "wl.tfrc_p");
+  expect_bits(a.workload.tcp_p, b.workload.tcp_p, "wl.tcp_p");
 }
 
 TEST(ResultStore, HitIsBitIdenticalToFreshRun) {

@@ -9,6 +9,7 @@
 #include <bit>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -122,6 +123,25 @@ Scenario random_scenario(Splitmix& g) {
   s.tcp.min_rto = random_double(g);
   s.tcp.max_rto = random_double(g);
   s.tcp.max_cwnd = random_double(g);
+  if (g.range(0, 1) == 0) {
+    // Workload block engaged: randomize every field. (A randomized config
+    // colliding with the default — which would elide the block — has
+    // negligible probability; the other half of the draws covers the
+    // default-elided path explicitly.)
+    s.workload.arrival_rate_per_s = random_double(g);
+    s.workload.interarrival = random_string(g);
+    s.workload.interarrival_shape = random_double(g);
+    s.workload.size_dist = random_string(g);
+    s.workload.mean_size_pkts = random_double(g);
+    s.workload.pareto_shape = random_double(g);
+    s.workload.max_size_pkts = random_double(g);
+    s.workload.min_size_pkts = random_double(g);
+    s.workload.tfrc_fraction = random_double(g);
+    s.workload.max_concurrent = g.range(1, 4096);
+    s.workload.session_fraction = random_double(g);
+    s.workload.session_transfers_mean = random_double(g);
+    s.workload.session_think_s = random_double(g);
+  }
   return s;
 }
 
@@ -177,6 +197,24 @@ void expect_identical(const Scenario& a, const Scenario& b) {
   expect_bits(a.tcp.min_rto, b.tcp.min_rto, "tcp.min_rto");
   expect_bits(a.tcp.max_rto, b.tcp.max_rto, "tcp.max_rto");
   expect_bits(a.tcp.max_cwnd, b.tcp.max_cwnd, "tcp.max_cwnd");
+  expect_bits(a.workload.arrival_rate_per_s, b.workload.arrival_rate_per_s,
+              "workload.arrival_rate_per_s");
+  EXPECT_EQ(a.workload.interarrival, b.workload.interarrival);
+  expect_bits(a.workload.interarrival_shape, b.workload.interarrival_shape,
+              "workload.interarrival_shape");
+  EXPECT_EQ(a.workload.size_dist, b.workload.size_dist);
+  expect_bits(a.workload.mean_size_pkts, b.workload.mean_size_pkts, "workload.mean_size_pkts");
+  expect_bits(a.workload.pareto_shape, b.workload.pareto_shape, "workload.pareto_shape");
+  expect_bits(a.workload.max_size_pkts, b.workload.max_size_pkts, "workload.max_size_pkts");
+  expect_bits(a.workload.min_size_pkts, b.workload.min_size_pkts, "workload.min_size_pkts");
+  expect_bits(a.workload.tfrc_fraction, b.workload.tfrc_fraction, "workload.tfrc_fraction");
+  EXPECT_EQ(a.workload.max_concurrent, b.workload.max_concurrent);
+  expect_bits(a.workload.session_fraction, b.workload.session_fraction,
+              "workload.session_fraction");
+  expect_bits(a.workload.session_transfers_mean, b.workload.session_transfers_mean,
+              "workload.session_transfers_mean");
+  expect_bits(a.workload.session_think_s, b.workload.session_think_s,
+              "workload.session_think_s");
 }
 
 // Layout tripwire: if one of these sizes changes, a field was added to (or
@@ -187,10 +225,11 @@ void expect_identical(const Scenario& a, const Scenario& b) {
 // rather than chase a schema change that never happened.
 TEST(ScenarioIo, SerializedStructLayoutsUnchanged) {
 #if defined(__GLIBCXX__) && defined(__x86_64__)
-  EXPECT_EQ(sizeof(ebrc::testbed::Scenario), 360u);
+  EXPECT_EQ(sizeof(ebrc::testbed::Scenario), 512u);
   EXPECT_EQ(sizeof(ebrc::net::RedParams), 56u);
   EXPECT_EQ(sizeof(ebrc::tfrc::TfrcConfig), 80u);
   EXPECT_EQ(sizeof(ebrc::tcp::TcpConfig), 64u);
+  EXPECT_EQ(sizeof(ebrc::workload::WorkloadConfig), 152u);
 #else
   GTEST_SKIP() << "layout constants recorded for libstdc++ on x86-64";
 #endif
@@ -293,6 +332,22 @@ TEST(ScenarioIo, FingerprintReactsToEveryField) {
       {"tcp.min_rto", [](Scenario& s) { s.tcp.min_rto += 0.01; }},
       {"tcp.max_rto", [](Scenario& s) { s.tcp.max_rto += 1.0; }},
       {"tcp.max_cwnd", [](Scenario& s) { s.tcp.max_cwnd += 1.0; }},
+      {"workload.arrival_rate_per_s",
+       [](Scenario& s) { s.workload.arrival_rate_per_s += 1.0; }},
+      {"workload.interarrival", [](Scenario& s) { s.workload.interarrival = "pareto"; }},
+      {"workload.interarrival_shape",
+       [](Scenario& s) { s.workload.interarrival_shape += 0.1; }},
+      {"workload.size_dist", [](Scenario& s) { s.workload.size_dist = "pareto"; }},
+      {"workload.mean_size_pkts", [](Scenario& s) { s.workload.mean_size_pkts += 1.0; }},
+      {"workload.pareto_shape", [](Scenario& s) { s.workload.pareto_shape += 0.1; }},
+      {"workload.max_size_pkts", [](Scenario& s) { s.workload.max_size_pkts += 1.0; }},
+      {"workload.min_size_pkts", [](Scenario& s) { s.workload.min_size_pkts += 1.0; }},
+      {"workload.tfrc_fraction", [](Scenario& s) { s.workload.tfrc_fraction += 0.1; }},
+      {"workload.max_concurrent", [](Scenario& s) { s.workload.max_concurrent += 1; }},
+      {"workload.session_fraction", [](Scenario& s) { s.workload.session_fraction += 0.1; }},
+      {"workload.session_transfers_mean",
+       [](Scenario& s) { s.workload.session_transfers_mean += 1.0; }},
+      {"workload.session_think_s", [](Scenario& s) { s.workload.session_think_s += 0.1; }},
   };
 
   const Scenario base = ebrc::testbed::ns2_scenario(2, 3, 8, /*seed=*/9);
@@ -300,6 +355,9 @@ TEST(ScenarioIo, FingerprintReactsToEveryField) {
   for (const auto& [what, mutate] : mutators) {
     Scenario red_base = base;
     red_base.red.emplace();  // red.* mutators need an engaged optional
+    // workload.* mutators need an ENABLED workload (a default block is
+    // deliberately invisible to the fingerprint).
+    red_base.workload.arrival_rate_per_s = 3.0;
     Scenario mutated = red_base;
     mutate(mutated);
     EXPECT_NE(ebrc::testbed::fingerprint(mutated), ebrc::testbed::fingerprint(red_base))
@@ -309,6 +367,52 @@ TEST(ScenarioIo, FingerprintReactsToEveryField) {
   Scenario engaged = base;
   engaged.red.emplace();
   EXPECT_NE(ebrc::testbed::fingerprint(engaged), ebrc::testbed::fingerprint(base));
+  // Same for turning the workload on at all.
+  Scenario churny = base;
+  churny.workload.arrival_rate_per_s = 3.0;
+  EXPECT_NE(ebrc::testbed::fingerprint(churny), ebrc::testbed::fingerprint(base));
+}
+
+// Back-compat contract of the workload extension: scenario files written
+// before the workload block existed must parse to a default (disabled)
+// workload, serialize WITHOUT a workload table, and keep the exact
+// fingerprints the pre-workload code computed. The golden values below were
+// recorded from the PR-4 tree (commit 6048f06) before src/workload/ landed —
+// if one moves, cached results of every non-churn sweep are being
+// invalidated by a feature they do not use.
+TEST(ScenarioIo, DefaultWorkloadKeepsPreWorkloadFingerprints) {
+  EXPECT_EQ(ebrc::testbed::fingerprint(Scenario{}), 0x1c62fb1dd35729fdull);
+  EXPECT_EQ(ebrc::testbed::fingerprint(ebrc::testbed::ns2_scenario(2, 3, 8, /*seed=*/9)),
+            0x69b2de4b51b5ebf8ull);
+  EXPECT_EQ(ebrc::testbed::fingerprint(
+                ebrc::testbed::lab_scenario(ebrc::testbed::QueueKind::kRed, 100, 2, 11)),
+            0x33fe1a161b9dd1e5ull);
+}
+
+TEST(ScenarioIo, DefaultWorkloadIsElidedFromDocuments) {
+  const Scenario plain = ebrc::testbed::ns2_scenario(1, 1, 8, 1);
+  EXPECT_EQ(ebrc::testbed::scenario_to_toml(plain).find("[workload]"), std::string::npos);
+  // A pre-workload document (no workload key) parses to the default config.
+  const Scenario parsed = ebrc::testbed::scenario_from_toml("n_tfrc = 2\n[tfrc]\n"
+                                                            "history_length = 4\n");
+  EXPECT_EQ(parsed.workload, ebrc::workload::WorkloadConfig{});
+  // An enabled workload round-trips through a visible [workload] table.
+  Scenario churn = plain;
+  churn.workload.arrival_rate_per_s = 12.5;
+  churn.workload.size_dist = "pareto";
+  const std::string toml = ebrc::testbed::scenario_to_toml(churn);
+  EXPECT_NE(toml.find("[workload]"), std::string::npos);
+  EXPECT_NE(toml.find("arrival_rate_per_s"), std::string::npos);
+  expect_identical(churn, ebrc::testbed::scenario_from_toml(toml));
+}
+
+TEST(ScenarioIo, UnknownWorkloadKeysThrowNamingTheField) {
+  try {
+    (void)ebrc::testbed::scenario_from_toml("[workload]\narrival_rate = 3\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("workload.arrival_rate"), std::string::npos);
+  }
 }
 
 TEST(ScenarioIo, MissingKeysKeepDefaults) {
@@ -371,6 +475,18 @@ TEST(ScenarioIo, FileRoundTripDispatchesOnExtension) {
   }
   EXPECT_THROW(ebrc::testbed::save_scenario(s, dir / "s.yaml"), std::invalid_argument);
   EXPECT_THROW((void)ebrc::testbed::load_scenario(dir / "missing.toml"), std::runtime_error);
+  // An unknown extension (the --scenario=FILE path) names the supported
+  // formats instead of guessing a parser.
+  {
+    std::ofstream(dir / "s.ya_ml") << "n_tfrc = 1\n";
+    try {
+      (void)ebrc::testbed::load_scenario(dir / "s.ya_ml");
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(".toml"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find(".json"), std::string::npos);
+    }
+  }
   fs::remove_all(dir);
 }
 
