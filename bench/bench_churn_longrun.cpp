@@ -15,18 +15,21 @@
 // testbed::paired_difference into paired mean/CI estimates.
 //
 // Engine mode (--engine): the many-flows perf point. Saturates pools of
-// 100 / 300 / 1000 slots under overload and measures kernel events per
-// wall-clock second end to end (arrivals, pool recycling, protocol timers,
-// packet path), best of --reps slices; writes BENCH_workload.json for the
-// perf trajectory next to BENCH_kernel.json and BENCH_net.json. Wall-clock
-// numbers are NOT bit-stable, which is why this lives behind a flag: science
-// mode's stdout must stay byte-comparable across cold/warm/sharded runs.
+// 100 / 300 / 1000 / 10k / 100k slots under overload (--pools overrides the
+// list; a 1M-slot point is supported but stays local/manual) and measures
+// kernel events per wall-clock second end to end (arrivals, pool recycling,
+// protocol timers, packet path), best of --reps slices; writes
+// BENCH_workload.json for the perf trajectory next to BENCH_kernel.json and
+// BENCH_net.json, including the wheel-vs-heap pop split of the timing-wheel
+// kernel. Wall-clock numbers are NOT bit-stable, which is why this lives
+// behind a flag: science mode's stdout must stay byte-comparable across
+// cold/warm/sharded runs.
 //
 //   ./bench_churn_longrun [--full] [--reps=N] [--jobs=N] [--seed=N]
 //                         [--duration=S] [--cache=DIR] [--shard-index/-count]
 //                         [--scenario=FILE] [--csv=path]
 //   ./bench_churn_longrun --engine [--duration=S] [--reps=N] [--seed=N]
-//                         [--out=BENCH_workload.json]
+//                         [--pools=100,300,...] [--out=BENCH_workload.json]
 #include <chrono>
 #include <cstdio>
 
@@ -51,6 +54,8 @@ struct EngineResult {
   std::uint64_t peak_flows = 0;
   std::uint64_t completions = 0;
   double utilization = 0.0;
+  std::uint64_t wheel_pops = 0;    // timing-wheel vs heap split of the kernel pops
+  std::uint64_t heap_pops = 0;
 };
 
 EngineResult run_engine_workload(int pool, double seconds, std::uint64_t seed, int reps) {
@@ -68,6 +73,9 @@ EngineResult run_engine_workload(int pool, double seconds, std::uint64_t seed, i
         std::max(sc.workload.arrival_rate_per_s, 3.0 * pool / warmup);
 
     sim::Simulator sim;
+    // Every active flow keeps a few deliveries/timers pending; pre-size the
+    // kernel (heap, slab, wheel buckets) so the ramp never regrows them.
+    sim.reserve(4 * static_cast<std::size_t>(pool));
     net::Dumbbell net(sim,
                       net::Queue::red(net::red_params_for_bdp(sc.bottleneck_bps, sc.base_rtt_s,
                                                               sc.tfrc.packet_bytes),
@@ -88,6 +96,8 @@ EngineResult run_engine_workload(int pool, double seconds, std::uint64_t seed, i
     sim.run_until(warmup);
     churn.begin_epoch();
     const std::uint64_t events0 = sim.events_executed();
+    const std::uint64_t wheel0 = sim.wheel_pops();
+    const std::uint64_t heap0 = sim.heap_pops();
     const auto t0 = Clock::now();
     sim.run_until(warmup + seconds);
     const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
@@ -101,6 +111,8 @@ EngineResult run_engine_workload(int pool, double seconds, std::uint64_t seed, i
       out.peak_flows = summary.peak_flows;
       out.completions = summary.completions;
       out.utilization = net.bottleneck().utilization();
+      out.wheel_pops = sim.wheel_pops() - wheel0;
+      out.heap_pops = sim.heap_pops() - heap0;
     }
   }
   return out;
@@ -126,10 +138,13 @@ void write_engine_json(const std::string& path, double seconds, int reps,
     const auto& r = results[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"events\": %llu, \"events_per_sec\": %.0f, "
-                 "\"peak_flows\": %llu, \"completions\": %llu, \"utilization\": %.3f}%s\n",
+                 "\"peak_flows\": %llu, \"completions\": %llu, \"utilization\": %.3f, "
+                 "\"wheel_pops\": %llu, \"heap_pops\": %llu}%s\n",
                  r.name.c_str(), static_cast<unsigned long long>(r.events), r.events_per_sec,
                  static_cast<unsigned long long>(r.peak_flows),
                  static_cast<unsigned long long>(r.completions), r.utilization,
+                 static_cast<unsigned long long>(r.wheel_pops),
+                 static_cast<unsigned long long>(r.heap_pops),
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -137,24 +152,47 @@ void write_engine_json(const std::string& path, double seconds, int reps,
   std::printf("[json] wrote %s\n", path.c_str());
 }
 
-int run_engine_mode(const bench::BenchArgs& args, const std::string& out_path) {
+int run_engine_mode(const bench::BenchArgs& args, const std::string& out_path,
+                    const std::vector<int>& pools) {
   const double seconds = args.seconds(10.0, 40.0);
-  const int reps = args.reps;
   std::printf("many-flows engine benchmark: %.0f sim-seconds/pool, best of %d\n\n", seconds,
-              reps);
+              args.reps);
   std::vector<EngineResult> results;
-  for (int pool : {100, 300, 1000}) {
-    results.push_back(run_engine_workload(pool, seconds, args.seed, reps));
+  for (int pool : pools) {
+    // Sim-time scales DOWN as the pool scales up: the measured quantity is
+    // wall-clock events/s, and a 100k-slot pool emits more kernel events in
+    // one sim-second than a 100-slot pool does in a hundred. One rep past
+    // 100k — the ramp (connection wiring) dominates wall time there.
+    const double window = pool <= 1000 ? seconds : std::max(1.0, seconds * 1000.0 / pool);
+    const int reps = pool >= 100000 ? 1 : args.reps;
+    results.push_back(run_engine_workload(pool, window, args.seed, reps));
   }
-  util::Table t({"pool", "events/s", "events", "peak flows", "completions", "util"});
+  util::Table t(
+      {"pool", "events/s", "events", "peak flows", "completions", "util", "wheel share"});
   for (const auto& r : results) {
+    const double pops = static_cast<double>(r.wheel_pops + r.heap_pops);
     t.row({r.name, util::fmt(r.events_per_sec, 6), util::fmt(static_cast<double>(r.events), 6),
            util::fmt(static_cast<double>(r.peak_flows), 4),
-           util::fmt(static_cast<double>(r.completions), 5), util::fmt(r.utilization, 3)});
+           util::fmt(static_cast<double>(r.completions), 5), util::fmt(r.utilization, 3),
+           util::fmt(pops > 0 ? static_cast<double>(r.wheel_pops) / pops : 0.0, 3)});
   }
   t.print();
-  write_engine_json(out_path, seconds, reps, results);
+  write_engine_json(out_path, seconds, args.reps, results);
   return 0;
+}
+
+std::vector<int> parse_pools(const std::string& flag) {
+  if (flag.empty()) return {100, 300, 1000, 10000, 100000};  // 1M: --pools=1000000
+  std::vector<int> pools;
+  std::size_t pos = 0;
+  while (pos < flag.size()) {
+    const std::size_t comma = flag.find(',', pos);
+    const std::string tok = flag.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) pools.push_back(std::stoi(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return pools;
 }
 
 }  // namespace
@@ -162,14 +200,15 @@ int run_engine_mode(const bench::BenchArgs& args, const std::string& out_path) {
 int main(int argc, char** argv) {
   using namespace ebrc;
   bench::BenchArgs args(argc, argv, bench::kSweepFlags);
-  args.cli.know("engine").know("out");
+  args.cli.know("engine").know("out").know("pools");
   const bool engine = args.cli.get("engine", false);
   const std::string out_path = args.cli.get("out", std::string("BENCH_workload.json"));
+  const std::vector<int> pools = parse_pools(args.cli.get("pools", std::string{}));
   args.cli.finish();
   bench::banner("Churn long-run",
                 "TFRC vs TCP under flow churn (dynamic workload subsystem)");
   bench::batch_note(args);
-  if (engine) return run_engine_mode(args, out_path);
+  if (engine) return run_engine_mode(args, out_path, pools);
   if (bench::run_scenario_file(args)) return 0;
 
   const std::vector<double> loads = args.full

@@ -7,9 +7,11 @@
 //
 // Each grid point expands to three scenarios (TCP alone, TFRC alone,
 // competing) × --reps replications, all fanned out in one BatchRunner batch.
+// The three arms of a buffer point share common random numbers
+// (replicate_paired): the isolation-vs-competition contrast is reported as a
+// within-pair difference with its own (much tighter) 95% CI.
 #include "bench_common.hpp"
 #include "model/aimd.hpp"
-#include "sim/random.hpp"
 #include "testbed/batch.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scenario.hpp"
@@ -32,8 +34,7 @@ int main(int argc, char** argv) {
                 : std::vector<std::size_t>{10, 25, 50, 100};
   const double duration = args.seconds(400.0, 1600.0);
 
-  const auto make = [&](int n_tcp, int n_tfrc, std::size_t buffer, const char* variant,
-                        int rep) {
+  const auto make = [&](int n_tcp, int n_tfrc, std::size_t buffer) {
     auto s = testbed::lab_scenario(testbed::QueueKind::kDropTail, buffer,
                                    /*n_each=*/1, /*seed=*/0);
     s.n_tcp = n_tcp;
@@ -44,42 +45,59 @@ int main(int argc, char** argv) {
     s.tfrc.comprehensive = true;
     s.duration_s = duration;
     s.warmup_s = duration / 6.0;
-    s.seed = sim::hash_seed(args.seed, "fig17/b=" + std::to_string(buffer) + "/" + variant +
-                                           "#rep" + std::to_string(rep));
     return s;
   };
 
-  // Flat batch: (buffer × rep) × {tcp-alone, tfrc-alone, competing}.
+  // All three arms of a buffer point form ONE common-random-number block:
+  // replicate_paired derives per-rep seeds from (root, tag, rep) alone, so
+  // pairing the arms pairwise under the SAME tag hands every arm identical
+  // seeds (the second call's b-arm is a duplicate and is dropped). The
+  // isolation-vs-competition contrast then differences out the shared
+  // sampling noise within each rep instead of comparing independent draws.
+  // Batch layout per buffer: reps × tcp-alone, reps × tfrc-alone,
+  // reps × competing.
   std::vector<testbed::Scenario> batch;
   for (std::size_t b : buffers) {
-    for (int rep = 0; rep < reps; ++rep) {
-      batch.push_back(make(1, 0, b, "tcp-alone", rep));
-      batch.push_back(make(0, 1, b, "tfrc-alone", rep));
-      batch.push_back(make(1, 1, b, "competing", rep));
-    }
+    const std::string tag = "fig17/b=" + std::to_string(b);
+    const auto iso = testbed::replicate_paired(make(1, 0, b), make(0, 1, b), tag,
+                                               args.seed, reps);
+    const auto comp = testbed::replicate_paired(make(1, 1, b), make(1, 0, b), tag,
+                                                args.seed, reps).a;
+    batch.insert(batch.end(), iso.a.begin(), iso.a.end());
+    batch.insert(batch.end(), iso.b.begin(), iso.b.end());
+    batch.insert(batch.end(), comp.begin(), comp.end());
   }
   const auto sweep = bench::run_sweep(args, batch);
   if (!sweep.complete()) return 0;
   const auto& results = sweep.results;
 
-  util::Table t({"buffer b", "p'/p isolated", "p'/p competing"});
+  util::Table t({"buffer b", "p'/p isolated", "p'/p competing", "paired diff", "+-95%"});
   std::vector<std::vector<double>> csv_rows;
-  std::size_t idx = 0;
+  std::size_t base = 0;
   for (std::size_t b : buffers) {
-    stats::OnlineMoments iso, comp;
+    stats::OnlineMoments iso, comp, diff;
     for (int rep = 0; rep < reps; ++rep) {
-      const auto& tcp_alone = results[idx++];
-      const auto& tfrc_alone = results[idx++];
-      const auto& both = results[idx++];
-      if (tcp_alone.tcp_p > 0 && tfrc_alone.tfrc_p > 0) {
-        iso.add(tcp_alone.tcp_p / tfrc_alone.tfrc_p);
-      }
+      const auto& tcp_alone = results[base + static_cast<std::size_t>(rep)];
+      const auto& tfrc_alone = results[base + static_cast<std::size_t>(reps + rep)];
+      const auto& both = results[base + static_cast<std::size_t>(2 * reps + rep)];
+      const bool iso_ok = tcp_alone.tcp_p > 0 && tfrc_alone.tfrc_p > 0;
+      const double iso_ratio = iso_ok ? tcp_alone.tcp_p / tfrc_alone.tfrc_p : 0.0;
+      if (iso_ok) iso.add(iso_ratio);
       if (both.breakdown.loss_rate_ratio > 0) comp.add(both.breakdown.loss_rate_ratio);
+      // The CRN pair: all three arms of this rep ran on one seed, so the
+      // per-rep difference cancels the common sampling noise and its CI is
+      // the paired-difference CI of the contrast.
+      if (iso_ok && both.breakdown.loss_rate_ratio > 0) {
+        diff.add(both.breakdown.loss_rate_ratio - iso_ratio);
+      }
     }
-    t.row({static_cast<double>(b), iso.mean(), comp.mean()});
-    csv_rows.push_back({static_cast<double>(b), iso.mean(), comp.mean()});
+    base += static_cast<std::size_t>(3 * reps);
+    t.row({static_cast<double>(b), iso.mean(), comp.mean(), diff.mean(),
+           diff.ci_halfwidth()});
+    csv_rows.push_back({static_cast<double>(b), iso.mean(), comp.mean(), diff.mean(),
+                        diff.ci_halfwidth()});
   }
-  t.print("\nRatio of TCP's to TFRC's loss-event rate:");
+  t.print("\nRatio of TCP's to TFRC's loss-event rate (paired diff = competing - isolated):");
 
   const model::AimdParams aimd{1.0, 0.5};
   std::cout << "\nClaim-4 deterministic reference: p'/p = 4/(1+beta)^2 = "
@@ -88,6 +106,6 @@ int main(int argc, char** argv) {
             << "experiences a smaller loss-event rate than TCP when few senders share\n"
             << "a DropTail bottleneck; the simulated deviation is somewhat below the\n"
             << "idealized 16/9.\n";
-  bench::maybe_csv(args, {"buffer", "isolated", "competing"}, csv_rows);
+  bench::maybe_csv(args, {"buffer", "isolated", "competing", "paired_diff", "ci95"}, csv_rows);
   return 0;
 }

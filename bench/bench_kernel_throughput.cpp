@@ -10,6 +10,10 @@
 //                    pattern (2 executed events per 3 scheduled)
 //   steady_state     self-rescheduling chains holding a bounded pending set,
 //                    the shape of a real experiment run
+//   pinned_steady    the same chain shape on pinned events: once the timing
+//                    wheel calibrates, scheduling is an O(1) bucket append
+//                    and pops drain from the wheel (the "wheel share"
+//                    column reports the wheel-vs-heap pop split)
 //
 // and reports events/second (best of --reps measurement slices, so a loaded
 // CI box reports its least-interfered slice) plus InlineFunction
@@ -41,13 +45,21 @@ struct WorkloadResult {
   std::uint64_t events = 0;         // events executed per slice
   double best_events_per_sec = 0;   // best slice
   double heap_allocs_per_event = 0; // InlineFunction heap fallbacks
+  std::uint64_t wheel_pops = 0;     // timing-wheel vs heap split of the pops
+  std::uint64_t heap_pops = 0;
 };
 
-struct Slice {
-  double seconds;
-  std::uint64_t events;
-  std::uint64_t heap_allocs;
+/// What one measurement slice hands back: the kernel's event count plus its
+/// wheel-vs-heap pop telemetry.
+struct RunStats {
+  std::uint64_t events = 0;
+  std::uint64_t wheel_pops = 0;
+  std::uint64_t heap_pops = 0;
 };
+
+RunStats stats_of(const Simulator& sim) {
+  return {sim.events_executed(), sim.wheel_pops(), sim.heap_pops()};
+}
 
 template <typename Body>
 WorkloadResult measure(const std::string& name, int reps, Body&& body) {
@@ -57,12 +69,14 @@ WorkloadResult measure(const std::string& name, int reps, Body&& body) {
   for (int rep = 0; rep < reps; ++rep) {
     const std::uint64_t allocs0 = ebrc::sim::inline_function_heap_allocs();
     const auto t0 = Clock::now();
-    const std::uint64_t events = body();
+    const RunStats run = body();
     const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
     const std::uint64_t allocs = ebrc::sim::inline_function_heap_allocs() - allocs0;
-    r.events = events;
-    r.heap_allocs_per_event = static_cast<double>(allocs) / static_cast<double>(events);
-    best = std::max(best, static_cast<double>(events) / secs);
+    r.events = run.events;
+    r.wheel_pops = run.wheel_pops;
+    r.heap_pops = run.heap_pops;
+    r.heap_allocs_per_event = static_cast<double>(allocs) / static_cast<double>(run.events);
+    best = std::max(best, static_cast<double>(run.events) / secs);
   }
   r.best_events_per_sec = best;
   return r;
@@ -71,16 +85,16 @@ WorkloadResult measure(const std::string& name, int reps, Body&& body) {
 // All-pending-then-drain with a given capture payload: stresses the heap at
 // its deepest and the slab at its coldest.
 template <typename MakeFn>
-std::uint64_t bulk_run(std::uint64_t n, MakeFn&& make_fn) {
+RunStats bulk_run(std::uint64_t n, MakeFn&& make_fn) {
   Simulator sim;
   for (std::uint64_t i = 0; i < n; ++i) {
     sim.schedule(static_cast<double>(i % 97) * 1e-3, make_fn(i));
   }
   sim.run();
-  return sim.events_executed();
+  return stats_of(sim);
 }
 
-std::uint64_t churn_run(std::uint64_t n, double& sink) {
+RunStats churn_run(std::uint64_t n, double& sink) {
   Simulator sim;
   double* out = &sink;
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -92,10 +106,10 @@ std::uint64_t churn_run(std::uint64_t n, double& sink) {
     sim.schedule(static_cast<double>(i % 89) * 1e-3, [out] { *out += 1; });
   }
   sim.run();
-  return sim.events_executed();
+  return stats_of(sim);
 }
 
-std::uint64_t steady_run(std::uint64_t n, double& sink) {
+RunStats steady_run(std::uint64_t n, double& sink) {
   // kChains self-rescheduling event chains (a bounded pending set, like a
   // population of senders with in-flight packets), each hopping a pseudo-
   // random delay forward until the event budget is spent.
@@ -123,7 +137,35 @@ std::uint64_t steady_run(std::uint64_t n, double& sink) {
     sim.schedule(i * 1e-6, [c] { c->hop(); });
   }
   sim.run();
-  return sim.events_executed();
+  return stats_of(sim);
+}
+
+// The pinned-delivery shape: self-rescheduling PINNED chains (pipe
+// deliveries, pacing ticks). After the 64-sample calibration the timing
+// wheel absorbs every schedule as an O(1) bucket append, and nearly all
+// pops drain from the wheel's front run.
+RunStats pinned_run(std::uint64_t n, double& sink) {
+  constexpr int kChains = 512;
+  Simulator sim;
+  std::vector<Simulator::PinnedEvent> evs;
+  evs.reserve(kChains);
+  std::vector<std::uint32_t> states(kChains);
+  std::uint64_t remaining = n > static_cast<std::uint64_t>(kChains)
+                                ? n - static_cast<std::uint64_t>(kChains)
+                                : 0;
+  for (int i = 0; i < kChains; ++i) {
+    states[i] = static_cast<std::uint32_t>(i) * 2654435761u;
+    evs.push_back(sim.pin([&sim, &evs, &states, &remaining, &sink, i] {
+      sink += 1;
+      if (remaining == 0) return;
+      --remaining;
+      states[i] = states[i] * 1664525u + 1013904223u;  // lcg: deterministic delays
+      sim.schedule_pinned((1 + (states[i] >> 20)) * 1e-6, evs[i]);
+    }));
+  }
+  for (int i = 0; i < kChains; ++i) sim.schedule_pinned((i + 1) * 1e-6, evs[i]);
+  sim.run();
+  return stats_of(sim);
 }
 
 void write_json(const std::string& path, std::uint64_t events, int reps,
@@ -146,10 +188,13 @@ void write_json(const std::string& path, std::uint64_t events, int reps,
     const auto& r = results[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"events\": %llu, \"events_per_sec\": %.0f, "
-                 "\"ns_per_event\": %.2f, \"heap_allocs_per_event\": %.6f}%s\n",
+                 "\"ns_per_event\": %.2f, \"heap_allocs_per_event\": %.6f, "
+                 "\"wheel_pops\": %llu, \"heap_pops\": %llu}%s\n",
                  r.name.c_str(), static_cast<unsigned long long>(r.events),
                  r.best_events_per_sec, 1e9 / r.best_events_per_sec,
-                 r.heap_allocs_per_event, i + 1 < results.size() ? "," : "");
+                 r.heap_allocs_per_event, static_cast<unsigned long long>(r.wheel_pops),
+                 static_cast<unsigned long long>(r.heap_pops),
+                 i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -208,11 +253,14 @@ int main(int argc, char** argv) {
   }));
   results.push_back(measure("timer_churn", reps, [&] { return churn_run(events, sink); }));
   results.push_back(measure("steady_state", reps, [&] { return steady_run(events, sink); }));
+  results.push_back(measure("pinned_steady", reps, [&] { return pinned_run(events, sink); }));
 
-  util::Table t({"workload", "Mevents/s", "ns/event", "allocs/event"});
+  util::Table t({"workload", "Mevents/s", "ns/event", "allocs/event", "wheel share"});
   for (const auto& r : results) {
+    const double pops = static_cast<double>(r.wheel_pops + r.heap_pops);
     t.row({r.name, util::fmt(r.best_events_per_sec / 1e6, 4),
-           util::fmt(1e9 / r.best_events_per_sec, 4), util::fmt(r.heap_allocs_per_event, 4)});
+           util::fmt(1e9 / r.best_events_per_sec, 4), util::fmt(r.heap_allocs_per_event, 4),
+           util::fmt(pops > 0 ? static_cast<double>(r.wheel_pops) / pops : 0.0, 3)});
   }
   t.print("");
   if (sink < 0) std::printf("?");  // keep the side effects alive

@@ -72,13 +72,31 @@ void Simulator::pop_min() {
 
 void Simulator::run_until(Time horizon) {
   EventSlab* const slab = slab_;
-  while (!heap_.empty() && heap_.front().at <= horizon) {
-    const Entry e = heap_.front();
-    pop_min();
-    // The next event to run is already known (the new heap top): start
-    // pulling its callback line in while this event's callback executes.
-    if (!heap_.empty()) {
-      const std::uint32_t next = heap_.front().slot;
+  for (;;) {
+    // Merge-pop: the wheel's front run and the heap top compete on the same
+    // 128-bit (time bits ‖ seq) key, so the interleaved execution order is
+    // bit-identical to the single-heap kernel. peek() may advance the wheel
+    // (lazy cascade), but never past an unexamined tick.
+    const QueuedEvent* w = wheel_.peek();
+    const bool heap_has = !heap_.empty();
+    if (w == nullptr && !heap_has) break;
+    const bool from_wheel = w != nullptr && (!heap_has || earlier(*w, heap_.front()));
+    const Entry e = from_wheel ? *w : heap_.front();
+    if (!(e.at <= horizon)) break;
+    if (from_wheel) {
+      wheel_.pop_front();
+      ++wheel_pops_;
+    } else {
+      pop_min();
+      ++heap_pops_;
+    }
+    // The next event to run is usually already known (the wheel's run head or
+    // the new heap top): start pulling its callback line in while this
+    // event's callback executes.
+    const QueuedEvent* nw = wheel_.peek_ready();
+    const Entry* nh = heap_.empty() ? nullptr : &heap_.front();
+    if (const Entry* nx = (nw != nullptr && (nh == nullptr || earlier(*nw, *nh))) ? nw : nh) {
+      const std::uint32_t next = nx->slot;
       if ((next & kPinnedBit) == 0) {
         slab->prefetch(next);
       }

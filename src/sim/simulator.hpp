@@ -42,11 +42,9 @@
 #include <vector>
 
 #include "sim/inline_function.hpp"
+#include "sim/timing_wheel.hpp"
 
 namespace ebrc::sim {
-
-/// Simulated time, in seconds.
-using Time = double;
 
 /// The kernel's callback type: captures up to 56 bytes are stored inline
 /// (one cache line per callback including the dispatch pointer).
@@ -324,11 +322,13 @@ class Simulator {
   // compression, and handle refcounting for every one of those — all pure
   // overhead when the callback never changes and is never cancelled. A
   // pinned event registers the callback once; scheduling it afterwards is a
-  // bare heap push (16 bytes of entry, zero slab traffic) and firing invokes
-  // it in place. Pinned events cannot be cancelled individually — guard with
-  // a component-side flag, as the protocols' `running_` already does.
-  // Execution order remains the global (time, insertion-seq) order shared
-  // with slab events.
+  // bare entry push (24 bytes, zero slab traffic) — an O(1) timing-wheel
+  // bucket append once the wheel has calibrated, a heap push before — and
+  // firing invokes it in place. Pinned events cannot be cancelled
+  // individually — guard with a component-side flag, as the protocols'
+  // `running_` already does. Execution order remains the global
+  // (time, insertion-seq) order shared with slab events: wheel and heap pops
+  // merge on the same 128-bit key.
 
   using PinnedEvent = std::uint32_t;
 
@@ -345,11 +345,20 @@ class Simulator {
     schedule_pinned_at(now_ + delay, ev);
   }
 
-  /// Schedules a pinned callback at absolute time `at` (>= now()).
+  /// Schedules a pinned callback at absolute time `at` (>= now()). Once the
+  /// wheel has calibrated its tick from the first pinned delays this is an
+  /// O(1) bucket append; until then (and for all slab events, always) entries
+  /// go to the heap, so calibration can never perturb execution order.
   void schedule_pinned_at(Time at, PinnedEvent ev) {
     if (at < now_) throw_past_time();
     assert((ev & kPinnedBit) != 0 && "not a pin() id");
     at += 0.0;  // normalize -0.0, as in schedule_impl
+    if (wheel_.active()) {
+      wheel_.push(Entry{at, next_seq_++, ev});
+      return;
+    }
+    const Time delay = at - now_;
+    if (delay > 0) wheel_.observe(delay, now_);
     push_entry(Entry{at, next_seq_++, ev});
   }
 
@@ -360,18 +369,33 @@ class Simulator {
   /// Runs until the queue drains completely.
   void run();
 
-  /// Pre-sizes the heap and slab for `events` concurrently pending events,
-  /// so warm-up bursts don't pay vector regrowth on the hot path.
+  /// Pre-sizes the heap, slab, and wheel buckets for `events` concurrently
+  /// pending events, so warm-up bursts don't pay vector regrowth on the hot
+  /// path.
   void reserve(std::size_t events) {
     heap_.reserve(events);
     slab_->reserve(events);
+    wheel_.reserve(events);
   }
 
   /// Number of events executed since construction.
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
 
-  /// Number of events currently pending (including cancelled-but-unpopped).
-  [[nodiscard]] std::size_t queue_size() const noexcept { return heap_.size(); }
+  /// Number of events currently pending (including cancelled-but-unpopped),
+  /// across both the heap and the wheel.
+  [[nodiscard]] std::size_t queue_size() const noexcept {
+    return heap_.size() + wheel_.size();
+  }
+
+  /// Kernel telemetry: how many executed events were popped from the timing
+  /// wheel vs the 4-ary heap (a wheel that never activates pops everything
+  /// from the heap; a saturated packet path should pop almost everything
+  /// from the wheel).
+  [[nodiscard]] std::uint64_t wheel_pops() const noexcept { return wheel_pops_; }
+  [[nodiscard]] std::uint64_t heap_pops() const noexcept { return heap_pops_; }
+
+  /// The pinned-event timing wheel (exposed for tests and benchmarks).
+  [[nodiscard]] const TimingWheel& wheel() const noexcept { return wheel_; }
 
   /// Number of pinned callbacks ever registered. Pins are permanent, so a
   /// component that pins per-flow-arrival instead of per-component leaks
@@ -382,38 +406,10 @@ class Simulator {
   [[nodiscard]] const EventSlab& slab() const noexcept { return *slab_; }
 
  private:
-  /// Heap entries are 24-byte trivially copyable PODs; the callback is
-  /// reached through `slot`.
-  struct Entry {
-    Time at;
-    std::uint64_t seq;   // FIFO tie-break for equal timestamps
-    std::uint32_t slot;  // index into the slab
-  };
-  static_assert(std::is_trivially_copyable_v<Entry>);
-  static_assert(sizeof(Entry) <= 24);
-
-  /// Strict order of the heap: earlier time first, then insertion order —
-  /// compared as one 128-bit key. Simulated time never goes negative
-  /// (schedule_at rejects the past, and the clock starts at 0, with -0.0
-  /// normalized away), so the IEEE-754 bit pattern of `at` is monotone in its
-  /// value and (bits(at), seq) compares branchlessly with a sub/sbb pair —
-  /// the two-branch lexicographic compare this replaces was the single
-  /// largest cost of a heap sift (data-dependent mispredictions on every
-  /// level).
-  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) noexcept {
-#if defined(__SIZEOF_INT128__)
-    const auto key = [](const Entry& e) {
-      return (static_cast<unsigned __int128>(std::bit_cast<std::uint64_t>(e.at)) << 64) |
-             e.seq;
-    };
-    return key(a) < key(b);
-#else
-    const std::uint64_t abits = std::bit_cast<std::uint64_t>(a.at);
-    const std::uint64_t bbits = std::bit_cast<std::uint64_t>(b.at);
-    if (abits != bbits) return abits < bbits;
-    return a.seq < b.seq;
-#endif
-  }
+  /// Heap entries are the 24-byte trivially copyable PODs shared with the
+  /// timing wheel (see timing_wheel.hpp for the layout and the branchless
+  /// 128-bit key order the free `earlier()` implements).
+  using Entry = QueuedEvent;
 
   /// Shared hot path of schedule()/schedule_at(). Takes the callback by
   /// rvalue reference: the call-site conversion constructs the EventFn once,
@@ -452,9 +448,12 @@ class Simulator {
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t wheel_pops_ = 0;
+  std::uint64_t heap_pops_ = 0;
   EventSlab* slab_;  // intrusively refcounted; see EventSlab::retain/release
   std::vector<Entry> heap_;  // 4-ary min-heap: children of i at 4i+1 .. 4i+4
   std::deque<EventFn> pinned_;  // deque: pin() during a run never relocates
+  TimingWheel wheel_;  // pinned entries after calibration; merged at pop
 };
 
 }  // namespace ebrc::sim

@@ -1,0 +1,358 @@
+// Hierarchical timing wheel for pinned-event scheduling.
+//
+// The packet path schedules pinned callbacks — pipe deliveries, pacing
+// ticks, feedback timers — whose deadlines are overwhelmingly near-monotone
+// and clustered a few RTTs ahead. A comparison heap pays O(log n) sifts over
+// adversarially unpredictable keys for every one of them; at 10^5..10^6
+// concurrent flows those sifts dominate the kernel. The wheel turns the
+// common case into an O(1) bucket append plus one amortized sort per
+// occupied tick, while the 4-ary heap remains the exact-order home for
+// irregular slab events. The two structures merge at pop time on the same
+// branchless 128-bit (time bits ‖ seq) key, so execution order is
+// bit-identical to the heap-only kernel (pinned by the golden determinism
+// recordings).
+//
+// Layout: three levels of 256 buckets. A level-0 bucket is one tick wide, a
+// level-1 bucket covers 256 ticks, a level-2 bucket 2^16 ticks; deadlines
+// beyond the 2^24-tick span wait in an overflow ring that is rehomed once
+// per span crossing. Each level keeps a 256-bit occupancy bitmap so "next
+// nonempty bucket" is a couple of countr_zero scans, never a walk over
+// empty vectors. The front of the wheel is a sorted "run" — the current
+// tick's events, drained in key order through a head index; cascades are
+// lazy (an upper-level bucket is scattered down only when the scan enters
+// its window).
+//
+// The tick granularity is calibrated once per simulator from the first 64
+// positive pinned delays (dt = p25/16, clamped): until then pinned entries
+// go to the heap exactly as before, and because the tick mapping only needs
+// to be MONOTONE in the deadline — equal times share a tick, a tick's
+// events are key-sorted on load — the calibration choice can never perturb
+// execution order, only bucket occupancy.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace ebrc::sim {
+
+/// Simulated time, in seconds.
+using Time = double;
+
+/// Queue entries shared by the wheel and the 4-ary heap: 24-byte trivially
+/// copyable PODs. `slot` is either an event-slab index or a pinned-callback
+/// id (tagged with the simulator's pinned bit); the queues never look inside.
+struct QueuedEvent {
+  Time at;
+  std::uint64_t seq;   // FIFO tie-break for equal timestamps
+  std::uint32_t slot;  // slab index or tagged pinned id
+};
+static_assert(std::is_trivially_copyable_v<QueuedEvent>);
+static_assert(sizeof(QueuedEvent) <= 24, "queue entries must stay two words + tag");
+static_assert(alignof(QueuedEvent) == 8);
+
+/// Strict order shared by the heap and the wheel: earlier time first, then
+/// insertion order — compared as one 128-bit key. Simulated time never goes
+/// negative (schedule rejects the past, the clock starts at 0, and -0.0 is
+/// normalized away), so the IEEE-754 bit pattern of `at` is monotone in its
+/// value and (bits(at), seq) compares branchlessly with a sub/sbb pair.
+[[nodiscard]] inline bool earlier(const QueuedEvent& a, const QueuedEvent& b) noexcept {
+#if defined(__SIZEOF_INT128__)
+  const auto key = [](const QueuedEvent& e) {
+    return (static_cast<unsigned __int128>(std::bit_cast<std::uint64_t>(e.at)) << 64) |
+           e.seq;
+  };
+  return key(a) < key(b);
+#else
+  const std::uint64_t abits = std::bit_cast<std::uint64_t>(a.at);
+  const std::uint64_t bbits = std::bit_cast<std::uint64_t>(b.at);
+  if (abits != bbits) return abits < bbits;
+  return a.seq < b.seq;
+#endif
+}
+
+/// Function-object form of earlier() so sort/upper_bound inline the compare.
+struct EarlierCompare {
+  [[nodiscard]] bool operator()(const QueuedEvent& a, const QueuedEvent& b) const noexcept {
+    return earlier(a, b);
+  }
+};
+
+class TimingWheel {
+ public:
+  static constexpr int kBucketBits = 8;
+  static constexpr std::uint64_t kBuckets = 1ull << kBucketBits;  // per level
+  static constexpr int kLevels = 3;
+  static constexpr std::uint64_t kSpanTicks = 1ull << (kLevels * kBucketBits);
+  static constexpr int kCalibrationSamples = 64;
+
+  TimingWheel() = default;
+  TimingWheel(const TimingWheel&) = delete;
+  TimingWheel& operator=(const TimingWheel&) = delete;
+
+  /// True once the tick granularity has been calibrated; until then the
+  /// simulator keeps routing pinned entries to the heap.
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Calibrated tick width in seconds (0 until active).
+  [[nodiscard]] double granularity() const noexcept { return dt_; }
+
+  /// Feeds one positive pinned-delay sample; the 64th activates the wheel at
+  /// dt = p25/16, so a typical delay spans ~16 ticks and same-tick pileups
+  /// stay shallow. Returns true when this call activated the wheel.
+  bool observe(Time delay, Time now) {
+    assert(!active_ && delay > 0);
+    samples_[sample_count_++] = delay;
+    if (sample_count_ < kCalibrationSamples) return false;
+    std::sort(samples_, samples_ + kCalibrationSamples);
+    activate(std::clamp(samples_[kCalibrationSamples / 4] / 16.0, 1e-9, 1e6), now);
+    return true;
+  }
+
+  /// Activates immediately with an explicit granularity (benchmarks and the
+  /// wheel's own unit tests; production goes through observe()).
+  void activate(double dt, Time now) {
+    dt_ = dt;
+    inv_dt_ = 1.0 / dt;
+    pos_ = tick_of(now);
+    active_ = true;
+    // Seed every bucket with a uniform capacity, once. Bucket indexes are
+    // touched for the first time throughout the first full rotation of their
+    // level — minutes of simulated time for level 1, hours for level 2 at
+    // typical granularities — and a fresh vector's geometric growth would
+    // otherwise trickle allocations long past any warm-up window. The seed
+    // must cover the per-bucket occupancy of a steady workload (churn at RTT
+    // granularity peaks around 32 per level-2 bucket); ~600 KB per activated
+    // simulator buys an allocation-free steady state.
+    for (auto& b : l0_) b.reserve(kSeedCapacity);
+    for (auto& b : l1_) b.reserve(kSeedCapacity);
+    for (auto& b : l2_) b.reserve(kSeedCapacity);
+    run_.reserve(4 * kSeedCapacity);
+    overflow_.reserve(4 * kSeedCapacity);
+  }
+
+  /// Number of events currently queued (front run + buckets + overflow).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return pending_ + (run_.size() - run_head_);
+  }
+
+  /// O(1) append. Requires active(); `e.at` must be >= the time of the last
+  /// event popped (the simulator's clock guarantees it).
+  void push(const QueuedEvent& e) {
+    assert(active_);
+    const std::uint64_t t = tick_of(e.at);
+    if (t <= pos_) {
+      // The tick is already drained into the front run: sorted-insert at or
+      // after the head (rare — same-instant re-bookings of the current tick).
+      run_.insert(std::upper_bound(run_.begin() + static_cast<std::ptrdiff_t>(run_head_),
+                                   run_.end(), e, EarlierCompare{}),
+                  e);
+      return;
+    }
+    ++pending_;
+    place(e, t, pos_);
+  }
+
+  /// Earliest queued event, or nullptr when empty. May advance the wheel
+  /// (lazy cascade + load of the next occupied tick); never touches time
+  /// semantics, so calling it early is always safe.
+  [[nodiscard]] const QueuedEvent* peek() {
+    if (run_head_ < run_.size()) return &run_[run_head_];
+    if (pending_ == 0) return nullptr;
+    refill();
+    assert(run_head_ < run_.size());
+    return &run_[run_head_];
+  }
+
+  /// Non-advancing peek: the front-run head if one is ready (prefetch hints).
+  [[nodiscard]] const QueuedEvent* peek_ready() const noexcept {
+    return run_head_ < run_.size() ? &run_[run_head_] : nullptr;
+  }
+
+  /// Consumes the event returned by the last peek().
+  void pop_front() noexcept {
+    assert(run_head_ < run_.size());
+    ++run_head_;
+  }
+
+  /// Pre-sizes the front run and level-0 buckets for `events` concurrently
+  /// pending events. Skipped for small simulators — 256 tiny allocations
+  /// would cost more than they save.
+  void reserve(std::size_t events) {
+    if (events < 4 * kBuckets) return;
+    const std::size_t per = events / kBuckets + 1;
+    run_.reserve(2 * per);
+    for (auto& b : l0_) b.reserve(per);
+    overflow_.reserve(kBuckets);
+  }
+
+ private:
+  static constexpr std::uint64_t kMask = kBuckets - 1;
+  static constexpr std::uint64_t kWords = kBuckets / 64;
+  static constexpr std::size_t kSeedCapacity = 32;  // per-bucket, at activation
+
+  /// Maps a deadline to its tick. Only MONOTONICITY matters for correctness
+  /// (equal times share a tick; ticks are key-sorted on load); the clamp
+  /// keeps the cast defined for absurd horizons without breaking order.
+  [[nodiscard]] std::uint64_t tick_of(Time at) const noexcept {
+    double x = at * inv_dt_;
+    if (x > 9.0e18) x = 9.0e18;
+    return static_cast<std::uint64_t>(x);
+  }
+
+  static void add(std::vector<QueuedEvent>* lvl, std::uint64_t* occ, std::uint64_t idx,
+                  const QueuedEvent& e) {
+    lvl[idx].push_back(e);
+    occ[idx >> 6] |= 1ull << (idx & 63);
+  }
+
+  /// Routes an event with tick `t` > `p` into the level whose window around
+  /// `p` contains it (or overflow beyond the span). Invariant: level-0 holds
+  /// only p's 256-tick window, level-1 p's 2^16 window, level-2 p's 2^24
+  /// window — so a level-0 bucket always holds exactly one tick value.
+  void place(const QueuedEvent& e, std::uint64_t t, std::uint64_t p) {
+    if ((t >> kBucketBits) == (p >> kBucketBits)) {
+      add(l0_, occ0_, t & kMask, e);
+    } else if ((t >> (2 * kBucketBits)) == (p >> (2 * kBucketBits))) {
+      add(l1_, occ1_, (t >> kBucketBits) & kMask, e);
+    } else if ((t >> (3 * kBucketBits)) == (p >> (3 * kBucketBits))) {
+      add(l2_, occ2_, (t >> (2 * kBucketBits)) & kMask, e);
+    } else {
+      overflow_.push_back(e);
+    }
+  }
+
+  /// First occupied bucket index >= `from`, or -1.
+  [[nodiscard]] static int find_from(const std::uint64_t occ[kWords],
+                                     std::uint64_t from) noexcept {
+    if (from >= kBuckets) return -1;
+    std::uint64_t w = from >> 6;
+    std::uint64_t m = occ[w] & (~0ull << (from & 63));
+    for (;;) {
+      if (m != 0) return static_cast<int>(w * 64 + std::countr_zero(m));
+      if (++w == kWords) return -1;
+      m = occ[w];
+    }
+  }
+
+  void scatter2(std::uint64_t i, std::uint64_t p) {
+    std::vector<QueuedEvent>& b = l2_[i];
+    occ2_[i >> 6] &= ~(1ull << (i & 63));
+    for (const QueuedEvent& e : b) {
+      const std::uint64_t t = tick_of(e.at);
+      if ((t >> kBucketBits) == (p >> kBucketBits)) {
+        add(l0_, occ0_, t & kMask, e);
+      } else {
+        add(l1_, occ1_, (t >> kBucketBits) & kMask, e);
+      }
+    }
+    b.clear();
+  }
+
+  void scatter1(std::uint64_t i, std::uint64_t p) {
+    std::vector<QueuedEvent>& b = l1_[i];
+    occ1_[i >> 6] &= ~(1ull << (i & 63));
+    (void)p;  // covering bucket: every tick is in p's level-0 window
+    for (const QueuedEvent& e : b) add(l0_, occ0_, tick_of(e.at) & kMask, e);
+    b.clear();
+  }
+
+  /// Crossed out of pos_'s 2^24 window: every bucket is empty, so jump to the
+  /// window of the earliest overflow deadline and partition that window's
+  /// events back into the levels, in place.
+  void rehome(std::uint64_t& p) {
+    assert(!overflow_.empty());
+    std::uint64_t tmin = ~0ull;
+    for (const QueuedEvent& e : overflow_) tmin = std::min(tmin, tick_of(e.at));
+    if ((tmin >> (3 * kBucketBits)) > (p >> (3 * kBucketBits))) {
+      p = (tmin >> (3 * kBucketBits)) << (3 * kBucketBits);
+    }
+    pos_ = p;  // p is a span start here, so no queued tick can precede it
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < overflow_.size(); ++i) {
+      const QueuedEvent e = overflow_[i];
+      const std::uint64_t t = tick_of(e.at);
+      if ((t >> (3 * kBucketBits)) == (p >> (3 * kBucketBits))) {
+        place(e, t, p);  // same span, so never routes back to overflow
+      } else {
+        overflow_[keep++] = e;
+      }
+    }
+    overflow_.resize(keep);
+  }
+
+  /// Loads level-0 bucket `k` (one tick's events) into the front run. The
+  /// events are COPIED out (a memcpy of PODs), not swapped: swapping storage
+  /// would rotate capacities through bucket indexes, and every rarely-used
+  /// bucket would re-inject a small vector into the rotation — with stable
+  /// per-object storage each vector's capacity grows monotonically to its
+  /// index's peak load and steady state is allocation-free.
+  void load(std::uint64_t k) {
+    std::vector<QueuedEvent>& b = l0_[k];
+    occ0_[k >> 6] &= ~(1ull << (k & 63));
+    pending_ -= b.size();
+    run_.assign(b.begin(), b.end());  // run_ was cleared at refill entry
+    b.clear();
+    std::sort(run_.begin(), run_.end(), EarlierCompare{});
+  }
+
+  /// Advances to the next occupied tick and loads it. Requires pending_ > 0.
+  /// Scan invariants: at the top of each iteration the covering level-2 and
+  /// level-1 buckets of `p` are scattered down BEFORE level 0 is scanned
+  /// (no-ops except right after a window boundary), and `p` only ever jumps
+  /// to the window start of a found bucket — never past unexamined ticks.
+  void refill() {
+    assert(run_head_ == run_.size() && pending_ > 0);
+    run_.clear();
+    run_head_ = 0;
+    std::uint64_t p = pos_ + 1;
+    for (;;) {
+      if ((p >> (3 * kBucketBits)) != (pos_ >> (3 * kBucketBits))) rehome(p);
+      const std::uint64_t i2 = (p >> (2 * kBucketBits)) & kMask;
+      if (!l2_[i2].empty()) scatter2(i2, p);
+      const std::uint64_t i1 = (p >> kBucketBits) & kMask;
+      if (!l1_[i1].empty()) scatter1(i1, p);
+      const int k = find_from(occ0_, p & kMask);
+      if (k >= 0) {
+        p = (p & ~kMask) | static_cast<std::uint64_t>(k);
+        load(static_cast<std::uint64_t>(k));
+        pos_ = p;
+        return;
+      }
+      const int j = find_from(occ1_, ((p >> kBucketBits) & kMask) + 1);
+      if (j >= 0) {
+        p = (p & ~(kMask << kBucketBits | kMask)) |
+            (static_cast<std::uint64_t>(j) << kBucketBits);
+        continue;
+      }
+      const int m = find_from(occ2_, ((p >> (2 * kBucketBits)) & kMask) + 1);
+      if (m >= 0) {
+        p = (p & ~(kSpanTicks - 1)) | (static_cast<std::uint64_t>(m) << (2 * kBucketBits));
+        continue;
+      }
+      p = (p & ~(kSpanTicks - 1)) + kSpanTicks;  // span empty: rehome next pass
+    }
+  }
+
+  double dt_ = 0.0;
+  double inv_dt_ = 0.0;
+  std::uint64_t pos_ = 0;       // drained watermark: buckets hold ticks > pos_
+  std::size_t pending_ = 0;     // events in buckets + overflow (run_ excluded)
+  std::size_t run_head_ = 0;    // consumption index into run_
+  bool active_ = false;
+  int sample_count_ = 0;
+  double samples_[kCalibrationSamples] = {};
+  std::uint64_t occ0_[kWords] = {};
+  std::uint64_t occ1_[kWords] = {};
+  std::uint64_t occ2_[kWords] = {};
+  std::vector<QueuedEvent> run_;       // current tick, key-sorted
+  std::vector<QueuedEvent> overflow_;  // deadlines beyond the 2^24-tick span
+  std::vector<QueuedEvent> l0_[kBuckets];
+  std::vector<QueuedEvent> l1_[kBuckets];
+  std::vector<QueuedEvent> l2_[kBuckets];
+};
+
+}  // namespace ebrc::sim

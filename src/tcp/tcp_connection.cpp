@@ -12,25 +12,25 @@ TcpConnection::TcpConnection(net::Dumbbell& net, int flow_id, double base_rtt_s,
       flow_(flow_id),
       base_rtt_s_(base_rtt_s),
       cfg_(cfg),
-      cwnd_(cfg.initial_cwnd),
-      ssthresh_(cfg.initial_ssthresh),
-      rto_(std::max(cfg.min_rto, 2.0 * base_rtt_s)),
       recorder_(base_rtt_s) {
   if (base_rtt_s <= 0) throw std::invalid_argument("TcpConnection: base RTT must be > 0");
+  snd_.cwnd = cfg.initial_cwnd;
+  snd_.ssthresh = cfg.initial_ssthresh;
+  snd_.rto = std::max(cfg.min_rto, 2.0 * base_rtt_s);
   net_.on_data_at_receiver(flow_, [this](const net::Packet& p) { on_data_at_receiver(p); });
   net_.on_packet_at_sender(flow_, [this](const net::Packet& p) { on_packet_at_sender(p); });
 }
 
 void TcpConnection::start(double at) {
   net_.simulator().schedule_at(at, [this] {
-    running_ = true;
+    snd_.running = true;
     try_send();
     arm_rto();
   });
 }
 
 void TcpConnection::stop() {
-  running_ = false;
+  snd_.running = false;
   rto_timer_.cancel();
   delack_timer_.cancel();
 }
@@ -43,22 +43,22 @@ void TcpConnection::open(std::uint64_t transfer_packets, CompletionFn on_complet
     throw std::invalid_argument("TcpConnection::open: transfer size exceeds sequence space");
   }
   reset_transfer_state();
-  limit_seq_ = static_cast<std::int64_t>(transfer_packets);
+  snd_.limit_seq = static_cast<std::int64_t>(transfer_packets);
   done_ = std::move(on_complete);
-  running_ = true;
+  snd_.running = true;
   try_send();
   arm_rto();
 }
 
 void TcpConnection::close() {
-  running_ = false;
+  snd_.running = false;
   rto_timer_.cancel();
   delack_timer_.cancel();
   done_ = CompletionFn{};
 }
 
 void TcpConnection::finish_transfer() {
-  running_ = false;
+  snd_.running = false;
   rto_timer_.cancel();
   delack_timer_.cancel();
   ++transfers_completed_;
@@ -70,26 +70,17 @@ void TcpConnection::finish_transfer() {
 }
 
 void TcpConnection::reset_transfer_state() {
-  cwnd_ = cfg_.initial_cwnd;
-  ssthresh_ = cfg_.initial_ssthresh;
-  next_seq_ = 0;
-  high_ack_ = 0;
-  dup_count_ = 0;
-  in_recovery_ = false;
-  recover_ = 0;
-  srtt_ = 0.0;
-  rttvar_ = 0.0;
-  have_rtt_ = false;
-  rto_ = std::max(cfg_.min_rto, 2.0 * base_rtt_s_);
-  backoff_ = 1;
-  last_retransmit_time_ = -1.0;
-  limit_seq_ = 0;
+  // Wholesale POD rewind to a fresh connection's state (`running` is
+  // restated by open() immediately after). Timers and the reorder buffer
+  // keep their kernel slots and capacity.
+  snd_ = SenderState{};
+  snd_.cwnd = cfg_.initial_cwnd;
+  snd_.ssthresh = cfg_.initial_ssthresh;
+  snd_.rto = std::max(cfg_.min_rto, 2.0 * base_rtt_s_);
+  rcv_ = ReceiverState{};
   rto_timer_.cancel();
-  expected_ = 0;
-  out_of_order_.clear();  // capacity retained — reuse allocates nothing
-  pending_acks_ = 0;
-  last_echo_ = 0.0;
   delack_timer_.cancel();
+  out_of_order_.clear();  // capacity retained — reuse allocates nothing
   recorder_.set_rtt_window(base_rtt_s_);
 }
 
@@ -103,11 +94,11 @@ void TcpConnection::reset_counters() {
 // --------------------------------------------------------------- sender ----
 
 void TcpConnection::try_send() {
-  if (!running_) return;
-  while (flight() < std::min(cwnd_, cfg_.max_cwnd) &&
-         (limit_seq_ == 0 || next_seq_ < limit_seq_)) {
-    transmit(next_seq_, /*retransmission=*/false);
-    ++next_seq_;
+  if (!snd_.running) return;
+  while (flight() < std::min(snd_.cwnd, cfg_.max_cwnd) &&
+         (snd_.limit_seq == 0 || snd_.next_seq < snd_.limit_seq)) {
+    transmit(snd_.next_seq, /*retransmission=*/false);
+    ++snd_.next_seq;
   }
 }
 
@@ -120,12 +111,12 @@ void TcpConnection::transmit(std::int64_t seq, bool retransmission) {
   net_.send_data(flow_, p);
   ++sent_;
   recorder_.on_packet(p.send_time);
-  if (retransmission) last_retransmit_time_ = p.send_time;
+  if (retransmission) snd_.last_retransmit_time = p.send_time;
 }
 
 void TcpConnection::on_packet_at_sender(const net::Packet& p) {
-  if (!running_ || p.kind != net::PacketKind::kAck) return;
-  if (p.ack.seq > high_ack_) {
+  if (!snd_.running || p.kind != net::PacketKind::kAck) return;
+  if (p.ack.seq > snd_.high_ack) {
     on_new_ack(p.ack.seq, p.ack.echo_time);
   } else {
     on_dupack();
@@ -133,45 +124,45 @@ void TcpConnection::on_packet_at_sender(const net::Packet& p) {
 }
 
 void TcpConnection::on_new_ack(std::int64_t ack, double echo_time) {
-  const std::int64_t acked = ack - high_ack_;
-  high_ack_ = ack;
-  dup_count_ = 0;
+  const std::int64_t acked = ack - snd_.high_ack;
+  snd_.high_ack = ack;
+  snd_.dup_count = 0;
 
   // Karn's rule: only sample RTT when the echoed transmission is later than
   // the last retransmission.
-  if (echo_time > last_retransmit_time_) {
+  if (echo_time > snd_.last_retransmit_time) {
     note_rtt_sample(net_.simulator().now() - echo_time);
   }
-  backoff_ = 1;
+  snd_.backoff = 1;
 
   // Finite transfer: done when the final byte is cumulatively acknowledged.
-  if (limit_seq_ != 0 && high_ack_ >= limit_seq_) {
+  if (snd_.limit_seq != 0 && snd_.high_ack >= snd_.limit_seq) {
     finish_transfer();
     return;
   }
 
-  if (in_recovery_) {
-    if (ack >= recover_) {
+  if (snd_.in_recovery) {
+    if (ack >= snd_.recover) {
       // Full acknowledgment: leave recovery, deflate to ssthresh.
-      in_recovery_ = false;
-      cwnd_ = ssthresh_;
+      snd_.in_recovery = false;
+      snd_.cwnd = snd_.ssthresh;
     } else {
       // Partial ack: the next hole is lost too — retransmit it, deflate by
       // the amount acked (NewReno).
-      transmit(high_ack_, /*retransmission=*/true);
-      cwnd_ = std::max(1.0, cwnd_ - static_cast<double>(acked) + 1.0);
+      transmit(snd_.high_ack, /*retransmission=*/true);
+      snd_.cwnd = std::max(1.0, snd_.cwnd - static_cast<double>(acked) + 1.0);
       arm_rto();
       try_send();
       return;
     }
-  } else if (cwnd_ < ssthresh_) {
-    cwnd_ += static_cast<double>(acked);  // slow start (with delayed acks)
+  } else if (snd_.cwnd < snd_.ssthresh) {
+    snd_.cwnd += static_cast<double>(acked);  // slow start (with delayed acks)
   } else {
-    cwnd_ += static_cast<double>(acked) / cwnd_;  // congestion avoidance
+    snd_.cwnd += static_cast<double>(acked) / snd_.cwnd;  // congestion avoidance
   }
-  recorder_.note_rate(srtt_ > 0 ? cwnd_ / srtt_ : 0.0);
+  recorder_.note_rate(snd_.srtt > 0 ? snd_.cwnd / snd_.srtt : 0.0);
 
-  if (high_ack_ == next_seq_) {
+  if (snd_.high_ack == snd_.next_seq) {
     rto_timer_.disarm();  // everything acked; the pending event dies lazily
   } else {
     arm_rto();
@@ -180,12 +171,12 @@ void TcpConnection::on_new_ack(std::int64_t ack, double echo_time) {
 }
 
 void TcpConnection::on_dupack() {
-  if (in_recovery_) {
-    cwnd_ += 1.0;  // window inflation per extra dupack
+  if (snd_.in_recovery) {
+    snd_.cwnd += 1.0;  // window inflation per extra dupack
     try_send();
     return;
   }
-  if (++dup_count_ >= cfg_.dupack_threshold) {
+  if (++snd_.dup_count >= cfg_.dupack_threshold) {
     enter_recovery();
   }
 }
@@ -193,39 +184,39 @@ void TcpConnection::on_dupack() {
 void TcpConnection::enter_recovery() {
   ++fast_retx_;
   record_loss_event();
-  ssthresh_ = std::max(2.0, flight() / 2.0);
-  recover_ = next_seq_;
-  in_recovery_ = true;
-  transmit(high_ack_, /*retransmission=*/true);
-  cwnd_ = ssthresh_ + static_cast<double>(cfg_.dupack_threshold);
-  recorder_.note_rate(srtt_ > 0 ? ssthresh_ / srtt_ : 0.0);
+  snd_.ssthresh = std::max(2.0, flight() / 2.0);
+  snd_.recover = snd_.next_seq;
+  snd_.in_recovery = true;
+  transmit(snd_.high_ack, /*retransmission=*/true);
+  snd_.cwnd = snd_.ssthresh + static_cast<double>(cfg_.dupack_threshold);
+  recorder_.note_rate(snd_.srtt > 0 ? snd_.ssthresh / snd_.srtt : 0.0);
   arm_rto();
 }
 
 void TcpConnection::on_timeout() {
-  if (!running_) return;
+  if (!snd_.running) return;
   ++timeouts_;
   record_loss_event();
-  ssthresh_ = std::max(2.0, flight() / 2.0);
-  cwnd_ = 1.0;
-  dup_count_ = 0;
-  in_recovery_ = false;
-  recover_ = next_seq_;
-  backoff_ = std::min(backoff_ * 2, 64);
-  recorder_.note_rate(srtt_ > 0 ? 1.0 / srtt_ : 0.0);
-  transmit(high_ack_, /*retransmission=*/true);
+  snd_.ssthresh = std::max(2.0, flight() / 2.0);
+  snd_.cwnd = 1.0;
+  snd_.dup_count = 0;
+  snd_.in_recovery = false;
+  snd_.recover = snd_.next_seq;
+  snd_.backoff = std::min(snd_.backoff * 2, 64);
+  recorder_.note_rate(snd_.srtt > 0 ? 1.0 / snd_.srtt : 0.0);
+  transmit(snd_.high_ack, /*retransmission=*/true);
   arm_rto();
 }
 
 void TcpConnection::arm_rto() {
-  const double timeout = std::min(cfg_.max_rto, rto_ * static_cast<double>(backoff_));
+  const double timeout = std::min(cfg_.max_rto, snd_.rto * static_cast<double>(snd_.backoff));
   rto_timer_.arm(net_.simulator().now() + timeout, [this](double at) {
     return net_.simulator().schedule_at(at, [this] { rto_event(); });
   });
 }
 
 void TcpConnection::rto_event() {
-  if (!running_) return;
+  if (!snd_.running) return;
   const bool due = rto_timer_.fire(net_.simulator().now(), [this](double at) {
     return net_.simulator().schedule_at(at, [this] { rto_event(); });
   });
@@ -234,21 +225,21 @@ void TcpConnection::rto_event() {
 
 void TcpConnection::note_rtt_sample(double sample) {
   if (sample <= 0) return;
-  if (!have_rtt_) {
-    srtt_ = sample;
-    rttvar_ = sample / 2.0;
-    have_rtt_ = true;
+  if (!snd_.have_rtt) {
+    snd_.srtt = sample;
+    snd_.rttvar = sample / 2.0;
+    snd_.have_rtt = true;
   } else {
-    rttvar_ += (std::abs(sample - srtt_) - rttvar_) / 4.0;
-    srtt_ += (sample - srtt_) / 8.0;
+    snd_.rttvar += (std::abs(sample - snd_.srtt) - snd_.rttvar) / 4.0;
+    snd_.srtt += (sample - snd_.srtt) / 8.0;
   }
-  rto_ = std::clamp(srtt_ + 4.0 * rttvar_, cfg_.min_rto, cfg_.max_rto);
-  recorder_.set_rtt_window(srtt_);
+  snd_.rto = std::clamp(snd_.srtt + 4.0 * snd_.rttvar, cfg_.min_rto, cfg_.max_rto);
+  recorder_.set_rtt_window(snd_.srtt);
   // The paper's r: the event-average RTT, sampled once per round trip.
   const double now = net_.simulator().now();
   if (now >= next_rtt_sample_at_) {
     rtt_stats_.add(sample);
-    next_rtt_sample_at_ = now + srtt_;
+    next_rtt_sample_at_ = now + snd_.srtt;
   }
 }
 
@@ -259,20 +250,20 @@ void TcpConnection::record_loss_event() {
 // ------------------------------------------------------------- receiver ----
 
 void TcpConnection::on_data_at_receiver(const net::Packet& p) {
-  last_echo_ = p.send_time;
+  rcv_.last_echo = p.send_time;
   bool out_of_order = false;
-  if (p.seq == expected_) {
-    ++expected_;
+  if (p.seq == rcv_.expected) {
+    ++rcv_.expected;
     ++delivered_;
     // Drain any buffered continuation, then trim the prefix in one move.
     auto it = out_of_order_.begin();
-    while (it != out_of_order_.end() && *it == expected_) {
-      ++expected_;
+    while (it != out_of_order_.end() && *it == rcv_.expected) {
+      ++rcv_.expected;
       ++delivered_;
       ++it;
     }
     out_of_order_.erase(out_of_order_.begin(), it);
-  } else if (p.seq > expected_) {
+  } else if (p.seq > rcv_.expected) {
     const auto pos = std::lower_bound(out_of_order_.begin(), out_of_order_.end(), p.seq);
     if (pos == out_of_order_.end() || *pos != p.seq) out_of_order_.insert(pos, p.seq);
     out_of_order = true;
@@ -280,8 +271,8 @@ void TcpConnection::on_data_at_receiver(const net::Packet& p) {
     out_of_order = true;  // duplicate of already-delivered data: ack at once
   }
 
-  ++pending_acks_;
-  if (out_of_order || pending_acks_ >= cfg_.ack_every) {
+  ++rcv_.pending_acks;
+  if (out_of_order || rcv_.pending_acks >= cfg_.ack_every) {
     send_ack(p.send_time);
   } else if (!delack_timer_.active()) {
     delack_timer_.arm(net_.simulator().now() + cfg_.delayed_ack_timeout,
@@ -293,19 +284,19 @@ void TcpConnection::on_data_at_receiver(const net::Packet& p) {
 }
 
 void TcpConnection::delack_event() {
-  if (!running_) return;
+  if (!snd_.running) return;
   const bool due = delack_timer_.fire(net_.simulator().now(), [this](double at) {
     return net_.simulator().schedule_at(at, [this] { delack_event(); });
   });
-  if (due) send_ack(last_echo_);
+  if (due) send_ack(rcv_.last_echo);
 }
 
 void TcpConnection::send_ack(double echo_time) {
   delack_timer_.disarm();
-  pending_acks_ = 0;
+  rcv_.pending_acks = 0;
   net::Packet ack;
   ack.kind = net::PacketKind::kAck;
-  ack.ack = {/*seq=*/expected_, /*echo_time=*/echo_time};
+  ack.ack = {/*seq=*/rcv_.expected, /*echo_time=*/echo_time};
   ack.size_bytes = 40.0;
   ack.send_time = net_.simulator().now();
   net_.send_back(flow_, ack);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "net/dumbbell.hpp"
@@ -54,7 +55,7 @@ class TcpConnection {
   // per transfer. open() rewinds the congestion/sequencing/RTT-estimator
   // state to a fresh connection's while cumulative counters and the
   // loss-event recorder keep accumulating. Timers are LazyTimers — close()
-  // cancels them and any stale kernel event dies against `running_`. The
+  // cancels them and any stale kernel event dies against `snd_.running`. The
   // pool quarantines retired slots for a drain interval, so no packet of a
   // previous transfer can reach the next incarnation.
 
@@ -67,7 +68,7 @@ class TcpConnection {
   /// Retires the flow (timers cancelled, completion dropped, counters kept).
   void close();
 
-  [[nodiscard]] bool active() const noexcept { return running_; }
+  [[nodiscard]] bool active() const noexcept { return snd_.running; }
   [[nodiscard]] std::uint64_t transfers_completed() const noexcept {
     return transfers_completed_;
   }
@@ -78,8 +79,8 @@ class TcpConnection {
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
   /// Data packets put on the wire (incl. retransmissions).
   [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
-  [[nodiscard]] double cwnd() const noexcept { return cwnd_; }
-  [[nodiscard]] double srtt() const noexcept { return srtt_; }
+  [[nodiscard]] double cwnd() const noexcept { return snd_.cwnd; }
+  [[nodiscard]] double srtt() const noexcept { return snd_.srtt; }
   /// Event-averaged RTT (sampled once per smoothed RTT, the paper's r).
   [[nodiscard]] const stats::OnlineMoments& rtt_stats() const noexcept { return rtt_stats_; }
   [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
@@ -104,7 +105,7 @@ class TcpConnection {
   void note_rtt_sample(double sample);
   void record_loss_event();
   [[nodiscard]] double flight() const noexcept {
-    return static_cast<double>(next_seq_ - high_ack_);
+    return static_cast<double>(snd_.next_seq - snd_.high_ack);
   }
 
   // receiver side
@@ -116,26 +117,46 @@ class TcpConnection {
   double base_rtt_s_;
   TcpConfig cfg_;
 
-  // pooled-lifecycle state
-  std::int64_t limit_seq_ = 0;  // first sequence NOT in the transfer; 0 = unbounded
+  /// Per-transfer sender hot state — congestion control, sequencing, and
+  /// the RTO estimator — grouped into one trivially-copyable block so
+  /// open()'s rewind is a plain store sweep and the ACK-clocked working set
+  /// stays within two cache lines per flow at pool scale.
+  struct SenderState {
+    double cwnd = 0.0;
+    double ssthresh = 0.0;
+    std::int64_t next_seq = 0;   // next NEW sequence to transmit
+    std::int64_t high_ack = 0;   // highest cumulative ack (next expected)
+    std::int64_t recover = 0;    // NewReno recovery point
+    std::int64_t limit_seq = 0;  // first sequence NOT in the transfer; 0 = unbounded
+    double srtt = 0.0;
+    double rttvar = 0.0;
+    double rto = 0.0;
+    double last_retransmit_time = -1.0;  // Karn's rule cutoff
+    std::int32_t dup_count = 0;
+    std::int32_t backoff = 1;
+    bool running = false;
+    bool in_recovery = false;
+    bool have_rtt = false;
+  };
+  static_assert(sizeof(SenderState) == 96, "TCP sender hot state outgrew its line budget");
+  static_assert(std::is_trivially_copyable_v<SenderState>);
+
+  /// Per-transfer receiver hot state (cumulative ack point + delack burst).
+  struct ReceiverState {
+    std::int64_t expected = 0;
+    double last_echo = 0.0;
+    std::int32_t pending_acks = 0;
+  };
+  static_assert(sizeof(ReceiverState) == 24, "TCP receiver hot state outgrew its line budget");
+  static_assert(std::is_trivially_copyable_v<ReceiverState>);
+
+  SenderState snd_;
+  ReceiverState rcv_;
+
+  // pooled-lifecycle state (cumulative across incarnations)
   std::uint64_t transfers_completed_ = 0;
   CompletionFn done_;
 
-  // sender state
-  bool running_ = false;
-  double cwnd_;
-  double ssthresh_;
-  std::int64_t next_seq_ = 0;   // next NEW sequence to transmit
-  std::int64_t high_ack_ = 0;   // highest cumulative ack (next expected)
-  int dup_count_ = 0;
-  bool in_recovery_ = false;
-  std::int64_t recover_ = 0;    // NewReno recovery point
-  double srtt_ = 0.0;
-  double rttvar_ = 0.0;
-  bool have_rtt_ = false;
-  double rto_;
-  int backoff_ = 1;
-  double last_retransmit_time_ = -1.0;  // Karn's rule cutoff
   // Lazily re-armed RTO deadline: every ACK used to cancel-and-reschedule
   // the kernel event, leaving a window's worth of dead heap entries cycling
   // through the simulator per flow; now each ACK is a store (see
@@ -145,15 +166,11 @@ class TcpConnection {
   std::uint64_t timeouts_ = 0;
   std::uint64_t fast_retx_ = 0;
 
-  // receiver state
-  std::int64_t expected_ = 0;
   // Sorted ascending; a vector (capacity retained across loss episodes)
   // instead of a node-per-entry set, so reordering buffers allocate nothing
   // in steady state. Holes are at most a window's worth of packets, so the
   // O(n) insert shift is cache-friendly and tiny.
   std::vector<std::int64_t> out_of_order_;
-  int pending_acks_ = 0;
-  double last_echo_ = 0.0;
   // Lazy delayed-ACK deadline, same shape as the RTO: arming is a store and
   // sending the ACK merely deactivates (at most one kernel event per delack
   // timeout per flow instead of a schedule+cancel pair per ACKed pair).

@@ -29,13 +29,13 @@ TfrcConnection::TfrcConnection(net::Dumbbell& net, int flow_id, double base_rtt_
       unit_formula_(model::make_throughput_function(cfg_.formula, 1.0)),  // q = 4r implied
       send_ev_(net.simulator().pin([this] { send_next(); })),
       feedback_ev_(net.simulator().pin([this] { feedback_tick(); })),
-      rate_(cfg_.initial_rate_pps),
-      srtt_(base_rtt_s),
       history_(core::tfrc_weights(cfg_.history_length), cfg_.comprehensive,
                cfg_.history_discounting),
-      rtt_hint_(base_rtt_s),
       recorder_(base_rtt_s) {
   if (base_rtt_s <= 0) throw std::invalid_argument("TfrcConnection: base RTT must be > 0");
+  snd_.rate = cfg_.initial_rate_pps;
+  snd_.srtt = base_rtt_s;
+  rcv_.rtt_hint = base_rtt_s;
   if (cfg_.initial_rate_pps <= 0 || cfg_.packet_bytes <= 0) {
     throw std::invalid_argument("TfrcConnection: bad configuration");
   }
@@ -45,34 +45,34 @@ TfrcConnection::TfrcConnection(net::Dumbbell& net, int flow_id, double base_rtt_
 
 void TfrcConnection::start(double at) {
   net_.simulator().schedule_at(at, [this] {
-    running_ = true;
+    snd_.running = true;
     send_next();
   });
 }
 
-void TfrcConnection::stop() { running_ = false; }
+void TfrcConnection::stop() { snd_.running = false; }
 
 void TfrcConnection::open(std::uint64_t transfer_packets, CompletionFn on_complete) {
   reset_transfer_state();
-  transfer_limit_ = transfer_packets;
+  snd_.transfer_limit = transfer_packets;
   done_ = std::move(on_complete);
-  running_ = true;
+  snd_.running = true;
   // Reuse a pacing chain still armed from the previous incarnation (close()
   // between its scheduling and its firing); otherwise start a fresh one at
   // the current time. Either way exactly one chain is live.
-  if (!pacing_armed_) {
-    pacing_armed_ = true;
+  if (!snd_.pacing_armed) {
+    snd_.pacing_armed = true;
     net_.simulator().schedule_pinned(0.0, send_ev_);
   }
 }
 
 void TfrcConnection::close() {
-  running_ = false;
+  snd_.running = false;
   done_ = CompletionFn{};
 }
 
 void TfrcConnection::finish_transfer() {
-  running_ = false;
+  snd_.running = false;
   ++transfers_completed_;
   if (done_) {
     // Move out first: the callback may re-enter the pool and hand this slot
@@ -84,20 +84,19 @@ void TfrcConnection::finish_transfer() {
 }
 
 void TfrcConnection::reset_transfer_state() {
-  rate_ = cfg_.initial_rate_pps;
-  srtt_ = base_rtt_s_;
-  have_rtt_ = false;
-  saw_loss_ = false;
-  next_seq_ = 0;
-  transfer_limit_ = 0;
-  transfer_sent_ = 0;
+  // Wholesale POD rewind; the chain guards survive it — an armed pacing or
+  // feedback chain from the previous incarnation is reused, never doubled
+  // (see open()). `running` is restated by open() right after.
+  const bool pacing = snd_.pacing_armed;
+  const bool feedback = snd_.feedback_armed;
+  snd_ = SenderState{};
+  snd_.rate = cfg_.initial_rate_pps;
+  snd_.srtt = base_rtt_s_;
+  snd_.pacing_armed = pacing;
+  snd_.feedback_armed = feedback;
+  rcv_ = ReceiverState{};
+  rcv_.rtt_hint = base_rtt_s_;
   history_.reset();
-  expected_seq_ = 0;
-  rtt_hint_ = base_rtt_s_;
-  recv_since_feedback_ = 0;
-  last_feedback_time_ = 0.0;
-  last_data_send_time_ = 0.0;
-  receiver_started_ = false;
   recorder_.set_rtt_window(base_rtt_s_);
 }
 
@@ -107,134 +106,134 @@ void TfrcConnection::reset_counters() {
 }
 
 double TfrcConnection::formula_rate() const {
-  if (!saw_loss_) return 0.0;
+  if (!snd_.saw_loss) return 0.0;
   const double p = std::min(1.0, history_.loss_event_rate());
   if (p <= 0.0) return 0.0;
-  return unit_formula_->rate(p) / srtt_;
+  return unit_formula_->rate(p) / snd_.srtt;
 }
 
 // --------------------------------------------------------------- sender ----
 
 void TfrcConnection::send_next() {
-  if (!running_) {
-    pacing_armed_ = false;  // the chain dies here; open() may start a new one
+  if (!snd_.running) {
+    snd_.pacing_armed = false;  // the chain dies here; open() may start a new one
     return;
   }
   net::Packet p;
-  p.seq = next_seq_++;
+  p.seq = snd_.next_seq++;
   p.size_bytes = cfg_.packet_bytes;
   p.send_time = net_.simulator().now();
-  p.rtt_hint = srtt_;
+  p.rtt_hint = snd_.srtt;
   net_.send_data(flow_, p);
   ++sent_;
-  ++transfer_sent_;
-  if (transfer_limit_ != 0 && transfer_sent_ >= transfer_limit_) {
+  ++snd_.transfer_sent;
+  if (snd_.transfer_limit != 0 && snd_.transfer_sent >= snd_.transfer_limit) {
     // Finite transfer: the paced source is done the moment it emits its last
     // packet (TFRC has no retransmission — delivery of the tail is the
     // network's business). The pacing chain ends with it.
-    pacing_armed_ = false;
+    snd_.pacing_armed = false;
     finish_transfer();
     return;
   }
-  pacing_armed_ = true;
-  net_.simulator().schedule_pinned(1.0 / rate_, send_ev_);
+  snd_.pacing_armed = true;
+  net_.simulator().schedule_pinned(1.0 / snd_.rate, send_ev_);
 }
 
 void TfrcConnection::on_feedback(const net::Packet& p) {
-  if (!running_ || p.kind != net::PacketKind::kFeedback) return;
+  if (!snd_.running || p.kind != net::PacketKind::kFeedback) return;
   const double now = net_.simulator().now();
 
   const double sample = now - p.fb.echo_time;
   if (sample > 0) {
-    if (!have_rtt_) {
-      srtt_ = sample;
-      have_rtt_ = true;
+    if (!snd_.have_rtt) {
+      snd_.srtt = sample;
+      snd_.have_rtt = true;
     } else {
-      srtt_ = cfg_.rtt_smoothing * srtt_ + (1.0 - cfg_.rtt_smoothing) * sample;
+      snd_.srtt = cfg_.rtt_smoothing * snd_.srtt + (1.0 - cfg_.rtt_smoothing) * sample;
     }
     if (now >= next_rtt_sample_at_) {
       rtt_stats_.add(sample);
-      next_rtt_sample_at_ = now + srtt_;
+      next_rtt_sample_at_ = now + snd_.srtt;
     }
   }
 
   double new_rate;
   if (p.fb.mean_interval > 0.0) {
-    saw_loss_ = true;
+    snd_.saw_loss = true;
     const double loss_rate = std::min(1.0, 1.0 / p.fb.mean_interval);
     // f(p, r) = f(p, 1) / r, exact under the q = 4r recommendation.
-    new_rate = unit_formula_->rate(loss_rate) / srtt_;
+    new_rate = unit_formula_->rate(loss_rate) / snd_.srtt;
     if (cfg_.receive_rate_cap && p.fb.recv_rate > 0.0) {
       new_rate = std::min(new_rate, 2.0 * p.fb.recv_rate);
     }
   } else {
     // Slow-start phase: double per feedback, capped by twice the receive
     // rate (RFC 3448 Section 4.3).
-    new_rate = 2.0 * rate_;
+    new_rate = 2.0 * snd_.rate;
     if (p.fb.recv_rate > 0.0) new_rate = std::min(new_rate, 2.0 * p.fb.recv_rate);
   }
-  rate_ = std::max(cfg_.min_rate_pps, new_rate);
-  recorder_.note_rate(rate_);
+  snd_.rate = std::max(cfg_.min_rate_pps, new_rate);
+  recorder_.note_rate(snd_.rate);
 }
 
 // ------------------------------------------------------------- receiver ----
 
 void TfrcConnection::on_data(const net::Packet& p) {
   const double now = net_.simulator().now();
-  if (p.rtt_hint > 0) rtt_hint_ = p.rtt_hint;
-  recorder_.set_rtt_window(rtt_hint_);
+  if (p.rtt_hint > 0) rcv_.rtt_hint = p.rtt_hint;
+  recorder_.set_rtt_window(rcv_.rtt_hint);
 
-  const std::int64_t missing = std::max<std::int64_t>(0, p.seq - expected_seq_);
-  if (p.seq >= expected_seq_) expected_seq_ = p.seq + 1;
+  const std::int64_t missing = std::max<std::int64_t>(0, p.seq - rcv_.expected_seq);
+  if (p.seq >= rcv_.expected_seq) rcv_.expected_seq = p.seq + 1;
 
   if (missing > 0 && !history_.has_loss()) {
     // First loss event: seed the history so that the reported rate matches
     // the rate the connection actually achieved so far (RFC 3448 6.3.1).
-    const double elapsed = std::max(1e-9, now - last_feedback_time_);
+    const double elapsed = std::max(1e-9, now - rcv_.last_feedback_time);
     const double recv_rate =
-        recv_since_feedback_ > 0 ? static_cast<double>(recv_since_feedback_) / elapsed : rate_;
-    const double theta0 = invert_rate(*unit_formula_, recv_rate * rtt_hint_);
+        rcv_.recv_since_feedback > 0 ? static_cast<double>(rcv_.recv_since_feedback) / elapsed : snd_.rate;
+    const double theta0 = invert_rate(*unit_formula_, recv_rate * rcv_.rtt_hint);
     history_.seed(std::max(1.0, theta0));
   }
-  history_.on_packet(missing, now, rtt_hint_);
+  history_.on_packet(missing, now, rcv_.rtt_hint);
 
   for (std::int64_t i = 0; i < missing; ++i) recorder_.on_loss(now);
   recorder_.on_packet(now);
   ++delivered_;
-  ++recv_since_feedback_;
-  last_data_send_time_ = p.send_time;
+  ++rcv_.recv_since_feedback;
+  rcv_.last_data_send_time = p.send_time;
 
-  if (!receiver_started_) {
-    receiver_started_ = true;
-    last_feedback_time_ = now;
-    if (!feedback_armed_) {
-      feedback_armed_ = true;
-      net_.simulator().schedule_pinned(std::max(1e-3, rtt_hint_), feedback_ev_);
+  if (!rcv_.started) {
+    rcv_.started = true;
+    rcv_.last_feedback_time = now;
+    if (!snd_.feedback_armed) {
+      snd_.feedback_armed = true;
+      net_.simulator().schedule_pinned(std::max(1e-3, rcv_.rtt_hint), feedback_ev_);
     }
   }
 }
 
 void TfrcConnection::feedback_tick() {
-  if (!running_) {
-    feedback_armed_ = false;  // chain dies; the next incarnation re-arms
+  if (!snd_.running) {
+    snd_.feedback_armed = false;  // chain dies; the next incarnation re-arms
     return;
   }
   const double now = net_.simulator().now();
-  if (recv_since_feedback_ > 0) {
+  if (rcv_.recv_since_feedback > 0) {
     net::Packet report;
     report.kind = net::PacketKind::kFeedback;
     report.size_bytes = 40.0;
     report.send_time = now;
-    const double elapsed = std::max(1e-9, now - last_feedback_time_);
+    const double elapsed = std::max(1e-9, now - rcv_.last_feedback_time);
     report.fb = {/*mean_interval=*/history_.has_loss() ? history_.mean_interval() : 0.0,
-                 /*recv_rate=*/static_cast<double>(recv_since_feedback_) / elapsed,
-                 /*echo_time=*/last_data_send_time_};
+                 /*recv_rate=*/static_cast<double>(rcv_.recv_since_feedback) / elapsed,
+                 /*echo_time=*/rcv_.last_data_send_time};
     net_.send_back(flow_, report);
-    recv_since_feedback_ = 0;
-    last_feedback_time_ = now;
+    rcv_.recv_since_feedback = 0;
+    rcv_.last_feedback_time = now;
   }
-  feedback_armed_ = true;
-  net_.simulator().schedule_pinned(std::max(1e-3, rtt_hint_), feedback_ev_);
+  snd_.feedback_armed = true;
+  net_.simulator().schedule_pinned(std::max(1e-3, rcv_.rtt_hint), feedback_ev_);
 }
 
 }  // namespace ebrc::tfrc

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "core/weights.hpp"
@@ -90,7 +91,7 @@ class TfrcConnection {
   void close();
 
   /// True between open()/start() and close()/completion.
-  [[nodiscard]] bool active() const noexcept { return running_; }
+  [[nodiscard]] bool active() const noexcept { return snd_.running; }
   /// Transfers completed (completion fired) since construction.
   [[nodiscard]] std::uint64_t transfers_completed() const noexcept {
     return transfers_completed_;
@@ -100,8 +101,8 @@ class TfrcConnection {
   [[nodiscard]] const stats::LossEventRecorder& recorder() const noexcept { return recorder_; }
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
   [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
-  [[nodiscard]] double rate() const noexcept { return rate_; }
-  [[nodiscard]] double srtt() const noexcept { return srtt_; }
+  [[nodiscard]] double rate() const noexcept { return snd_.rate; }
+  [[nodiscard]] double srtt() const noexcept { return snd_.srtt; }
   [[nodiscard]] const stats::OnlineMoments& rtt_stats() const noexcept { return rtt_stats_; }
   [[nodiscard]] const LossHistory& loss_history() const noexcept { return history_; }
   /// f(p, r) evaluated at this connection's current estimates (the paper's
@@ -128,36 +129,54 @@ class TfrcConnection {
   std::shared_ptr<const model::ThroughputFunction> unit_formula_;  // rtt = 1, q = 4
 
   // Pinned per-packet/per-RTT events (pacing and feedback fire constantly;
-  // `running_` gates them instead of cancellation).
+  // `snd_.running` gates them instead of cancellation).
   sim::Simulator::PinnedEvent send_ev_;
   sim::Simulator::PinnedEvent feedback_ev_;
 
-  // sender state
-  bool running_ = false;
-  bool pacing_armed_ = false;    // a pinned send_next is pending in the kernel
-  bool feedback_armed_ = false;  // a pinned feedback_tick is pending
-  double rate_;
-  double srtt_;
-  bool have_rtt_ = false;
-  bool saw_loss_ = false;
-  std::int64_t next_seq_ = 0;
-  std::uint64_t sent_ = 0;
+  /// Per-transfer sender hot state: everything the per-packet pacing path
+  /// (send_next / on_feedback) reads or writes, grouped into one
+  /// trivially-copyable block so open()'s rewind is a plain store sweep and
+  /// each flow's sender working set is a single cache line at pool scale.
+  /// The chain guards (running / armed) live here but SURVIVE the rewind —
+  /// see reset_transfer_state().
+  struct SenderState {
+    double rate = 0.0;
+    double srtt = 0.0;
+    std::int64_t next_seq = 0;
+    std::uint64_t transfer_limit = 0;  // 0 = unbounded stream
+    std::uint64_t transfer_sent = 0;   // packets emitted this incarnation
+    bool running = false;
+    bool pacing_armed = false;    // a pinned send_next is pending in the kernel
+    bool feedback_armed = false;  // a pinned feedback_tick is pending
+    bool have_rtt = false;
+    bool saw_loss = false;
+  };
+  static_assert(sizeof(SenderState) == 48, "TFRC sender hot state outgrew its line budget");
+  static_assert(std::is_trivially_copyable_v<SenderState>);
 
-  // pooled-lifecycle state
-  std::uint64_t transfer_limit_ = 0;  // 0 = unbounded stream
-  std::uint64_t transfer_sent_ = 0;   // packets emitted this incarnation
+  /// Per-transfer receiver hot state (on_data / feedback_tick), same idiom.
+  struct ReceiverState {
+    std::int64_t expected_seq = 0;
+    double rtt_hint = 0.0;
+    double last_feedback_time = 0.0;
+    double last_data_send_time = 0.0;
+    std::uint64_t recv_since_feedback = 0;
+    bool started = false;
+  };
+  static_assert(sizeof(ReceiverState) == 48, "TFRC receiver hot state outgrew its line budget");
+  static_assert(std::is_trivially_copyable_v<ReceiverState>);
+
+  SenderState snd_;
+  ReceiverState rcv_;
+
+  // pooled-lifecycle state (cumulative across incarnations)
   std::uint64_t transfers_completed_ = 0;
   CompletionFn done_;
 
-  // receiver state
-  LossHistory history_;
-  std::int64_t expected_seq_ = 0;
-  double rtt_hint_ = 0.0;
+  // cumulative counters and the receiver's loss-interval estimator
+  std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
-  std::uint64_t recv_since_feedback_ = 0;
-  double last_feedback_time_ = 0.0;
-  double last_data_send_time_ = 0.0;
-  bool receiver_started_ = false;
+  LossHistory history_;
 
   // measurement
   stats::LossEventRecorder recorder_;

@@ -45,6 +45,7 @@ FlowManager::FlowManager(net::Dumbbell& net, FlowManagerConfig cfg)
     throw std::invalid_argument("FlowManager: session_transfers_mean must be >= 1");
   }
   free_.reserve(static_cast<std::size_t>(w.max_concurrent));
+  pools_.reserve(static_cast<std::size_t>(w.max_concurrent));
 }
 
 void FlowManager::start(double at) {
@@ -60,16 +61,26 @@ void FlowManager::begin_epoch() {
   pop_.begin_epoch(now);
   epoch_start_ = now;
   epoch_open_ = true;
-  for (auto& slot : slots_) {
-    for (int c = 0; c < 2; ++c) {
-      Side& sd = slot.side[c];
-      if (sd.flow_id < 0) continue;
-      const bool is_tfrc = c == class_index(FlowClass::kTfrc);
-      const auto& rec = is_tfrc ? slot.tfrc->recorder() : slot.tcp->recorder();
-      sd.delivered0 = is_tfrc ? slot.tfrc->delivered() : slot.tcp->delivered();
-      sd.packets0 = rec.packets();
-      sd.losses0 = rec.losses();
-      sd.events0 = rec.events();
+  // One contiguous SideState sweep per class; only wired sides dereference a
+  // connection.
+  for (int c = 0; c < 2; ++c) {
+    const bool is_tfrc = c == class_index(FlowClass::kTfrc);
+    for (std::size_t i = 0; i < pools_.size(); ++i) {
+      SideState& sd = pools_.side(c, i);
+      if (sd.conn < 0) continue;
+      if (is_tfrc) {
+        const auto& conn = pools_.tfrc(sd.conn);
+        sd.delivered0 = conn.delivered();
+        sd.packets0 = conn.recorder().packets();
+        sd.losses0 = conn.recorder().losses();
+        sd.events0 = conn.recorder().events();
+      } else {
+        const auto& conn = pools_.tcp(sd.conn);
+        sd.delivered0 = conn.delivered();
+        sd.packets0 = conn.recorder().packets();
+        sd.losses0 = conn.recorder().losses();
+        sd.events0 = conn.recorder().events();
+      }
     }
   }
 }
@@ -118,9 +129,8 @@ void FlowManager::arrival() {
 }
 
 void FlowManager::ensure_side(std::size_t idx, FlowClass cls) {
-  Slot& slot = slots_[idx];
-  Side& sd = slot.side[class_index(cls)];
-  if (sd.flow_id >= 0) return;
+  SideState& sd = pools_.side(class_index(cls), idx);
+  if (sd.conn >= 0) return;
   // First use of this slot under `cls`: wire a dumbbell flow and construct
   // the connection permanently (handlers + pinned events registered once).
   const double jitter =
@@ -128,11 +138,8 @@ void FlowManager::ensure_side(std::size_t idx, FlowClass cls) {
   const double rtt = cfg_.base_rtt_s * (1.0 + jitter);
   const double one_way = std::max(0.0, rtt / 2.0 - cfg_.shared_prop_s);
   sd.flow_id = net_.add_flow(one_way, rtt / 2.0);
-  if (cls == FlowClass::kTfrc) {
-    slot.tfrc.emplace(net_, sd.flow_id, rtt, cfg_.tfrc);
-  } else {
-    slot.tcp.emplace(net_, sd.flow_id, rtt, cfg_.tcp);
-  }
+  sd.conn = cls == FlowClass::kTfrc ? pools_.make_tfrc(net_, sd.flow_id, rtt, cfg_.tfrc)
+                                    : pools_.make_tcp(net_, sd.flow_id, rtt, cfg_.tcp);
 }
 
 void FlowManager::admit(int session_remaining) {
@@ -148,37 +155,37 @@ void FlowManager::admit(int session_remaining) {
   if (!free_.empty()) {
     idx = free_.back();
     free_.pop_back();
-  } else if (slots_.size() < static_cast<std::size_t>(cfg_.workload.max_concurrent)) {
-    slots_.emplace_back();
-    idx = slots_.size() - 1;
+  } else if (pools_.size() < static_cast<std::size_t>(cfg_.workload.max_concurrent)) {
+    idx = pools_.add_slot();
   } else {
     pop_.on_reject(now, class_index(cls));
     return;  // loss-system admission: the transfer (and its session) is gone
   }
 
   ensure_side(idx, cls);
-  Slot& slot = slots_[idx];
+  SlotState& slot = pools_.slot(idx);
   assert(!slot.busy && "free-listed slot still occupied");
   slot.busy = true;
-  slot.cls = cls;
+  slot.cls = static_cast<std::int8_t>(class_index(cls));
   slot.size_pkts = size;
   slot.opened_at = now;
   slot.session_remaining = session_remaining;
   pop_.on_open(now, class_index(cls));
 
   const auto packets = static_cast<std::uint64_t>(std::llround(size));
+  const std::int32_t conn = pools_.side(class_index(cls), idx).conn;
   if (cls == FlowClass::kTfrc) {
-    slot.tfrc->open(packets, [this, idx] { complete(idx); });
+    pools_.tfrc(conn).open(packets, [this, idx] { complete(idx); });
   } else {
-    slot.tcp->open(packets, [this, idx] { complete(idx); });
+    pools_.tcp(conn).open(packets, [this, idx] { complete(idx); });
   }
 }
 
 void FlowManager::complete(std::size_t idx) {
-  Slot& slot = slots_[idx];
+  SlotState& slot = pools_.slot(idx);
   assert(slot.busy && "completion from an unoccupied slot");
   const double now = net_.simulator().now();
-  pop_.on_close(now, class_index(slot.cls), now - slot.opened_at, slot.size_pkts);
+  pop_.on_close(now, slot.cls, now - slot.opened_at, slot.size_pkts);
   slot.busy = false;
 
   // Quarantine: the slot rejoins the free list only once every in-flight
@@ -223,13 +230,14 @@ WorkloadSummary FlowManager::summarize() {
   std::uint64_t packets[2] = {0, 0};
   std::uint64_t losses[2] = {0, 0};
   std::uint64_t events[2] = {0, 0};
-  for (const auto& slot : slots_) {
-    for (int c = 0; c < 2; ++c) {
-      const Side& sd = slot.side[c];
-      if (sd.flow_id < 0) continue;
-      const bool is_tfrc = c == class_index(FlowClass::kTfrc);
-      const auto& rec = is_tfrc ? slot.tfrc->recorder() : slot.tcp->recorder();
-      delivered[c] += (is_tfrc ? slot.tfrc->delivered() : slot.tcp->delivered()) - sd.delivered0;
+  for (int c = 0; c < 2; ++c) {
+    const bool is_tfrc = c == class_index(FlowClass::kTfrc);
+    for (const SideState& sd : pools_.sides(c)) {
+      if (sd.conn < 0) continue;
+      const auto& rec = is_tfrc ? pools_.tfrc(sd.conn).recorder() : pools_.tcp(sd.conn).recorder();
+      delivered[c] +=
+          (is_tfrc ? pools_.tfrc(sd.conn).delivered() : pools_.tcp(sd.conn).delivered()) -
+          sd.delivered0;
       packets[c] += rec.packets() - sd.packets0;
       losses[c] += rec.losses() - sd.losses0;
       events[c] += rec.events() - sd.events0;

@@ -43,20 +43,15 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <optional>
 #include <vector>
 
 #include "net/dumbbell.hpp"
 #include "sim/random.hpp"
 #include "stats/population.hpp"
-#include "tcp/tcp_connection.hpp"
-#include "tfrc/tfrc_connection.hpp"
+#include "workload/flow_pools.hpp"
 #include "workload/workload_config.hpp"
 
 namespace ebrc::workload {
-
-enum class FlowClass : int { kTfrc = 0, kTcp = 1 };
 
 /// Everything the manager needs beyond the dumbbell: the workload law, the
 /// protocol configurations shared with the static population, the path
@@ -121,31 +116,12 @@ class FlowManager {
 
   // --- introspection (tests, drivers) ----------------------------------
   [[nodiscard]] const stats::PopulationTracker& population() const noexcept { return pop_; }
-  [[nodiscard]] std::size_t pool_slots() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t pool_slots() const noexcept { return pools_.size(); }
   [[nodiscard]] int active_flows() const noexcept { return pop_.active_total(); }
   /// Transfers started as session follow-ups (after a think time).
   [[nodiscard]] std::uint64_t session_followups() const noexcept { return session_followups_; }
 
  private:
-  struct Side {  // one traffic class of a slot; wired once, reused forever
-    int flow_id = -1;
-    // epoch snapshots of the cumulative per-connection counters
-    std::uint64_t delivered0 = 0;
-    std::uint64_t packets0 = 0;
-    std::uint64_t losses0 = 0;
-    std::uint64_t events0 = 0;
-  };
-  struct Slot {
-    std::optional<tfrc::TfrcConnection> tfrc;
-    std::optional<tcp::TcpConnection> tcp;
-    Side side[2];
-    FlowClass cls = FlowClass::kTfrc;  // current/last occupant
-    double size_pkts = 0.0;
-    double opened_at = 0.0;
-    int session_remaining = 0;  // follow-up transfers after this one
-    bool busy = false;          // occupancy guard: admit/complete must alternate
-  };
-
   void arrival();                    // pinned: admit one arrival, schedule the next
   void admit(int session_remaining);
   void complete(std::size_t idx);
@@ -161,7 +137,7 @@ class FlowManager {
   sim::Rng workload_rng_;  // arrival process + transfer attributes (CRN-common)
   sim::Rng path_rng_;      // RTT jitter + think times (pool-state dependent)
   sim::Simulator::PinnedEvent arrival_ev_;
-  std::deque<Slot> slots_;           // deque: connections never relocate
+  FlowPools pools_;                  // SoA slot state + on-demand connections
   std::vector<std::size_t> free_;    // LIFO free list of drained slots
   stats::PopulationTracker pop_;
   double epoch_start_ = 0.0;

@@ -1,0 +1,130 @@
+// Structure-of-arrays storage for the dynamic-flow pool.
+//
+// The churn engine's per-event work divides cleanly into two access
+// patterns. Protocol work (pacing, feedback, ACK clocking) is handled by the
+// TfrcConnection/TcpConnection objects themselves, which are pinned at their
+// construction address — their handlers capture `this`. Pool work — admit,
+// complete, quarantine release, and the epoch sweeps that snapshot and fold
+// every slot's counters — touches a few small fields per slot and, at 10^5–
+// 10^6 slots, dominates cache behavior: with the old deque<Slot> layout each
+// slot visit dragged in two std::optional connections' worth of cold bytes
+// (~1 KB per slot) to read ~30 hot ones.
+//
+// FlowPools therefore splits the pool into parallel arrays indexed by slot
+// id:
+//
+//   SlotState[]        — the per-transfer attributes admit/complete touch
+//                        (24 B each; one cache line carries ~2.6 slots)
+//   SideState[2][]     — per traffic class, the slot's dumbbell wiring and
+//                        epoch counter snapshots (40 B each; the epoch sweep
+//                        walks one class's array contiguously)
+//   deque<Connection>  — the heavy protocol objects, constructed on demand,
+//                        address-stable forever, referenced from SideState
+//                        by index (never by pointer, so the arrays stay
+//                        trivially copyable)
+//
+// Static tripwires pin the record layouts the same way the 56-B Packet and
+// 24-B queue-entry guards do: growing a record past its line budget is a
+// compile error, not a silent regression.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <type_traits>
+#include <vector>
+
+#include "tcp/tcp_connection.hpp"
+#include "tfrc/tfrc_connection.hpp"
+
+namespace ebrc::workload {
+
+enum class FlowClass : int { kTfrc = 0, kTcp = 1 };
+
+/// Hot per-slot transfer attributes: everything admit()/complete() read or
+/// write per transfer, and nothing else.
+struct SlotState {
+  double size_pkts = 0.0;
+  double opened_at = 0.0;
+  std::int32_t session_remaining = 0;  // follow-up transfers after this one
+  std::int8_t cls = 0;                 // current/last occupant (FlowClass)
+  bool busy = false;                   // occupancy guard: admit/complete alternate
+};
+static_assert(sizeof(SlotState) == 24, "SlotState grew past its line budget");
+static_assert(alignof(SlotState) == 8);
+static_assert(std::is_trivially_copyable_v<SlotState>);
+
+/// Per-(slot, traffic-class) wiring and epoch snapshots. Stored as one array
+/// per class so begin_epoch()/summarize() sweep each class contiguously.
+struct SideState {
+  std::int32_t flow_id = -1;  // dumbbell flow, wired once at first use
+  std::int32_t conn = -1;     // index into the class's connection pool
+  // epoch snapshots of the cumulative per-connection counters
+  std::uint64_t delivered0 = 0;
+  std::uint64_t packets0 = 0;
+  std::uint64_t losses0 = 0;
+  std::uint64_t events0 = 0;
+};
+static_assert(sizeof(SideState) == 40, "SideState grew past its line budget");
+static_assert(alignof(SideState) == 8);
+static_assert(std::is_trivially_copyable_v<SideState>);
+
+class FlowPools {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  /// Pre-sizes the SoA arrays (not the connection pools — those are built
+  /// lazily, one per slot-side actually exercised).
+  void reserve(std::size_t n) {
+    slots_.reserve(n);
+    sides_[0].reserve(n);
+    sides_[1].reserve(n);
+  }
+
+  /// Appends an empty slot (both sides unwired) and returns its id.
+  std::size_t add_slot() {
+    slots_.emplace_back();
+    sides_[0].emplace_back();
+    sides_[1].emplace_back();
+    return slots_.size() - 1;
+  }
+
+  [[nodiscard]] SlotState& slot(std::size_t i) noexcept { return slots_[i]; }
+  [[nodiscard]] const SlotState& slot(std::size_t i) const noexcept { return slots_[i]; }
+  [[nodiscard]] SideState& side(int cls, std::size_t i) noexcept { return sides_[cls][i]; }
+  [[nodiscard]] const SideState& side(int cls, std::size_t i) const noexcept {
+    return sides_[cls][i];
+  }
+  /// The whole per-class array, for contiguous epoch sweeps.
+  [[nodiscard]] const std::vector<SideState>& sides(int cls) const noexcept {
+    return sides_[cls];
+  }
+
+  /// Constructs a connection in the class pool (address-stable deque) and
+  /// returns its index for SideState::conn.
+  [[nodiscard]] std::int32_t make_tfrc(net::Dumbbell& net, int flow_id, double rtt,
+                                       const tfrc::TfrcConfig& cfg) {
+    tfrc_.emplace_back(net, flow_id, rtt, cfg);
+    return static_cast<std::int32_t>(tfrc_.size() - 1);
+  }
+  [[nodiscard]] std::int32_t make_tcp(net::Dumbbell& net, int flow_id, double rtt,
+                                      const tcp::TcpConfig& cfg) {
+    tcp_.emplace_back(net, flow_id, rtt, cfg);
+    return static_cast<std::int32_t>(tcp_.size() - 1);
+  }
+
+  [[nodiscard]] tfrc::TfrcConnection& tfrc(std::int32_t c) noexcept { return tfrc_[c]; }
+  [[nodiscard]] const tfrc::TfrcConnection& tfrc(std::int32_t c) const noexcept {
+    return tfrc_[c];
+  }
+  [[nodiscard]] tcp::TcpConnection& tcp(std::int32_t c) noexcept { return tcp_[c]; }
+  [[nodiscard]] const tcp::TcpConnection& tcp(std::int32_t c) const noexcept { return tcp_[c]; }
+
+ private:
+  std::vector<SlotState> slots_;
+  std::vector<SideState> sides_[2];
+  std::deque<tfrc::TfrcConnection> tfrc_;  // deque: connections never relocate
+  std::deque<tcp::TcpConnection> tcp_;
+};
+
+}  // namespace ebrc::workload

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "golden_mixed_workload.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -98,6 +99,63 @@ TEST(GoldenDeterminism, RerunIsBitIdentical) {
   b.run();
   EXPECT_EQ(a.order, b.order);
   EXPECT_EQ(a.sim.events_executed(), b.sim.events_executed());
+}
+
+// Execution order recorded from the heap-only kernel (before the timing
+// wheel absorbed pinned scheduling) running golden::MixedWorkload — eight
+// self-rescheduling pinned chains whose delay mix spans every wheel regime
+// (same-instant double-bookings, sub-64 ms level-0 hops, 0–20 s cascade
+// crossers, multi-kilosecond overflow residents) interleaved with slab
+// events and cancellations. Entries 1000+p are pinned chain p; 0–119 are
+// slab event ids.
+const std::vector<int> kGoldenMixedOrder = {
+    1000, 1, 8, 6, 1005, 1000, 5, 13, 1000, 1003, 7, 1000,
+    2, 1003, 1001, 4, 1004, 1006, 15, 1002, 1003, 1007, 1001, 14,
+    1003, 1003, 11, 3, 10, 0, 9, 1004, 1001, 1003, 1006, 1002,
+    1001, 1002, 1001, 1007, 1002, 1001, 1001, 1002, 1007, 1002, 1007, 1005,
+    1002, 1000, 19, 1003, 1002, 1001, 1006, 1003, 1007, 1007, 1007, 1005,
+    1002, 1001, 1003, 1003, 1003, 1002, 1007, 1003, 1003, 1005, 1001, 1003,
+    1003, 1000, 1001, 1002, 1002, 1002, 1002, 1003, 1002, 1003, 1003, 1003,
+    1005, 1000, 1002, 1000, 1005, 1007, 1002, 1003, 1003, 1007, 1001, 1001,
+    1003, 1002, 1007, 1002, 1002, 1003, 1002, 1003, 1003, 1007, 1006, 1005,
+    1001, 46, 1007, 1002, 1002, 1001, 1002, 1006, 1001, 1001, 1003, 1003,
+    34, 1006, 1005, 1001, 1002, 1006, 1006, 1004, 1001, 1001, 1001, 1006,
+    1003, 1004, 1003, 1001, 1004, 1003, 1003, 1001, 1001, 1001, 1005, 1006,
+    1002, 1005, 1005, 1002, 1004, 1004, 1006, 1001, 1001, 1006, 1004, 1004,
+    1001, 1006, 1005, 1002, 1006, 1004, 1006, 1006, 1004, 1001, 1001, 1006,
+    1004, 1006, 1004, 1001, 1001, 1001, 1001, 1001, 1002, 1001, 1006, 1001,
+    1004, 33, 1006, 1006, 1004, 1007, 1004, 1007, 1006, 1001, 1004, 1007,
+    1001, 1004, 1001, 1004, 1007, 1004, 1001, 1007, 1001, 1001, 1007, 1001,
+    27, 1001, 1004, 1002, 1004, 1001, 1000, 1007, 1004, 1007, 1000, 1004,
+    1004, 1004, 1000, 58, 1004, 1006, 1006, 1000, 1004, 1000, 1004, 44,
+    1004, 60, 1000, 1001, 1004, 1001, 1007, 48, 1000, 1000, 1000, 1000,
+    62, 1000, 1000, 1000, 1000, 45, 43, 73, 56, 1000, 69, 1000,
+    32, 82, 74, 40, 81, 78, 86, 35, 72, 79, 87, 41,
+    66, 88, 31, 80, 77, 94, 49, 67, 85, 37, 89, 52,
+    83, 64, 50, 84, 95, 92, 71, 90, 97, 104, 109, 1003,
+    1003, 1003, 1001, 93, 1003, 65, 1003, 1003, 1003, 1003, 1003, 102,
+    1003, 98, 1003, 1003, 1001, 1003, 1003, 99, 1001, 1003, 1001, 1001,
+    1003, 54, 105, 1003, 1001, 1003, 59, 1001, 91, 110, 1003, 1003,
+    1001, 1003, 75, 100, 101, 1001, 53, 1003, 1003, 115, 111, 106,
+    57, 107, 108, 116, 113, 118, 1007, 68, 70, 76, 112, 1003,
+    1004, 1005, 119, 114, 117, 1002, 1005, 1001, 1001, 1006, 1007, 1003,
+    1006, 1007, 1003, 1005, 1007, 1005, 1000, 1001, 1001, 1000, 1001, 1003,
+    1003, 1003, 1004, 1006, 1003, 1003, 1004, 1002, 1002, 1006, 1001, 1004,
+    1001, 1000, 1002, 1007, 1001, 1004, 1006, 1000, 1003, 1002, 1002, 1007,
+    1001, 1003, 1006, 1001, 1000, 1003, 1007, 1002, 1001, 1003, 1000, 1005,
+    1004};
+
+TEST(GoldenDeterminism, MixedPinnedSlabOrderMatchesHeapKernelRecording) {
+  golden::MixedWorkload w;
+  w.run();
+  EXPECT_EQ(w.slab_spawned, 120);
+  EXPECT_EQ(w.pinned_fires, 314u);
+  EXPECT_EQ(w.sim.events_executed(), 409u);
+  EXPECT_DOUBLE_EQ(w.sim.now(), 4434.9679999999998);
+  ASSERT_EQ(w.order.size(), kGoldenMixedOrder.size());
+  for (std::size_t i = 0; i < kGoldenMixedOrder.size(); ++i) {
+    ASSERT_EQ(w.order[i], kGoldenMixedOrder[i]) << "divergence at event " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,238 @@
+// Unit and property tests for the hierarchical timing wheel.
+//
+// The wheel's contract is total-order equivalence: any interleaving of
+// push/pop (with pushes never before the last popped time — the simulator
+// clock's guarantee) must drain in exactly the 128-bit (time bits ‖ seq) key
+// order, no matter which level, the overflow ring, or a lazy cascade
+// boundary an event traverses. The property tests drive the wheel against a
+// std::multiset model under several granularity regimes; the deterministic
+// tests aim at the classic wheel bugs — window-start ticks, bucket wrap,
+// span crossings, -0.0 deadlines, equal-time FIFO ties.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/timing_wheel.hpp"
+
+namespace {
+
+using ebrc::sim::EarlierCompare;
+using ebrc::sim::QueuedEvent;
+using ebrc::sim::TimingWheel;
+
+// Layout tripwires: queue entries are the PODs both structures shuffle, and
+// the wheel itself must stay a flat ~19 KB of bucket headers (768 vectors +
+// bitmaps), never grow per-event state.
+static_assert(sizeof(QueuedEvent) == 24);
+static_assert(std::is_trivially_copyable_v<QueuedEvent>);
+static_assert(sizeof(TimingWheel) < 20 * 1024);
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Random push/pop interleaving vs an exact model. `max_delay_qticks` is the
+// delay range in QUARTER ticks, so delays include 0, sub-tick fractions, and
+// whatever multiple of the span the caller wants.
+void run_property(double dt, std::uint64_t max_delay_qticks, int ops, std::uint64_t seed) {
+  TimingWheel w;
+  w.activate(dt, 0.0);
+  std::multiset<QueuedEvent, EarlierCompare> model;
+  std::uint64_t rng = seed;
+  double now = 0.0;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < ops; ++i) {
+    ASSERT_EQ(w.size(), model.size());
+    if (model.empty() || (splitmix(rng) & 3u) != 0) {
+      const double delay =
+          static_cast<double>(splitmix(rng) % max_delay_qticks) * dt * 0.25;
+      const QueuedEvent e{now + delay, seq++, 7u};
+      w.push(e);
+      model.insert(e);
+    } else {
+      const QueuedEvent* p = w.peek();
+      ASSERT_NE(p, nullptr);
+      const QueuedEvent expect = *model.begin();
+      ASSERT_EQ(p->seq, expect.seq) << "op " << i;
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(p->at),
+                std::bit_cast<std::uint64_t>(expect.at));
+      now = p->at;
+      w.pop_front();
+      model.erase(model.begin());
+    }
+  }
+  while (!model.empty()) {
+    const QueuedEvent* p = w.peek();
+    ASSERT_NE(p, nullptr);
+    ASSERT_EQ(p->seq, model.begin()->seq);
+    w.pop_front();
+    model.erase(model.begin());
+  }
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.peek(), nullptr);
+}
+
+TEST(TimingWheel, PropertyLevel0AndBucketWrap) {
+  // Delays up to 64 ticks: level-0 traffic with constant 256-tick wraps.
+  run_property(1e-3, 256, 6000, 0x1234567);
+}
+
+TEST(TimingWheel, PropertyCascadeLevels) {
+  // Delays up to 2^17 ticks: level-1/level-2 residents that cascade down.
+  run_property(1e-3, 1u << 19, 6000, 0xABCDEF01);
+}
+
+TEST(TimingWheel, PropertyOverflowAndRehome) {
+  // Delays up to 4 spans (2^26 ticks): the overflow ring is rehomed across
+  // several 2^24-tick window crossings.
+  run_property(1e-6, 1ull << 28, 4000, 0xFEEDBEEF);
+}
+
+TEST(TimingWheel, WindowStartBoundariesDrainInOrder) {
+  // The exact ticks where cascade bookkeeping is easiest to get wrong:
+  // window starts and their neighbours at every level, plus span crossings.
+  TimingWheel w;
+  const double dt = 1.0;  // 1 tick == 1 second: ticks are times
+  w.activate(dt, 0.0);
+  const std::uint64_t marks[] = {0,       1,       255,     256,     257,
+                                 65535,   65536,   65537,   1u << 24, (1u << 24) + 1,
+                                 (1u << 24) - 1, 3u << 24, (3u << 24) + 255};
+  std::uint64_t seq = 0;
+  // Push in a scrambled order so placement happens at several levels.
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < std::size(marks); ++i) {
+      const std::uint64_t m = marks[(i * 7 + 3 + static_cast<std::size_t>(round)) %
+                                    std::size(marks)];
+      w.push(QueuedEvent{static_cast<double>(m), seq++, 7u});
+    }
+  }
+  double prev_at = -1.0;
+  std::uint64_t prev_seq = 0;
+  std::size_t popped = 0;
+  while (const QueuedEvent* p = w.peek()) {
+    if (p->at == prev_at) {
+      EXPECT_GT(p->seq, prev_seq) << "equal-time FIFO broken at " << p->at;
+    } else {
+      EXPECT_GT(p->at, prev_at) << "time order broken after " << popped << " pops";
+    }
+    prev_at = p->at;
+    prev_seq = p->seq;
+    w.pop_front();
+    ++popped;
+  }
+  EXPECT_EQ(popped, 2 * std::size(marks));
+}
+
+TEST(TimingWheel, SameInstantRebookingJoinsTheCurrentTick) {
+  TimingWheel w;
+  w.activate(1e-3, 0.0);
+  w.push(QueuedEvent{0.5, 0, 7u});
+  const QueuedEvent* p = w.peek();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->seq, 0u);
+  // While 0.5 is the loaded tick, a same-instant re-booking (and one a hair
+  // later inside the same tick) must land behind the head in key order.
+  w.push(QueuedEvent{0.5, 1, 7u});
+  w.push(QueuedEvent{0.5 + 1e-5, 2, 7u});
+  std::vector<std::uint64_t> seqs;
+  while (const QueuedEvent* q = w.peek()) {
+    seqs.push_back(q->seq);
+    w.pop_front();
+  }
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+// -------- simulator-level integration ---------------------------------------
+
+TEST(TimingWheel, SimulatorCalibratesThenRoutesPinnedThroughWheel) {
+  ebrc::sim::Simulator sim;
+  int fires = 0;
+  ebrc::sim::Simulator::PinnedEvent ev{};
+  ev = sim.pin([&] {
+    if (++fires < 200) sim.schedule_pinned(1e-3, ev);
+  });
+  sim.schedule_pinned(1e-3, ev);
+  sim.run();
+  EXPECT_EQ(fires, 200);
+  EXPECT_TRUE(sim.wheel().active());
+  // The first 64 positive delays calibrate (and ride the heap); the rest pop
+  // from the wheel.
+  EXPECT_GT(sim.wheel_pops(), 100u);
+  EXPECT_GE(sim.heap_pops(), 64u);
+  EXPECT_NEAR(sim.now(), 0.2, 1e-12);
+}
+
+TEST(TimingWheel, NegativeZeroDeadlineNormalizedOnWheelPath) {
+  ebrc::sim::Simulator sim;
+  std::vector<int> order;
+  const auto ev = sim.pin([&] { order.push_back(1); });
+  const auto tick = sim.pin([&] { order.push_back(0); });
+  // Activate the wheel with positive-delay schedules first.
+  int warm = 0;
+  ebrc::sim::Simulator::PinnedEvent warmup{};
+  warmup = sim.pin([&] {
+    if (++warm < 70) sim.schedule_pinned(1e-4, warmup);
+  });
+  sim.schedule_pinned(1e-4, warmup);
+  sim.run();
+  ASSERT_TRUE(sim.wheel().active());
+  // now() > 0; schedule two pinned events at the same instant, the second
+  // via a -0.0 delay: -0.0 must order exactly like +0.0 (seq breaks the tie).
+  sim.schedule_pinned(0.0, tick);
+  sim.schedule_pinned(-0.0, ev);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(TimingWheel, EqualTimeWheelAndHeapEventsInterleaveBySeq) {
+  ebrc::sim::Simulator sim;
+  std::vector<int> order;
+  int warm = 0;
+  ebrc::sim::Simulator::PinnedEvent warmup{};
+  warmup = sim.pin([&] {
+    if (++warm < 70) sim.schedule_pinned(1e-4, warmup);
+  });
+  sim.schedule_pinned(1e-4, warmup);
+  sim.run();
+  ASSERT_TRUE(sim.wheel().active());
+  const auto pinned = sim.pin([&] { order.push_back(100); });
+  // Alternate slab (heap) and pinned (wheel) events at one instant: the
+  // merged pop must interleave them in insertion order.
+  const double at = sim.now() + 0.5;
+  sim.schedule_at(at, [&] { order.push_back(0); });
+  sim.schedule_pinned_at(at, pinned);
+  sim.schedule_at(at, [&] { order.push_back(1); });
+  sim.schedule_pinned_at(at, pinned);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 100, 1, 100}));
+}
+
+TEST(TimingWheel, QueueSizeSpansBothStructures) {
+  ebrc::sim::Simulator sim;
+  int warm = 0;
+  ebrc::sim::Simulator::PinnedEvent warmup{};
+  warmup = sim.pin([&] {
+    if (++warm < 70) sim.schedule_pinned(1e-4, warmup);
+  });
+  sim.schedule_pinned(1e-4, warmup);
+  sim.run();
+  ASSERT_TRUE(sim.wheel().active());
+  const auto pinned = sim.pin([] {});
+  sim.schedule_pinned(1.0, pinned);   // wheel
+  sim.schedule_pinned(2000.0, pinned);  // wheel (far future)
+  auto h = sim.schedule(3.0, [] {});  // heap
+  EXPECT_EQ(sim.queue_size(), 3u);
+  h.cancel();
+  EXPECT_EQ(sim.queue_size(), 3u);  // cancelled-but-unpopped still counted
+  sim.run();
+  EXPECT_EQ(sim.queue_size(), 0u);
+}
+
+}  // namespace
