@@ -19,10 +19,19 @@
 //   --scenario=FILE   run a stored .toml/.json scenario file (replicated
 //                     --reps times) through the persistence layer INSTEAD of
 //                     the binary's built-in grid, with a generic summary
+// and the fault-tolerance policy switches:
+//   --keep-going      isolate failing cells (complete the healthy ones,
+//                     report failures + write a manifest next to
+//                     --summary-out) instead of the default --fail-fast
+//   --max-retries=N   extra attempts per failing cell, seeds UNCHANGED
+//   --retry-backoff=S deterministic backoff: sleep S*2^k before retry k+1
+//   --cell-deadline=S per-attempt wall-clock budget; overruns fail the cell
+//   --inject-faults=P arm the fault-injection harness (testbed/
+//                     fault_injection.hpp spec syntax) — test/CI hook
 // Multi-rep runs aggregate with mean and a 95% CI; per-run numbers depend
 // only on --seed, never on --jobs, the cache, or the shard layout.
-// Diagnostics ([cache]/[shard] lines) go to stderr so stdout stays
-// bit-comparable across cold, warm, and shard-merged runs.
+// Diagnostics ([cache]/[shard]/[sweep]/[fail] lines) go to stderr so stdout
+// stays bit-comparable across cold, warm, shard-merged, and resumed runs.
 #pragma once
 
 #include <iostream>
@@ -32,6 +41,7 @@
 #include <vector>
 
 #include "testbed/batch.hpp"
+#include "testbed/fault_injection.hpp"
 #include "testbed/result_store.hpp"
 #include "testbed/scenario_io.hpp"
 #include "testbed/wan_paths.hpp"
@@ -63,6 +73,11 @@ struct BenchArgs {
   std::optional<std::string> scenario_file;
   std::optional<double> duration_override;
   std::optional<std::string> csv_path;
+  bool keep_going = false;
+  int max_retries = 0;
+  double retry_backoff_s = 0.0;
+  double cell_deadline_s = 0.0;  // 0 = no deadline
+  std::optional<std::string> fault_plan;
   util::Cli cli;
 
   /// --reps/--jobs (and the sweep flags) are only registered when the binary
@@ -122,6 +137,27 @@ struct BenchArgs {
           throw std::invalid_argument("--scenario needs a .toml or .json file path");
         }
       }
+      cli.know("keep-going").know("fail-fast").know("max-retries").know("retry-backoff");
+      cli.know("cell-deadline").know("inject-faults");
+      keep_going = cli.get("keep-going", false);
+      if (cli.has("fail-fast") && keep_going) {
+        throw std::invalid_argument("--fail-fast and --keep-going are mutually exclusive");
+      }
+      max_retries = cli.get("max-retries", 0);
+      if (max_retries < 0) throw std::invalid_argument("--max-retries must be >= 0");
+      retry_backoff_s = cli.get("retry-backoff", 0.0);
+      if (retry_backoff_s < 0) throw std::invalid_argument("--retry-backoff must be >= 0");
+      if (cli.has("cell-deadline")) {
+        cell_deadline_s = cli.get("cell-deadline", 0.0);
+        if (cell_deadline_s <= 0) {
+          throw std::invalid_argument("--cell-deadline must be > 0 seconds");
+        }
+      }
+      if (cli.has("inject-faults")) {
+        fault_plan = cli.get("inject-faults", std::string{});
+        // Parse eagerly: a typo'd plan must fail before hours of simulation.
+        (void)testbed::fault::parse_plan(*fault_plan);
+      }
     }
     if (cli.has("csv")) csv_path = cli.get("csv", std::string{});
   }
@@ -140,6 +176,16 @@ struct BenchArgs {
 
   [[nodiscard]] testbed::ShardSpec shard() const {
     return testbed::ShardSpec(shard_index, shard_count);
+  }
+
+  /// The failure policy the sweep flags configured.
+  [[nodiscard]] testbed::RunPolicy policy() const {
+    testbed::RunPolicy p;
+    p.keep_going = keep_going;
+    p.max_retries = max_retries;
+    p.cell_deadline_s = cell_deadline_s;
+    p.backoff_base_s = retry_backoff_s;
+    return p;
   }
 };
 
@@ -160,22 +206,40 @@ struct SweepRun {
 /// the --summary-out BatchResult file (aggregated over the available cells)
 /// when requested.
 inline SweepRun run_sweep(const BenchArgs& args, const std::vector<testbed::Scenario>& batch) {
+  if (args.fault_plan) testbed::fault::arm(testbed::fault::parse_plan(*args.fault_plan));
   std::unique_ptr<testbed::ResultStore> store;
   if (args.cache_dir) store = std::make_unique<testbed::ResultStore>(*args.cache_dir);
 
   SweepRun out;
-  out.results = args.runner().run(batch, store.get(), args.shard(), &out.report);
+  out.results = args.runner().run(batch, store.get(), args.shard(), &out.report, args.policy());
 
   if (store) {
     const auto c = store->counters();
     std::cerr << "[cache] dir=" << store->root().string() << " salt=" << store->salt()
               << " hits=" << out.report.hits << " simulated=" << out.report.simulated
-              << " skipped=" << out.report.skipped << " corrupt=" << c.corrupt << "\n";
+              << " skipped=" << out.report.skipped << " corrupt=" << c.corrupt
+              << " quarantined=" << out.report.quarantined << "\n";
   }
   if (args.shard_count > 1) {
     std::cerr << "[shard] index=" << args.shard_index << " count=" << args.shard_count
               << " available=" << (out.report.hits + out.report.simulated) << "/"
               << out.report.total << "\n";
+  }
+  if (args.keep_going) {
+    std::cerr << "[sweep] failed=" << out.report.failed << " retried=" << out.report.retried
+              << " timed_out=" << out.report.timed_out
+              << " quarantined=" << out.report.quarantined << "\n";
+    for (const auto& f : out.report.failures) {
+      std::cerr << "[fail] cell=#" << f.index << " scenario=" << f.scenario
+                << " seed=" << f.seed << " attempts=" << f.attempts
+                << " timed_out=" << (f.timed_out ? 1 : 0) << " what=" << f.what << "\n";
+    }
+    if (args.summary_out) {
+      const std::string manifest = *args.summary_out + ".failures";
+      testbed::save_failure_manifest(out.report.failures, manifest);
+      std::cerr << "[sweep] failure manifest (" << out.report.failures.size() << " entries): "
+                << manifest << "\n";
+    }
   }
   if (args.summary_out) {
     // Summarize only the cells this process OWNS (shards may also hold
@@ -192,9 +256,10 @@ inline SweepRun run_sweep(const BenchArgs& args, const std::vector<testbed::Scen
     std::cerr << "[summary] wrote " << owned.size() << " runs to " << *args.summary_out << "\n";
   }
   if (!out.complete()) {
-    std::cerr << "[sweep] partial shard run (" << out.report.skipped
-              << " cells owned by other shards); re-run unsharded with the same --cache (or "
-               "after merge_results --into) to print the figure\n";
+    std::cerr << "[sweep] partial results (" << out.report.skipped
+              << " cells owned by other shards, " << out.report.failed
+              << " failed); re-run with the same --cache (unsharded, after merge_results "
+               "--into, or once the failure cause is fixed) to complete and print the figure\n";
   }
   return out;
 }

@@ -45,18 +45,32 @@ def main() -> int:
     with open(args.baseline) as f:
         baseline = json.load(f)
 
-    current_by_name = {w["name"]: w for w in current.get("workloads", [])}
+    current_by_name = {w["name"]: w for w in current.get("workloads", []) if "name" in w}
     failures = []
     print(f"[bench-gate] {args.current} vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")
     for base_wl in baseline.get("workloads", []):
-        name = base_wl["name"]
+        name = base_wl.get("name")
+        if name is None:
+            failures.append(f"baseline entry without a 'name' key: {base_wl!r}")
+            continue
         cur_wl = current_by_name.get(name)
         if cur_wl is None:
             failures.append(f"{name}: missing from {args.current}")
             continue
-        key, base_val = throughput(base_wl)
-        _, cur_val = throughput(cur_wl)
+        # A malformed or renamed-key workload entry is a clear per-workload
+        # failure, not a traceback: report it and keep checking the rest so
+        # one bad entry cannot mask other regressions.
+        try:
+            key, base_val = throughput(base_wl)
+        except KeyError as e:
+            failures.append(f"{name}: baseline entry unusable — {e.args[0]}")
+            continue
+        try:
+            _, cur_val = throughput(cur_wl)
+        except KeyError as e:
+            failures.append(f"{name}: current entry unusable — {e.args[0]}")
+            continue
         floor = (1.0 - args.tolerance) * base_val
         status = "ok" if cur_val >= floor else "REGRESSED"
         print(f"  {name:>16}  {key}: {cur_val:>12.0f}  "

@@ -6,6 +6,9 @@
 #   2. warm run   — zero simulations, all cells loaded from the cache
 #   3. 2 shards into separate caches, folded with merge_results --into,
 #      then an unsharded pass over the merged cache (zero simulations)
+#   4. fault-injected keep-going run (3 cells fail, manifest written), then
+#      a fault-free resume that simulates only those 3 cells and reproduces
+#      the clean cold stdout bit-for-bit; fail-fast aborts naming the cell
 #
 # Inputs: -DFIGURE=<bench binary> -DMERGE_TOOL=<merge_results binary>
 #         -DWORK_DIR=<scratch dir>
@@ -99,6 +102,49 @@ if(NOT sum_code EQUAL 0 OR NOT sum_out MATCHES "${CELLS} runs")
   message(FATAL_ERROR "summary fold failed: ${sum_out}${sum_err}")
 endif()
 
+# --- 4: fault-injected keep-going sweep, then resume --------------------------
+# Three cells fail persistently (two throws, one deadline overrun); the sweep
+# must complete the rest, write a 3-entry failure manifest, and a fault-free
+# resume over the same cache must simulate ONLY those 3 cells and reproduce
+# the clean cold stdout bit-for-bit.
+math(EXPR HEALTHY "${CELLS} - 3")
+run_figure(fault_out fault_err --cache=${WORK_DIR}/fault-cache --keep-going
+           --max-retries=1 --cell-deadline=600
+           --inject-faults=throw@1:*,throw@4:*,timeout@2:*
+           --summary-out=${WORK_DIR}/fault-sum.txt)
+if(NOT fault_err MATCHES "failed=3 retried=3 timed_out=1")
+  message(FATAL_ERROR "keep-going sweep did not isolate the injected faults:\n${fault_err}")
+endif()
+if(NOT fault_err MATCHES "simulated=${HEALTHY}")
+  message(FATAL_ERROR "keep-going sweep lost healthy cells:\n${fault_err}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/fault-sum.txt.failures")
+  message(FATAL_ERROR "keep-going sweep wrote no failure manifest")
+endif()
+file(READ "${WORK_DIR}/fault-sum.txt.failures" manifest)
+if(NOT manifest MATCHES "failures 3")
+  message(FATAL_ERROR "failure manifest does not list exactly 3 cells:\n${manifest}")
+endif()
+
+run_figure(resume_out resume_err --cache=${WORK_DIR}/fault-cache)
+if(NOT resume_err MATCHES "hits=${HEALTHY} simulated=3")
+  message(FATAL_ERROR "resume did not simulate exactly the failed cells:\n${resume_err}")
+endif()
+if(NOT cold_out STREQUAL resume_out)
+  message(FATAL_ERROR "resumed sweep stdout differs from the clean cold run")
+endif()
+
+# Fail-fast (the default) must abort on the first injected fault and name
+# the failing cell in the error.
+execute_process(
+  COMMAND ${FIGURE} ${ARGS} --inject-faults=throw@1:*
+  RESULT_VARIABLE ff_code
+  OUTPUT_VARIABLE ff_out
+  ERROR_VARIABLE ff_err)
+if(ff_code EQUAL 0 OR NOT ff_err MATCHES "sweep cell #1")
+  message(FATAL_ERROR "fail-fast did not abort naming the cell: ${ff_err}")
+endif()
+
 # --- CLI guard rails ----------------------------------------------------------
 execute_process(
   COMMAND ${FIGURE} --duration=8 --shard-index=2 --shard-count=2
@@ -119,4 +165,4 @@ if(unknown_code EQUAL 0 OR NOT unknown_err MATCHES "--shard-index" OR
   message(FATAL_ERROR "unknown-flag listing misses the sweep flags: ${unknown_err}")
 endif()
 
-message(STATUS "sweep persistence round-trip OK: cold == warm == 2-shard merged")
+message(STATUS "sweep persistence round-trip OK: cold == warm == 2-shard merged == faulted+resumed")

@@ -1,12 +1,15 @@
 #include "testbed/batch.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 
 #include "sim/random.hpp"
+#include "testbed/fault_injection.hpp"
 #include "testbed/result_store.hpp"
 #include "util/doc.hpp"
 
@@ -175,22 +178,41 @@ void BatchRunner::dispatch(std::size_t n, void (*invoke)(void*, std::size_t),
 }
 
 std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scenarios) const {
-  return map<ExperimentResult>(scenarios.size(),
-                               [&](std::size_t i) { return run_experiment(scenarios[i]); });
+  // Delegate to the persistence path with no store: same cell executor, so
+  // a crashing cell names itself here too.
+  return run(scenarios, nullptr);
 }
+
+namespace {
+
+[[nodiscard]] std::string cell_context(std::size_t index, const Scenario& s) {
+  return "sweep cell #" + std::to_string(index) + " '" + s.name + "' (seed " +
+         std::to_string(s.seed) + ")";
+}
+
+[[nodiscard]] double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
 
 std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scenarios,
                                                const ResultStore* store, ShardSpec shard,
-                                               SweepReport* report) const {
+                                               SweepReport* report,
+                                               const RunPolicy& policy) const {
   const std::size_t n = scenarios.size();
   std::vector<ExperimentResult> out(n);
   SweepReport rep;
   rep.total = n;
   rep.available.assign(n, 0);
+  const ResultStore::Counters before =
+      store != nullptr ? store->counters() : ResultStore::Counters{};
 
   // Phase 1: probe the cache for EVERY index, not only owned ones — a warm
   // store makes any shard's run complete, which is exactly how a merge pass
-  // reconstructs the full sweep without simulating.
+  // reconstructs the full sweep without simulating. The store's index
+  // answers outright misses in memory, so this phase costs one filesystem
+  // read per HIT, never per cell.
   std::vector<std::uint8_t> hit(n, 0);
   if (store != nullptr) {
     auto probe = [&](std::size_t i) {
@@ -204,7 +226,11 @@ std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scen
   }
 
   // Phase 2: simulate the misses this shard owns, persisting each result as
-  // it lands so an interrupted sweep keeps its finished work.
+  // it lands so an interrupted sweep keeps its finished work. Each cell runs
+  // an attempt loop — retries reuse the cell's UNCHANGED derived seed, so a
+  // recovered transient failure is bit-identical to a run that never failed
+  // (common random numbers survive). Under keep_going a cell that exhausts
+  // its attempts becomes a CellFailure instead of aborting the sweep.
   std::vector<std::size_t> todo;
   for (std::size_t i = 0; i < n; ++i) {
     if (hit[i] != 0) {
@@ -216,16 +242,92 @@ std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scen
       ++rep.skipped;
     }
   }
+  std::vector<std::uint8_t> done(n, 0);
+  std::mutex failures_mu;
+  std::vector<CellFailure> failures;
+  std::atomic<std::size_t> retried{0};
   auto simulate = [&](std::size_t k) {
     const std::size_t i = todo[k];
-    out[i] = run_experiment(scenarios[i]);
-    if (store != nullptr) store->store(scenarios[i], out[i]);
+    const Scenario& sc = scenarios[i];
+    const int attempts_allowed = 1 + std::max(0, policy.max_retries);
+    CellFailure fail;
+    fail.index = i;
+    fail.scenario = sc.name;
+    fail.seed = sc.seed;
+    fail.shard = shard.index;
+    for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+      if (attempt > 0) {
+        retried.fetch_add(1, std::memory_order_relaxed);
+        if (policy.backoff_base_s > 0) {
+          // Deterministic exponential backoff: base * 2^(attempt-1).
+          const double scale = static_cast<double>(1ull << std::min(attempt - 1, 30));
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(policy.backoff_base_s * scale));
+        }
+      }
+      fail.attempts = attempt + 1;
+      fail.timed_out = false;
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        if (fault::fire(fault::Kind::kThrow, i, attempt)) {
+          throw std::runtime_error("injected fault: throw at cell #" + std::to_string(i) +
+                                   " attempt " + std::to_string(attempt));
+        }
+        ExperimentResult r = run_experiment(sc);
+        double elapsed = seconds_since(t0);
+        if (fault::fire(fault::Kind::kDeadlineOverrun, i, attempt)) {
+          elapsed = (policy.cell_deadline_s > 0 ? policy.cell_deadline_s : elapsed) + 1.0;
+        }
+        fail.elapsed_s = elapsed;
+        if (policy.cell_deadline_s > 0 && elapsed > policy.cell_deadline_s) {
+          fail.timed_out = true;
+          fail.what = "cell exceeded --cell-deadline (" + std::to_string(elapsed) + " s > " +
+                      std::to_string(policy.cell_deadline_s) + " s)";
+          continue;  // a retry may clear a transient stall
+        }
+        out[i] = std::move(r);
+        if (store != nullptr) store->store(sc, out[i]);
+        done[i] = 1;
+        return;
+      } catch (const std::exception& e) {
+        fail.elapsed_s = seconds_since(t0);
+        fail.what = e.what();
+      } catch (...) {
+        fail.elapsed_s = seconds_since(t0);
+        fail.what = "unknown exception";
+      }
+    }
+    if (!policy.keep_going) {
+      // Fail fast, but never anonymously: a crashing million-cell sweep
+      // must name its cell.
+      throw std::runtime_error(cell_context(i, sc) + " failed after " +
+                               std::to_string(fail.attempts) + " attempt(s): " + fail.what);
+    }
+    std::lock_guard<std::mutex> lock(failures_mu);
+    failures.push_back(std::move(fail));
   };
   dispatch(
       todo.size(), [](void* ctx, std::size_t i) { (*static_cast<decltype(simulate)*>(ctx))(i); },
       &simulate);
-  for (std::size_t i : todo) rep.available[i] = 1;
-  rep.simulated = todo.size();
+  for (std::size_t i : todo) {
+    if (done[i] != 0) {
+      rep.available[i] = 1;
+      ++rep.simulated;
+    }
+  }
+
+  // Worker interleaving is nondeterministic; the manifest order is not.
+  std::sort(failures.begin(), failures.end(),
+            [](const CellFailure& a, const CellFailure& b) { return a.index < b.index; });
+  rep.failed = failures.size();
+  for (const auto& f : failures) {
+    if (f.timed_out) ++rep.timed_out;
+  }
+  rep.retried = retried.load(std::memory_order_relaxed);
+  rep.failures = std::move(failures);
+  if (store != nullptr) {
+    rep.quarantined = store->counters().quarantined - before.quarantined;
+  }
 
   if (report != nullptr) *report = std::move(rep);
   return out;
@@ -334,6 +436,82 @@ BatchResult load_batch_result(const std::filesystem::path& path) {
   }
   if (!saw_runs) {
     throw std::invalid_argument("load_batch_result: missing 'runs' line in " + path.string());
+  }
+  return out;
+}
+
+// ---- failure manifest --------------------------------------------------------
+
+void save_failure_manifest(const std::vector<CellFailure>& failures,
+                           const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_failure_manifest: cannot open " + path.string());
+  out << "ebrc-failure-manifest v1\n";
+  out << "failures " << failures.size() << "\n";
+  for (const auto& f : failures) {
+    std::string name = f.scenario;
+    for (char& c : name) {
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+    }
+    std::string what = f.what;
+    for (char& c : what) {
+      if (c == '\n' || c == '\r') c = ' ';
+    }
+    out << "cell " << f.index << " seed " << f.seed << " shard " << f.shard << " attempts "
+        << f.attempts << " timed_out " << (f.timed_out ? 1 : 0) << " elapsed_s "
+        << util::format_double(f.elapsed_s) << " scenario " << name << " what " << what << "\n";
+  }
+  if (!out.flush()) {
+    throw std::runtime_error("save_failure_manifest: write failed for " + path.string());
+  }
+}
+
+std::vector<CellFailure> load_failure_manifest(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_failure_manifest: cannot open " + path.string());
+  std::string header;
+  std::getline(in, header);
+  if (header != "ebrc-failure-manifest v1") {
+    throw std::invalid_argument("load_failure_manifest: " + path.string() +
+                                " is not a failure manifest");
+  }
+  std::string count_line;
+  std::getline(in, count_line);
+  std::istringstream count_fields(count_line);
+  std::string count_tag;
+  std::uint64_t declared = 0;
+  count_fields >> count_tag >> declared;
+  if (count_tag != "failures" || count_fields.fail()) {
+    throw std::invalid_argument("load_failure_manifest: missing 'failures' line in " +
+                                path.string());
+  }
+
+  std::vector<CellFailure> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string cell_tag, seed_tag, shard_tag, attempts_tag, timed_tag, elapsed_tag,
+        scenario_tag, what_tag;
+    CellFailure f;
+    int timed = 0;
+    fields >> cell_tag >> f.index >> seed_tag >> f.seed >> shard_tag >> f.shard >>
+        attempts_tag >> f.attempts >> timed_tag >> timed >> elapsed_tag >> f.elapsed_s >>
+        scenario_tag >> f.scenario >> what_tag;
+    if (fields.fail() || cell_tag != "cell" || seed_tag != "seed" || shard_tag != "shard" ||
+        attempts_tag != "attempts" || timed_tag != "timed_out" || elapsed_tag != "elapsed_s" ||
+        scenario_tag != "scenario" || what_tag != "what") {
+      throw std::invalid_argument("load_failure_manifest: malformed line '" + line + "'");
+    }
+    f.timed_out = timed != 0;
+    std::getline(fields, f.what);
+    if (!f.what.empty() && f.what.front() == ' ') f.what.erase(0, 1);
+    out.push_back(std::move(f));
+  }
+  if (out.size() != declared) {
+    throw std::invalid_argument("load_failure_manifest: " + path.string() + " declares " +
+                                std::to_string(declared) + " failures but lists " +
+                                std::to_string(out.size()));
   }
   return out;
 }

@@ -43,6 +43,33 @@ struct ShardSpec {
   [[nodiscard]] bool whole() const noexcept { return count == 1; }
 };
 
+/// One cell that exhausted its attempts: everything needed to name, triage,
+/// and re-run it — the failure manifest is a list of these.
+struct CellFailure {
+  std::size_t index = 0;      // position in the batch
+  std::string scenario;       // cell's scenario name
+  std::uint64_t seed = 0;     // derived per-replication seed
+  std::size_t shard = 0;      // shard index that owned the cell
+  int attempts = 0;           // total attempts made (1 = no retries)
+  bool timed_out = false;     // final attempt tripped the cell deadline
+  double elapsed_s = 0.0;     // wall-clock of the final attempt
+  std::string what;           // exception what() or the deadline diagnostic
+};
+
+/// How run() treats a failing cell. The default is the historical behavior:
+/// fail fast, no retries, no deadline — the first failing cell aborts the
+/// sweep (with the cell named in the rethrown error). keep_going instead
+/// isolates failures: every healthy cell completes, failed cells are
+/// captured as CellFailures in the SweepReport, and an attached store makes
+/// a re-run simulate only the missing/failed cells, bit-identical to a
+/// clean cold run (seeds are never perturbed by retries or resumption).
+struct RunPolicy {
+  bool keep_going = false;
+  int max_retries = 0;        // extra attempts per failing cell, same seed
+  double cell_deadline_s = 0;  // > 0: wall-clock budget per attempt
+  double backoff_base_s = 0;  // sleep base*2^k before retry k+1 (0 = none)
+};
+
 /// What a (possibly cached, possibly sharded) batch run actually did.
 /// complete() means every result slot is populated — either freshly
 /// simulated or loaded bit-identical from the store — so downstream
@@ -52,7 +79,12 @@ struct SweepReport {
   std::size_t hits = 0;       // loaded from the store
   std::size_t simulated = 0;  // run here (and stored, when a store is attached)
   std::size_t skipped = 0;    // cache misses owned by other shards
+  std::size_t failed = 0;     // cells that exhausted their attempts (keep_going)
+  std::size_t retried = 0;    // extra attempts consumed across all cells
+  std::size_t timed_out = 0;  // failed cells whose last attempt hit the deadline
+  std::size_t quarantined = 0;  // corrupt cache entries moved to *.corrupt
   std::vector<std::uint8_t> available;  // per-index: result slot populated
+  std::vector<CellFailure> failures;    // index-ordered, one per failed cell
 
   [[nodiscard]] bool complete() const noexcept { return hits + simulated == total; }
 };
@@ -121,6 +153,8 @@ class BatchRunner {
   [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
 
   /// Runs every scenario through run_experiment(); results in input order.
+  /// A throwing cell aborts the run with the cell's name and seed wrapped
+  /// into the rethrown error.
   [[nodiscard]] std::vector<ExperimentResult> run(const std::vector<Scenario>& scenarios) const;
 
   /// The sweep-persistence entry point: consults `store` (may be null) before
@@ -130,10 +164,19 @@ class BatchRunner {
   /// (report->available tells them apart). Cache hits are bit-identical to
   /// the simulation they stand in for, so a warm-cache run reproduces a cold
   /// run exactly while performing zero simulations.
+  ///
+  /// `policy` governs failing cells (see RunPolicy): fail fast by default;
+  /// under keep_going a failed cell is recorded in report->failures and the
+  /// rest of the sweep completes. The per-attempt deadline is cooperative —
+  /// it is checked when the cell finishes (an in-process watchdog cannot
+  /// safely tear down a running simulation), so a timed-out cell costs its
+  /// own wall-clock but is excluded from results and the store, exactly as
+  /// if it had thrown.
   [[nodiscard]] std::vector<ExperimentResult> run(const std::vector<Scenario>& scenarios,
                                                   const ResultStore* store,
                                                   ShardSpec shard = {},
-                                                  SweepReport* report = nullptr) const;
+                                                  SweepReport* report = nullptr,
+                                                  const RunPolicy& policy = {}) const;
 
   /// run() followed by aggregate().
   [[nodiscard]] BatchResult run_aggregate(const std::vector<Scenario>& scenarios) const;
@@ -181,5 +224,15 @@ class BatchRunner {
 /// std::runtime_error/std::invalid_argument on unreadable or malformed files.
 void save_batch_result(const BatchResult& result, const std::filesystem::path& path);
 [[nodiscard]] BatchResult load_batch_result(const std::filesystem::path& path);
+
+/// Text round-trip for the failure manifest a keep_going sweep writes next
+/// to --summary-out (one "cell <index> seed <seed> shard <shard> attempts
+/// <n> timed_out <0|1> elapsed_s <s> scenario <name> what <message...>"
+/// line per failure; whitespace in scenario names is sanitized to '_', the
+/// message keeps the rest of the line verbatim). load throws on unreadable
+/// or malformed files.
+void save_failure_manifest(const std::vector<CellFailure>& failures,
+                           const std::filesystem::path& path);
+[[nodiscard]] std::vector<CellFailure> load_failure_manifest(const std::filesystem::path& path);
 
 }  // namespace ebrc::testbed

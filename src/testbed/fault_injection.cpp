@@ -1,0 +1,122 @@
+#include "testbed/fault_injection.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <mutex>
+#include <stdexcept>
+
+namespace ebrc::testbed::fault {
+
+namespace {
+
+std::mutex g_mu;
+std::vector<Injection> g_plan;          // guarded by g_mu
+std::atomic<bool> g_armed{false};       // fast-path gate
+std::atomic<std::uint64_t> g_fired{0};
+
+[[nodiscard]] std::uint64_t parse_u64(std::string_view token, const std::string& context) {
+  std::uint64_t v = 0;
+  const auto r = std::from_chars(token.data(), token.data() + token.size(), v);
+  if (token.empty() || r.ec != std::errc{} || r.ptr != token.data() + token.size()) {
+    throw std::invalid_argument("fault plan: malformed number '" + std::string(token) +
+                                "' in '" + context + "'");
+  }
+  return v;
+}
+
+[[nodiscard]] Injection parse_token(const std::string& token) {
+  const auto at = token.find('@');
+  if (at == std::string::npos || at == 0) {
+    throw std::invalid_argument("fault plan: expected kind@key[:attempt], got '" + token + "'");
+  }
+  const std::string kind_name = token.substr(0, at);
+  Injection inj;
+  bool takes_attempt = false;
+  if (kind_name == "throw") {
+    inj.kind = Kind::kThrow;
+    takes_attempt = true;
+  } else if (kind_name == "timeout") {
+    inj.kind = Kind::kDeadlineOverrun;
+    takes_attempt = true;
+  } else if (kind_name == "torn-cache") {
+    inj.kind = Kind::kTornCacheWrite;
+  } else if (kind_name == "torn-index") {
+    inj.kind = Kind::kTornIndexRecord;
+  } else {
+    throw std::invalid_argument(
+        "fault plan: unknown kind '" + kind_name +
+        "' (known: throw, timeout, torn-cache, torn-index) in '" + token + "'");
+  }
+
+  std::string rest = token.substr(at + 1);
+  const auto colon = rest.find(':');
+  if (colon != std::string::npos) {
+    if (!takes_attempt) {
+      throw std::invalid_argument("fault plan: '" + kind_name +
+                                  "' takes no :attempt suffix in '" + token + "'");
+    }
+    const std::string attempt_tok = rest.substr(colon + 1);
+    if (attempt_tok == "*") {
+      inj.attempt = kEveryAttempt;
+    } else {
+      inj.attempt = static_cast<int>(parse_u64(attempt_tok, token));
+    }
+    rest = rest.substr(0, colon);
+  }
+  inj.key = parse_u64(rest, token);
+  return inj;
+}
+
+}  // namespace
+
+void arm(std::vector<Injection> plan) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_plan = std::move(plan);
+  g_fired.store(0, std::memory_order_relaxed);
+  g_armed.store(!g_plan.empty(), std::memory_order_release);
+}
+
+void disarm() { arm({}); }
+
+bool armed() noexcept { return g_armed.load(std::memory_order_acquire); }
+
+bool fire(Kind kind, std::uint64_t key, int attempt) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(g_mu);
+  for (const auto& inj : g_plan) {
+    if (inj.kind != kind || inj.key != key) continue;
+    if (kind == Kind::kThrow || kind == Kind::kDeadlineOverrun) {
+      if (inj.attempt != kEveryAttempt && inj.attempt != attempt) continue;
+    }
+    g_fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t fired() noexcept { return g_fired.load(std::memory_order_relaxed); }
+
+std::vector<Injection> parse_plan(const std::string& spec) {
+  std::vector<Injection> plan;
+  std::string token;
+  const auto flush = [&] {
+    if (!token.empty()) {
+      plan.push_back(parse_token(token));
+      token.clear();
+    }
+  };
+  for (char c : spec) {
+    if (c == ',' || c == ';') {
+      flush();
+    } else if (c != ' ') {
+      token += c;
+    }
+  }
+  flush();
+  if (plan.empty()) {
+    throw std::invalid_argument("fault plan: no injections in '" + spec + "'");
+  }
+  return plan;
+}
+
+}  // namespace ebrc::testbed::fault

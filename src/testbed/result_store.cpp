@@ -3,9 +3,12 @@
 #include <unistd.h>
 
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
+#include "testbed/fault_injection.hpp"
 #include "testbed/scenario_io.hpp"
 #include "util/binary_io.hpp"
 
@@ -17,6 +20,21 @@ namespace {
 constexpr std::uint64_t kMagic = 0x3153455243524245ull;
 constexpr std::uint64_t kFormatVersion = 1;
 
+// "EBRCIDX1" little-endian: the index sidecar's magic.
+constexpr std::uint64_t kIndexMagic = 0x3158444943524245ull;
+constexpr std::uint64_t kIndexVersion = 1;
+constexpr std::size_t kIndexHeaderBytes = 2 * 8;
+constexpr std::size_t kIndexRecordBytes = 4 * 8;  // fp, seed, salt, checksum
+
+[[nodiscard]] std::uint64_t index_record_checksum(std::uint64_t fp, std::uint64_t seed,
+                                                  std::uint64_t salt) {
+  util::Fnv1a h;
+  h.u64(fp);
+  h.u64(seed);
+  h.u64(salt);
+  return h.digest();
+}
+
 [[nodiscard]] std::string hex16(std::uint64_t v) {
   static const char* digits = "0123456789abcdef";
   std::string s(16, '0');
@@ -25,6 +43,24 @@ constexpr std::uint64_t kFormatVersion = 1;
     v >>= 4;
   }
   return s;
+}
+
+/// Inverse of hex16; false on anything that is not exactly 16 hex digits.
+[[nodiscard]] bool parse_hex16(std::string_view s, std::uint64_t& out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  out = v;
+  return true;
 }
 
 [[nodiscard]] std::uint64_t payload_hash(std::string_view payload) {
@@ -177,7 +213,121 @@ std::optional<ExperimentResult> decode_result(std::string_view payload) {
 ResultStore::ResultStore(std::filesystem::path root, std::uint64_t salt)
     : root_(std::move(root)), salt_(salt) {
   std::filesystem::create_directories(root_);
+  load_or_rebuild_index();
 }
+
+std::filesystem::path ResultStore::index_path() const { return root_ / "INDEX.ebrcidx"; }
+
+void ResultStore::load_or_rebuild_index() {
+  const auto bytes = read_file(index_path());
+  if (!bytes) {
+    rebuild_index();
+    return;
+  }
+  // Header, then whole records only; a short/foreign file, a bad checksum,
+  // or a torn trailing record all abandon the file and rebuild from the
+  // entry filenames — the index is never trusted past its first defect.
+  util::ByteReader r(*bytes);
+  if (r.u64() != kIndexMagic || r.u64() != kIndexVersion || !r.ok() ||
+      (bytes->size() - kIndexHeaderBytes) % kIndexRecordBytes != 0) {
+    rebuild_index();
+    return;
+  }
+  std::unordered_set<IndexKey, IndexKeyHash> keys;
+  const std::size_t records = (bytes->size() - kIndexHeaderBytes) / kIndexRecordBytes;
+  for (std::size_t i = 0; i < records; ++i) {
+    const std::uint64_t fp = r.u64();
+    const std::uint64_t seed = r.u64();
+    const std::uint64_t salt = r.u64();
+    const std::uint64_t checksum = r.u64();
+    if (!r.ok() || checksum != index_record_checksum(fp, seed, salt)) {
+      rebuild_index();
+      return;
+    }
+    if (salt == salt_) keys.insert(IndexKey{fp, seed});
+  }
+  std::lock_guard<std::mutex> lock(index_mu_);
+  index_ = std::move(keys);
+}
+
+std::size_t ResultStore::rebuild_index() {
+  // Presence is recoverable from the filenames alone — <fp>-<seed>-<salt> is
+  // the full key — so the rebuild is one directory walk, no payload reads.
+  // Records for ALL salts are preserved; only our salt's keys go in memory.
+  struct Record {
+    std::uint64_t fp, seed, salt;
+  };
+  std::vector<Record> records;
+  std::unordered_set<IndexKey, IndexKeyHash> keys;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(root_)) {
+    if (!entry.is_regular_file()) continue;
+    const auto& p = entry.path();
+    if (p.extension() != result_file_extension()) continue;
+    const std::string stem = p.stem().string();
+    std::uint64_t fp = 0, seed = 0, salt = 0;
+    if (stem.size() != 16 + 1 + 16 + 1 + 16 || stem[16] != '-' || stem[33] != '-' ||
+        !parse_hex16(std::string_view(stem).substr(0, 16), fp) ||
+        !parse_hex16(std::string_view(stem).substr(17, 16), seed) ||
+        !parse_hex16(std::string_view(stem).substr(34, 16), salt)) {
+      continue;  // foreign file wearing our extension; not an entry
+    }
+    records.push_back(Record{fp, seed, salt});
+    if (salt == salt_) keys.insert(IndexKey{fp, seed});
+  }
+
+  util::ByteWriter w;
+  w.u64(kIndexMagic);
+  w.u64(kIndexVersion);
+  for (const auto& rec : records) {
+    w.u64(rec.fp);
+    w.u64(rec.seed);
+    w.u64(rec.salt);
+    w.u64(index_record_checksum(rec.fp, rec.seed, rec.salt));
+  }
+  // Temp + rename, like the entries themselves: a crashed rebuild leaves the
+  // old index (or none) intact, never a half-written one.
+  const auto temp = index_path().concat(".tmp" + std::to_string(::getpid()));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("ResultStore: cannot create " + temp.string());
+    out << w.bytes();
+    if (!out.flush()) {
+      throw std::runtime_error("ResultStore: write failed for " + temp.string());
+    }
+  }
+  std::filesystem::rename(temp, index_path());
+
+  std::lock_guard<std::mutex> lock(index_mu_);
+  index_ = std::move(keys);
+  return records.size();
+}
+
+void ResultStore::append_index_record(std::uint64_t fp, std::uint64_t seed) const {
+  util::ByteWriter w;
+  w.u64(fp);
+  w.u64(seed);
+  w.u64(salt_);
+  w.u64(index_record_checksum(fp, seed, salt_));
+  std::string record = std::move(w).take();
+  if (fault::fire(fault::Kind::kTornIndexRecord, append_seq_.fetch_add(1))) {
+    record.resize(record.size() / 2);  // crash mid-append: prefix only
+  }
+  std::lock_guard<std::mutex> lock(index_mu_);
+  {
+    std::ofstream out(index_path(), std::ios::binary | std::ios::app);
+    out << record;
+    // An append failure is not fatal: the in-memory set stays correct for
+    // this process and the next reader's checksum walk triggers a rebuild.
+  }
+  index_.insert(IndexKey{fp, seed});
+}
+
+bool ResultStore::index_contains(std::uint64_t fp, std::uint64_t seed) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return index_.count(IndexKey{fp, seed}) != 0;
+}
+
+bool ResultStore::probe(const Scenario& s) const { return index_contains(fingerprint(s), s.seed); }
 
 std::filesystem::path ResultStore::path_for(std::uint64_t fp, std::uint64_t seed) const {
   const std::string name =
@@ -191,25 +341,48 @@ std::filesystem::path ResultStore::path_for(const Scenario& s) const {
 
 std::optional<ExperimentResult> ResultStore::load(const Scenario& s) const {
   const std::uint64_t fp = fingerprint(s);
-  const auto path = path_for(fp, s.seed);
-  const auto bytes = read_file(path);
-  if (!bytes) {
+  if (!index_contains(fp, s.seed)) {
+    // The index answers outright misses with zero filesystem operations —
+    // this is what keeps a cold probe of a million-cell sweep O(1) per cell
+    // instead of a million failed stats.
+    index_filtered_.fetch_add(1, std::memory_order_relaxed);
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
+  const auto path = path_for(fp, s.seed);
+  fs_probes_.fetch_add(1, std::memory_order_relaxed);
+  const auto bytes = read_file(path);
+  if (!bytes) {
+    // Stale index verdict: the entry was quarantined or deleted since the
+    // index was read. Degrades to an ordinary miss.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const auto quarantine = [&] {
+    // A file that exists but does not verify is a damaged entry, not a miss:
+    // count it, move it aside for forensics (the re-simulation then stores a
+    // fresh entry instead of silently overwriting the evidence), and say so
+    // on stderr — stdout stays bit-comparable.
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    auto dest = path;
+    dest += quarantine_suffix();
+    std::error_code ec;
+    std::filesystem::rename(path, dest, ec);
+    if (!ec) {
+      quarantined_.fetch_add(1, std::memory_order_relaxed);
+      std::cerr << "[cache] quarantined " << path.string() << "\n";
+    }
+  };
   const auto envelope = open_envelope(*bytes);
   if (!envelope || envelope->fingerprint != fp || envelope->seed != s.seed ||
       envelope->salt != salt_) {
-    // A file that exists but does not verify is a damaged entry, not a miss:
-    // count it separately so operators can see a sick cache.
-    corrupt_.fetch_add(1, std::memory_order_relaxed);
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    quarantine();
     return std::nullopt;
   }
   auto result = decode_result(envelope->payload);
   if (!result) {
-    corrupt_.fetch_add(1, std::memory_order_relaxed);
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    quarantine();
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
@@ -247,13 +420,22 @@ void ResultStore::store(const Scenario& s, const ExperimentResult& r) const {
     }
   }
   std::filesystem::rename(temp, path);
+  if (fault::fire(fault::Kind::kTornCacheWrite, write_seq_.fetch_add(1))) {
+    // Post-crash corruption model: the rename landed but the data did not.
+    std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  }
+  append_index_record(fp, s.seed);
   stored_.fetch_add(1, std::memory_order_relaxed);
 }
 
 ResultStore::Counters ResultStore::counters() const noexcept {
-  return Counters{hits_.load(std::memory_order_relaxed), misses_.load(std::memory_order_relaxed),
+  return Counters{hits_.load(std::memory_order_relaxed),
+                  misses_.load(std::memory_order_relaxed),
                   corrupt_.load(std::memory_order_relaxed),
-                  stored_.load(std::memory_order_relaxed)};
+                  stored_.load(std::memory_order_relaxed),
+                  quarantined_.load(std::memory_order_relaxed),
+                  index_filtered_.load(std::memory_order_relaxed),
+                  fs_probes_.load(std::memory_order_relaxed)};
 }
 
 bool validate_result_file(const std::filesystem::path& path) {
@@ -264,5 +446,7 @@ bool validate_result_file(const std::filesystem::path& path) {
 }
 
 std::string_view result_file_extension() { return ".ebrcres"; }
+
+std::string_view quarantine_suffix() { return ".corrupt"; }
 
 }  // namespace ebrc::testbed

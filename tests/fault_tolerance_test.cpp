@@ -1,0 +1,309 @@
+// The fault-tolerant sweep execution layer, proven by injection:
+//   * keep_going isolates K injected cell failures — every healthy cell
+//     completes bit-identical to a fault-free run and the failure manifest
+//     lists exactly the K injected cells,
+//   * retries reuse the cell's unchanged seed, so a recovered transient
+//     fault is bit-identical to a run that never failed (CRN preserved),
+//   * a resumed sweep over the same store simulates ONLY the failed cells
+//     and converges to bitwise equality with a clean cold run,
+//   * a deadline overrun is captured as a timed_out CellFailure,
+//   * fail-fast (the default) rethrows with the cell named,
+//   * the --inject-faults spec parser and the failure-manifest file format
+//     round-trip and reject malformed input.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "testbed/batch.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/fault_injection.hpp"
+#include "testbed/result_store.hpp"
+#include "testbed/scenario.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using ebrc::testbed::BatchRunner;
+using ebrc::testbed::CellFailure;
+using ebrc::testbed::ExperimentResult;
+using ebrc::testbed::ResultStore;
+using ebrc::testbed::RunPolicy;
+using ebrc::testbed::Scenario;
+using ebrc::testbed::ShardSpec;
+using ebrc::testbed::SweepReport;
+namespace fault = ebrc::testbed::fault;
+
+Scenario short_ns2(std::uint64_t seed) {
+  auto s = ebrc::testbed::ns2_scenario(1, 1, 8, seed);
+  s.duration_s = 4.0;
+  s.warmup_s = 1.0;
+  return s;
+}
+
+/// Disarms the process-wide injection plan on scope exit, so a failing
+/// assertion can never leak an armed plan into the next test.
+struct FaultGuard {
+  ~FaultGuard() { fault::disarm(); }
+};
+
+/// A fresh directory under the system temp dir, removed on destruction.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    static std::atomic<int> counter{0};
+    path = fs::temp_directory_path() /
+           ("ebrc_fault_tolerance_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1)));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+void expect_bits(double a, double b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b)) << what;
+}
+
+/// Spot-check bitwise equality on the fields that would drift first if a
+/// retry or resume perturbed the sample path (result_store_test carries the
+/// exhaustive field-by-field comparator).
+void expect_same_run(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.scenario_name, b.scenario_name);
+  expect_bits(a.tfrc_throughput, b.tfrc_throughput, "tfrc_throughput");
+  expect_bits(a.tcp_throughput, b.tcp_throughput, "tcp_throughput");
+  expect_bits(a.tfrc_p, b.tfrc_p, "tfrc_p");
+  expect_bits(a.breakdown.friendliness, b.breakdown.friendliness, "friendliness");
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    expect_bits(a.flows[i].throughput_pps, b.flows[i].throughput_pps, "flow throughput");
+    EXPECT_EQ(a.flows[i].loss_events, b.flows[i].loss_events);
+  }
+}
+
+TEST(FaultInjection, PlanSpecParsesAndRejectsMalformedInput) {
+  const auto plan =
+      fault::parse_plan("throw@3,throw@7:1,timeout@5:*,torn-cache@0;torn-index@2");
+  ASSERT_EQ(plan.size(), 5u);
+  EXPECT_EQ(plan[0].kind, fault::Kind::kThrow);
+  EXPECT_EQ(plan[0].key, 3u);
+  EXPECT_EQ(plan[0].attempt, 0);
+  EXPECT_EQ(plan[1].kind, fault::Kind::kThrow);
+  EXPECT_EQ(plan[1].key, 7u);
+  EXPECT_EQ(plan[1].attempt, 1);
+  EXPECT_EQ(plan[2].kind, fault::Kind::kDeadlineOverrun);
+  EXPECT_EQ(plan[2].attempt, fault::kEveryAttempt);
+  EXPECT_EQ(plan[3].kind, fault::Kind::kTornCacheWrite);
+  EXPECT_EQ(plan[4].kind, fault::Kind::kTornIndexRecord);
+  EXPECT_EQ(plan[4].key, 2u);
+
+  EXPECT_THROW((void)fault::parse_plan(""), std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_plan("explode@1"), std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_plan("throw"), std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_plan("throw@"), std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_plan("throw@x"), std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_plan("throw@1:"), std::invalid_argument);
+  // Torn kinds fire by ordinal, not attempt — an attempt suffix is an error.
+  EXPECT_THROW((void)fault::parse_plan("torn-cache@0:1"), std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_plan("torn-index@0:*"), std::invalid_argument);
+}
+
+TEST(FaultInjection, FireMatchesKeyAndAttemptAndCounts) {
+  FaultGuard guard;
+  fault::arm({{fault::Kind::kThrow, 2, 0},
+              {fault::Kind::kThrow, 5, fault::kEveryAttempt},
+              {fault::Kind::kTornCacheWrite, 1, 0}});
+  EXPECT_TRUE(fault::armed());
+  EXPECT_FALSE(fault::fire(fault::Kind::kThrow, 0, 0));  // wrong key
+  EXPECT_FALSE(fault::fire(fault::Kind::kThrow, 2, 1));  // wrong attempt
+  EXPECT_TRUE(fault::fire(fault::Kind::kThrow, 2, 0));
+  EXPECT_TRUE(fault::fire(fault::Kind::kThrow, 5, 0));  // every attempt
+  EXPECT_TRUE(fault::fire(fault::Kind::kThrow, 5, 3));
+  EXPECT_FALSE(fault::fire(fault::Kind::kDeadlineOverrun, 2, 0));  // wrong kind
+  EXPECT_TRUE(fault::fire(fault::Kind::kTornCacheWrite, 1));
+  EXPECT_EQ(fault::fired(), 4u);
+
+  fault::disarm();
+  EXPECT_FALSE(fault::armed());
+  EXPECT_FALSE(fault::fire(fault::Kind::kThrow, 2, 0));
+}
+
+TEST(FaultTolerance, KeepGoingIsolatesInjectedFailures) {
+  FaultGuard guard;
+  const auto batch = ebrc::testbed::replicate(short_ns2(0), /*root_seed=*/11, /*reps=*/6);
+  const BatchRunner runner(3);
+  const auto reference = runner.run(batch);  // faults disarmed: clean baseline
+
+  // Two persistently failing cells; the other four must complete untouched.
+  fault::arm({{fault::Kind::kThrow, 1, fault::kEveryAttempt},
+              {fault::Kind::kThrow, 4, fault::kEveryAttempt}});
+  RunPolicy policy;
+  policy.keep_going = true;
+  SweepReport rep;
+  const auto out = runner.run(batch, nullptr, ShardSpec{}, &rep, policy);
+
+  EXPECT_EQ(rep.failed, 2u);
+  EXPECT_EQ(rep.simulated, 4u);
+  EXPECT_EQ(rep.timed_out, 0u);
+  EXPECT_FALSE(rep.complete());
+  ASSERT_EQ(rep.failures.size(), 2u);
+  EXPECT_EQ(rep.failures[0].index, 1u);  // manifest is index-ordered
+  EXPECT_EQ(rep.failures[1].index, 4u);
+  for (const auto& f : rep.failures) {
+    EXPECT_EQ(f.scenario, batch[f.index].name);
+    EXPECT_EQ(f.seed, batch[f.index].seed);
+    EXPECT_EQ(f.attempts, 1);
+    EXPECT_NE(f.what.find("injected fault"), std::string::npos) << f.what;
+    EXPECT_EQ(rep.available[f.index], 0);
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i == 1 || i == 4) continue;
+    EXPECT_EQ(rep.available[i], 1);
+    expect_same_run(reference[i], out[i]);
+  }
+}
+
+TEST(FaultTolerance, RetryRecoversTransientFaultBitIdentically) {
+  FaultGuard guard;
+  const auto batch = ebrc::testbed::replicate(short_ns2(0), /*root_seed=*/13, /*reps=*/3);
+  const BatchRunner runner(2);
+  const auto reference = runner.run(batch);
+
+  // Attempt 0 of cell 2 throws; attempt 1 (same seed) must succeed and
+  // reproduce the fault-free run exactly — retries never perturb seeds.
+  fault::arm({{fault::Kind::kThrow, 2, /*attempt=*/0}});
+  RunPolicy policy;
+  policy.max_retries = 1;
+  SweepReport rep;
+  const auto out = runner.run(batch, nullptr, ShardSpec{}, &rep, policy);
+
+  EXPECT_EQ(rep.failed, 0u);
+  EXPECT_EQ(rep.retried, 1u);
+  EXPECT_EQ(rep.simulated, batch.size());
+  EXPECT_TRUE(rep.complete());
+  for (std::size_t i = 0; i < batch.size(); ++i) expect_same_run(reference[i], out[i]);
+}
+
+TEST(FaultTolerance, ResumeConvergesToCleanColdRun) {
+  FaultGuard guard;
+  TempDir dir;
+  const auto batch = ebrc::testbed::replicate(short_ns2(0), /*root_seed=*/17, /*reps=*/6);
+  const BatchRunner runner(3);
+  const auto reference = runner.run(batch);
+
+  // Faulted first pass: cells 1 and 3 fail, the rest land in the store.
+  ResultStore store(dir.path / "cache");
+  fault::arm({{fault::Kind::kThrow, 1, fault::kEveryAttempt},
+              {fault::Kind::kThrow, 3, fault::kEveryAttempt}});
+  RunPolicy policy;
+  policy.keep_going = true;
+  SweepReport faulted;
+  (void)runner.run(batch, &store, ShardSpec{}, &faulted, policy);
+  EXPECT_EQ(faulted.failed, 2u);
+  EXPECT_EQ(faulted.simulated, 4u);
+  EXPECT_FALSE(faulted.complete());
+
+  // Resume with the cause fixed: ONLY the failed cells simulate, and the
+  // final sweep is bitwise equal to a clean cold run.
+  fault::disarm();
+  SweepReport resumed;
+  const auto out = runner.run(batch, &store, ShardSpec{}, &resumed, policy);
+  EXPECT_EQ(resumed.hits, 4u);
+  EXPECT_EQ(resumed.simulated, 2u);
+  EXPECT_EQ(resumed.failed, 0u);
+  EXPECT_TRUE(resumed.complete());
+  for (std::size_t i = 0; i < batch.size(); ++i) expect_same_run(reference[i], out[i]);
+
+  // A fully warm pass touches nothing.
+  SweepReport warm;
+  (void)runner.run(batch, &store, ShardSpec{}, &warm, policy);
+  EXPECT_EQ(warm.hits, batch.size());
+  EXPECT_EQ(warm.simulated, 0u);
+}
+
+TEST(FaultTolerance, DeadlineOverrunIsCapturedAsTimedOutFailure) {
+  FaultGuard guard;
+  const auto batch = ebrc::testbed::replicate(short_ns2(0), /*root_seed=*/19, /*reps=*/2);
+  const BatchRunner runner(2);
+
+  // The injection inflates the measured wall-clock past the (generous)
+  // deadline, so the check trips deterministically without a real hang.
+  fault::arm({{fault::Kind::kDeadlineOverrun, 0, fault::kEveryAttempt}});
+  RunPolicy policy;
+  policy.keep_going = true;
+  policy.cell_deadline_s = 600.0;
+  SweepReport rep;
+  (void)runner.run(batch, nullptr, ShardSpec{}, &rep, policy);
+
+  EXPECT_EQ(rep.failed, 1u);
+  EXPECT_EQ(rep.timed_out, 1u);
+  ASSERT_EQ(rep.failures.size(), 1u);
+  EXPECT_EQ(rep.failures[0].index, 0u);
+  EXPECT_TRUE(rep.failures[0].timed_out);
+  EXPECT_GT(rep.failures[0].elapsed_s, policy.cell_deadline_s);
+  EXPECT_NE(rep.failures[0].what.find("--cell-deadline"), std::string::npos);
+  EXPECT_EQ(rep.simulated, 1u);  // the healthy cell still completed
+}
+
+TEST(FaultTolerance, FailFastNamesTheFailingCell) {
+  FaultGuard guard;
+  const auto batch = ebrc::testbed::replicate(short_ns2(0), /*root_seed=*/23, /*reps=*/3);
+  fault::arm({{fault::Kind::kThrow, 1, fault::kEveryAttempt}});
+  try {
+    (void)BatchRunner(2).run(batch);  // default policy: fail fast
+    FAIL() << "expected the injected fault to abort the run";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sweep cell #1"), std::string::npos) << what;
+    EXPECT_NE(what.find(batch[1].name), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(batch[1].seed)), std::string::npos) << what;
+    EXPECT_NE(what.find("injected fault"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultTolerance, FailureManifestRoundTripsAndSanitizes) {
+  TempDir dir;
+  std::vector<CellFailure> failures(2);
+  failures[0].index = 3;
+  failures[0].scenario = "grid cell p=0.01 rtt=0.1";  // spaces: sanitized to '_'
+  failures[0].seed = 0xdeadbeefcafe1234ull;
+  failures[0].shard = 1;
+  failures[0].attempts = 3;
+  failures[0].timed_out = true;
+  failures[0].elapsed_s = 12.5;
+  failures[0].what = "line one\nline two";  // newlines: flattened to spaces
+  failures[1].index = 7;
+  failures[1].scenario = "clean-name";
+  failures[1].seed = 42;
+  failures[1].attempts = 1;
+  failures[1].what = "std::bad_alloc";
+
+  const fs::path path = dir.path / "sweep.failures";
+  ebrc::testbed::save_failure_manifest(failures, path);
+  const auto loaded = ebrc::testbed::load_failure_manifest(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].index, 3u);
+  EXPECT_EQ(loaded[0].scenario, "grid_cell_p=0.01_rtt=0.1");
+  EXPECT_EQ(loaded[0].seed, failures[0].seed);
+  EXPECT_EQ(loaded[0].shard, 1u);
+  EXPECT_EQ(loaded[0].attempts, 3);
+  EXPECT_TRUE(loaded[0].timed_out);
+  EXPECT_EQ(loaded[0].what, "line one line two");
+  EXPECT_EQ(loaded[1].index, 7u);
+  EXPECT_EQ(loaded[1].scenario, "clean-name");
+  EXPECT_EQ(loaded[1].what, "std::bad_alloc");
+  EXPECT_FALSE(loaded[1].timed_out);
+
+  EXPECT_THROW((void)ebrc::testbed::load_failure_manifest(dir.path / "absent"),
+               std::runtime_error);
+}
+
+}  // namespace

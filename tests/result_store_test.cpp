@@ -20,6 +20,7 @@
 
 #include "testbed/batch.hpp"
 #include "testbed/experiment.hpp"
+#include "testbed/fault_injection.hpp"
 #include "testbed/result_store.hpp"
 #include "testbed/scenario.hpp"
 #include "testbed/scenario_io.hpp"
@@ -293,6 +294,127 @@ TEST(ResultStore, ColdShardRunReportsSkippedCells) {
   EXPECT_FALSE(rep.complete());
   EXPECT_EQ(rep.available[0], 1);
   EXPECT_EQ(rep.available[1], 0);
+}
+
+TEST(ResultStore, IndexAnswersWarmProbesWithoutFilesystemOps) {
+  // The checkpoint-resume acceptance bar: against a 10^4-entry cache, the
+  // INDEX sidecar answers presence in memory — absent keys cost ZERO
+  // filesystem operations (no per-file stat storm), and only actual hits
+  // read a file. Entries are canned results, not simulations: this test is
+  // about the index, not the simulator.
+  TempDir dir;
+  constexpr std::uint64_t kEntries = 10'000;
+  const ExperimentResult canned;  // payload content is irrelevant here
+  {
+    ResultStore writer(dir.path);
+    for (std::uint64_t seed = 0; seed < kEntries; ++seed) {
+      Scenario s = short_ns2(1);
+      s.seed = seed;  // fingerprint excludes the seed: 10^4 distinct keys
+      writer.store(s, canned);
+    }
+    EXPECT_EQ(writer.counters().stored, kEntries);
+  }
+
+  // A fresh store loads the index once at construction; probes after that
+  // are pure memory lookups.
+  ResultStore store(dir.path);
+  for (std::uint64_t seed = 0; seed < kEntries; ++seed) {
+    Scenario s = short_ns2(1);
+    s.seed = seed;
+    EXPECT_TRUE(store.probe(s));
+  }
+  EXPECT_EQ(store.counters().fs_probes, 0u);
+
+  // 10^4 absent keys: all misses, still zero filesystem traffic.
+  for (std::uint64_t seed = kEntries; seed < 2 * kEntries; ++seed) {
+    Scenario s = short_ns2(1);
+    s.seed = seed;
+    EXPECT_FALSE(store.probe(s));
+    EXPECT_FALSE(store.load(s).has_value());
+  }
+  auto c = store.counters();
+  EXPECT_EQ(c.fs_probes, 0u);
+  EXPECT_EQ(c.index_filtered, kEntries);
+  EXPECT_EQ(c.misses, kEntries);
+
+  // Only a real hit touches the filesystem — exactly once.
+  Scenario present = short_ns2(1);
+  present.seed = 123;
+  EXPECT_TRUE(store.load(present).has_value());
+  c = store.counters();
+  EXPECT_EQ(c.fs_probes, 1u);
+  EXPECT_EQ(c.hits, 1u);
+}
+
+TEST(ResultStore, TornIndexRecordIsDetectedAndRebuiltFromFilenames) {
+  TempDir dir;
+  const ExperimentResult canned;
+  std::vector<Scenario> entries;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Scenario s = short_ns2(1);
+    s.seed = seed;
+    entries.push_back(s);
+  }
+  {
+    ResultStore writer(dir.path);
+    // The second index append (ordinal 1) crashes mid-record: only a prefix
+    // of the 32-byte record reaches the file, shifting everything after it.
+    ebrc::testbed::fault::arm({{ebrc::testbed::fault::Kind::kTornIndexRecord, 1, 0}});
+    for (const auto& s : entries) writer.store(s, canned);
+    ebrc::testbed::fault::disarm();
+    // The torn append is non-fatal for the writer itself (its in-memory set
+    // is intact); the defect bites the NEXT reader of the file.
+    for (const auto& s : entries) EXPECT_TRUE(writer.probe(s));
+    EXPECT_NE((fs::file_size(writer.index_path()) - 16) % 32, 0u);  // torn: misaligned
+  }
+
+  // A fresh store must refuse the torn index and rebuild from the entry
+  // filenames: every stored key probes true again, and the rewritten index
+  // is whole-record aligned.
+  ResultStore store(dir.path);
+  for (const auto& s : entries) {
+    EXPECT_TRUE(store.probe(s));
+    EXPECT_TRUE(store.load(s).has_value());
+  }
+  EXPECT_EQ(fs::file_size(store.index_path()), 16u + 3u * 32u);
+  EXPECT_EQ(store.counters().corrupt, 0u);  // entries themselves untouched
+}
+
+TEST(ResultStore, TornCacheWriteIsQuarantinedWithForensicsFile) {
+  TempDir dir;
+  ResultStore store(dir.path);
+  const Scenario s = short_ns2(77);
+  const ExperimentResult fresh = ebrc::testbed::run_experiment(s);
+
+  // The first store() write (ordinal 0) is torn in half right after the
+  // atomic rename — the post-crash corruption a resumed sweep must survive.
+  ebrc::testbed::fault::arm({{ebrc::testbed::fault::Kind::kTornCacheWrite, 0, 0}});
+  store.store(s, fresh);
+  ebrc::testbed::fault::disarm();
+  const fs::path entry = store.path_for(s);
+  ASSERT_TRUE(fs::exists(entry));
+  EXPECT_FALSE(ebrc::testbed::validate_result_file(entry));
+
+  // Loading diagnoses on stderr and moves the entry aside instead of
+  // deleting it — *.corrupt is kept for forensics.
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(store.load(s).has_value());
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[cache] quarantined"), std::string::npos) << err;
+  EXPECT_FALSE(fs::exists(entry));
+  fs::path forensics = entry;
+  forensics += std::string(ebrc::testbed::quarantine_suffix());
+  EXPECT_TRUE(fs::exists(forensics));
+  auto c = store.counters();
+  EXPECT_EQ(c.quarantined, 1u);
+  EXPECT_EQ(c.corrupt, 1u);
+
+  // Re-storing heals the cache; the forensics file stays.
+  store.store(s, fresh);
+  const auto healed = store.load(s);
+  ASSERT_TRUE(healed.has_value());
+  expect_identical(fresh, *healed);
+  EXPECT_TRUE(fs::exists(forensics));
 }
 
 TEST(ResultStore, EntriesLandUnderFingerprintFanout) {

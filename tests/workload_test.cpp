@@ -296,6 +296,9 @@ TEST(Churn, SweepThroughCacheAndShardsIsBitIdentical) {
                     fs::copy_options::overwrite_existing);
     }
   }
+  // Out-of-band copies bypass store(), so the index sidecar is stale; the
+  // merge workflow (and merge_results --into) rebuilds it from filenames.
+  EXPECT_EQ(merged.rebuild_index(), batch.size());
   testbed::SweepReport merged_rep;
   const auto merged_run = runner.run(batch, &merged, {}, &merged_rep);
   EXPECT_EQ(merged_rep.simulated, 0u);

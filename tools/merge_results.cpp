@@ -32,7 +32,7 @@ namespace fs = std::filesystem;
 
 int merge_caches(const fs::path& into, const std::vector<std::string>& sources) {
   fs::create_directories(into);
-  std::size_t copied = 0, already = 0, corrupt = 0;
+  std::size_t copied = 0, already = 0, corrupt = 0, quarantined = 0;
   for (const auto& src : sources) {
     if (!fs::is_directory(src)) {
       std::cerr << "merge_results: source '" << src << "' is not a directory\n";
@@ -41,6 +41,12 @@ int merge_caches(const fs::path& into, const std::vector<std::string>& sources) 
     for (const auto& entry : fs::recursive_directory_iterator(src)) {
       if (!entry.is_regular_file()) continue;
       const fs::path& p = entry.path();
+      // Quarantined forensics files are a shard that already diagnosed the
+      // corruption: count them, never propagate them.
+      if (p.extension() == ebrc::testbed::quarantine_suffix()) {
+        ++quarantined;
+        continue;
+      }
       if (p.extension() != ebrc::testbed::result_file_extension()) continue;
       if (!ebrc::testbed::validate_result_file(p)) {
         ++corrupt;
@@ -58,8 +64,14 @@ int merge_caches(const fs::path& into, const std::vector<std::string>& sources) 
       ++copied;
     }
   }
+  // The copies bypassed ResultStore::store(), so the destination's index
+  // sidecar is stale (or absent); rebuild it so the merged cache keeps its
+  // O(1) warm-probe property.
+  ebrc::testbed::ResultStore store(into);
+  const std::size_t indexed = store.rebuild_index();
   std::cout << "[merge] cache " << into.string() << ": copied=" << copied
-            << " already-present=" << already << " corrupt-skipped=" << corrupt << "\n";
+            << " already-present=" << already << " corrupt-skipped=" << corrupt
+            << " quarantined-skipped=" << quarantined << " indexed=" << indexed << "\n";
   return 0;
 }
 
