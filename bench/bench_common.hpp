@@ -26,8 +26,16 @@
 //   --max-retries=N   extra attempts per failing cell, seeds UNCHANGED
 //   --retry-backoff=S deterministic backoff: sleep S*2^k before retry k+1
 //   --cell-deadline=S per-attempt wall-clock budget; overruns fail the cell
+//                     (polled inside the event loop in-process, enforced
+//                     with SIGKILL under --isolate=process)
 //   --inject-faults=P arm the fault-injection harness (testbed/
 //                     fault_injection.hpp spec syntax) — test/CI hook
+//   --isolate=M       none (default) or process: run each simulated cell
+//                     attempt in a forked, supervised worker subprocess so
+//                     SIGSEGV/OOM/hangs become retryable CellFailures with
+//                     repro bundles under <summary-out>.crashes/
+//   --events-out=F    append-only JSONL telemetry (cell_start/cell_done/
+//                     cell_failed/cell_crashed/cell_killed/retry)
 // Multi-rep runs aggregate with mean and a 95% CI; per-run numbers depend
 // only on --seed, never on --jobs, the cache, or the shard layout.
 // Diagnostics ([cache]/[shard]/[sweep]/[fail] lines) go to stderr so stdout
@@ -78,6 +86,9 @@ struct BenchArgs {
   double retry_backoff_s = 0.0;
   double cell_deadline_s = 0.0;  // 0 = no deadline
   std::optional<std::string> fault_plan;
+  testbed::IsolationMode isolate = testbed::IsolationMode::kInProcess;
+  std::optional<std::string> events_out;
+  std::string invocation;  // the argv, rejoined — for crash repro bundles
   util::Cli cli;
 
   /// --reps/--jobs (and the sweep flags) are only registered when the binary
@@ -158,8 +169,20 @@ struct BenchArgs {
         // Parse eagerly: a typo'd plan must fail before hours of simulation.
         (void)testbed::fault::parse_plan(*fault_plan);
       }
+      cli.know("isolate").know("events-out");
+      if (cli.has("isolate")) {
+        isolate = testbed::isolation_from(cli.get("isolate", std::string{"none"}));
+      }
+      if (cli.has("events-out")) {
+        events_out = cli.get("events-out", std::string{});
+        if (events_out->empty()) throw std::invalid_argument("--events-out needs a file path");
+      }
     }
     if (cli.has("csv")) csv_path = cli.get("csv", std::string{});
+    for (int i = 0; i < argc; ++i) {
+      if (i > 0) invocation += ' ';
+      invocation += argv[i];
+    }
   }
 
   /// Scales a sample count: reduced by default, paper-scale with --full.
@@ -185,6 +208,9 @@ struct BenchArgs {
     p.max_retries = max_retries;
     p.cell_deadline_s = cell_deadline_s;
     p.backoff_base_s = retry_backoff_s;
+    p.isolate = isolate;
+    if (summary_out) p.crash_dir = *summary_out + ".crashes";
+    p.invocation = invocation;
     return p;
   }
 };
@@ -209,16 +235,21 @@ inline SweepRun run_sweep(const BenchArgs& args, const std::vector<testbed::Scen
   if (args.fault_plan) testbed::fault::arm(testbed::fault::parse_plan(*args.fault_plan));
   std::unique_ptr<testbed::ResultStore> store;
   if (args.cache_dir) store = std::make_unique<testbed::ResultStore>(*args.cache_dir);
+  std::unique_ptr<testbed::SweepEventFeed> events;
+  if (args.events_out) events = std::make_unique<testbed::SweepEventFeed>(*args.events_out);
 
   SweepRun out;
-  out.results = args.runner().run(batch, store.get(), args.shard(), &out.report, args.policy());
+  testbed::RunPolicy policy = args.policy();
+  policy.events = events.get();
+  out.results = args.runner().run(batch, store.get(), args.shard(), &out.report, policy);
 
   if (store) {
     const auto c = store->counters();
     std::cerr << "[cache] dir=" << store->root().string() << " salt=" << store->salt()
               << " hits=" << out.report.hits << " simulated=" << out.report.simulated
               << " skipped=" << out.report.skipped << " corrupt=" << c.corrupt
-              << " quarantined=" << out.report.quarantined << "\n";
+              << " quarantined=" << out.report.quarantined
+              << " index_filtered=" << c.index_filtered << " fs_probes=" << c.fs_probes << "\n";
   }
   if (args.shard_count > 1) {
     std::cerr << "[shard] index=" << args.shard_index << " count=" << args.shard_count
@@ -227,12 +258,13 @@ inline SweepRun run_sweep(const BenchArgs& args, const std::vector<testbed::Scen
   }
   if (args.keep_going) {
     std::cerr << "[sweep] failed=" << out.report.failed << " retried=" << out.report.retried
-              << " timed_out=" << out.report.timed_out
+              << " timed_out=" << out.report.timed_out << " crashed=" << out.report.crashed
               << " quarantined=" << out.report.quarantined << "\n";
     for (const auto& f : out.report.failures) {
       std::cerr << "[fail] cell=#" << f.index << " scenario=" << f.scenario
                 << " seed=" << f.seed << " attempts=" << f.attempts
-                << " timed_out=" << (f.timed_out ? 1 : 0) << " what=" << f.what << "\n";
+                << " timed_out=" << (f.timed_out ? 1 : 0) << " crashed=" << (f.crashed ? 1 : 0)
+                << " what=" << f.what << "\n";
     }
     if (args.summary_out) {
       const std::string manifest = *args.summary_out + ".failures";

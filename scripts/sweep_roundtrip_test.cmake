@@ -9,6 +9,11 @@
 #   4. fault-injected keep-going run (3 cells fail, manifest written), then
 #      a fault-free resume that simulates only those 3 cells and reproduces
 #      the clean cold stdout bit-for-bit; fail-fast aborts naming the cell
+#   5. --isolate=process: cold and warm isolated runs match the in-process
+#      stdout bit-for-bit (warm forks nothing); a crash/hang/throw-injected
+#      isolated sweep survives all three worker deaths, attributes them in
+#      the v2 manifest (signal numbers), drops repro bundles, streams the
+#      JSONL event feed, and resumes fault-free to the clean cold stdout
 #
 # Inputs: -DFIGURE=<bench binary> -DMERGE_TOOL=<merge_results binary>
 #         -DWORK_DIR=<scratch dir>
@@ -134,6 +139,76 @@ if(NOT cold_out STREQUAL resume_out)
   message(FATAL_ERROR "resumed sweep stdout differs from the clean cold run")
 endif()
 
+# --- 5: process isolation (--isolate=process) ---------------------------------
+# Cold isolated run: every cell simulates in a forked worker, stdout must be
+# bit-identical to the in-process cold run.
+run_figure(iso_out iso_err --cache=${WORK_DIR}/iso-cache --isolate=process)
+if(NOT iso_err MATCHES "simulated=${CELLS}")
+  message(FATAL_ERROR "isolated cold run did not simulate the full sweep:\n${iso_err}")
+endif()
+if(NOT cold_out STREQUAL iso_out)
+  message(FATAL_ERROR "--isolate=process stdout differs from the in-process cold run")
+endif()
+
+# Warm isolated run: the parent-side cache probes answer everything — zero
+# simulations means zero forks.
+run_figure(iso_warm_out iso_warm_err --cache=${WORK_DIR}/iso-cache --isolate=process)
+if(NOT iso_warm_err MATCHES "hits=${CELLS} simulated=0")
+  message(FATAL_ERROR "warm isolated run was not simulation-free:\n${iso_warm_err}")
+endif()
+if(NOT cold_out STREQUAL iso_warm_out)
+  message(FATAL_ERROR "warm isolated stdout differs from the cold run")
+endif()
+
+# Crash/hang/throw containment: a worker that aborts (SIGABRT), a worker that
+# hangs until the SIGKILL deadline, and a clean in-worker throw. The sweep
+# survives all three, attributes each correctly in the manifest, drops repro
+# bundles for the abnormal deaths, and streams the JSONL event feed.
+run_figure(crash_out crash_err --cache=${WORK_DIR}/iso-fault-cache --keep-going
+           --isolate=process --cell-deadline=60
+           --inject-faults=crash@1:*,hang@2:*,throw@4:*
+           --summary-out=${WORK_DIR}/iso-sum.txt
+           --events-out=${WORK_DIR}/iso-events.jsonl)
+if(NOT crash_err MATCHES "failed=3 retried=0 timed_out=1 crashed=1")
+  message(FATAL_ERROR "isolated sweep did not contain the injected faults:\n${crash_err}")
+endif()
+if(NOT crash_err MATCHES "simulated=${HEALTHY}")
+  message(FATAL_ERROR "isolated faulted sweep lost healthy cells:\n${crash_err}")
+endif()
+file(READ "${WORK_DIR}/iso-sum.txt.failures" iso_manifest)
+if(NOT iso_manifest MATCHES "failures 3")
+  message(FATAL_ERROR "isolated manifest does not list exactly 3 cells:\n${iso_manifest}")
+endif()
+if(NOT iso_manifest MATCHES "cell 1 [^\n]* crashed 1 signal 6")
+  message(FATAL_ERROR "crashed worker not attributed as SIGABRT:\n${iso_manifest}")
+endif()
+if(NOT iso_manifest MATCHES "cell 2 [^\n]* timed_out 1 crashed 0 signal 9")
+  message(FATAL_ERROR "hung worker not attributed as a SIGKILL timeout:\n${iso_manifest}")
+endif()
+foreach(cell IN ITEMS 1 2)
+  foreach(f IN ITEMS scenario.toml stderr.txt status.txt repro.txt)
+    if(NOT EXISTS "${WORK_DIR}/iso-sum.txt.crashes/cell-${cell}/${f}")
+      message(FATAL_ERROR "missing repro bundle file: cell-${cell}/${f}")
+    endif()
+  endforeach()
+endforeach()
+file(READ "${WORK_DIR}/iso-events.jsonl" iso_events)
+foreach(ev IN ITEMS cell_start cell_done cell_crashed cell_killed cell_failed)
+  if(NOT iso_events MATCHES "\"event\":\"${ev}\"")
+    message(FATAL_ERROR "event feed is missing ${ev}:\n${iso_events}")
+  endif()
+endforeach()
+
+# Fault-free in-process resume over the isolated cache: only the 3 failed
+# cells simulate, and stdout converges to the clean cold run bit-for-bit.
+run_figure(iso_resume_out iso_resume_err --cache=${WORK_DIR}/iso-fault-cache)
+if(NOT iso_resume_err MATCHES "hits=${HEALTHY} simulated=3")
+  message(FATAL_ERROR "isolated resume did not simulate exactly the failed cells:\n${iso_resume_err}")
+endif()
+if(NOT cold_out STREQUAL iso_resume_out)
+  message(FATAL_ERROR "isolated-crash resume stdout differs from the clean cold run")
+endif()
+
 # Fail-fast (the default) must abort on the first injected fault and name
 # the failing cell in the error.
 execute_process(
@@ -146,6 +221,17 @@ if(ff_code EQUAL 0 OR NOT ff_err MATCHES "sweep cell #1")
 endif()
 
 # --- CLI guard rails ----------------------------------------------------------
+# A missing merge source must fail with a one-line error naming the path,
+# not a traceback or a silent empty merge.
+execute_process(
+  COMMAND ${MERGE_TOOL} --into=${WORK_DIR}/merged-missing ${WORK_DIR}/no-such-shard
+  RESULT_VARIABLE missing_code
+  OUTPUT_VARIABLE missing_out
+  ERROR_VARIABLE missing_err)
+if(missing_code EQUAL 0 OR NOT missing_err MATCHES "no-such-shard' is not a directory")
+  message(FATAL_ERROR "merge_results did not reject a missing source dir: ${missing_err}")
+endif()
+
 execute_process(
   COMMAND ${FIGURE} --duration=8 --shard-index=2 --shard-count=2
   RESULT_VARIABLE bad_code

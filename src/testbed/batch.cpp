@@ -1,16 +1,26 @@
 #include "testbed/batch.hpp"
 
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cctype>
 #include <charconv>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
+#include <memory>
 #include <mutex>
+#include <new>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
 #include "sim/random.hpp"
+#include "sim/simulator.hpp"
 #include "testbed/fault_injection.hpp"
 #include "testbed/result_store.hpp"
+#include "testbed/scenario_io.hpp"
 #include "util/doc.hpp"
 
 namespace ebrc::testbed {
@@ -194,6 +204,221 @@ namespace {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
+// ---- cell-keyed fault injections --------------------------------------------
+
+/// Wedges the current attempt. In a worker subprocess we sleep far past any
+/// deadline and let the supervisor's SIGKILL end it; in-process we spin on
+/// the cooperative wall-deadline poll, which throws once --cell-deadline
+/// expires (or immediately when none is armed — an undetectable in-process
+/// hang would otherwise wedge the whole sweep).
+void hang_now(bool in_worker) {
+  if (in_worker) {
+    for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+  }
+  if (!sim::thread_wall_deadline_armed()) {
+    throw std::runtime_error("injected fault: hang with no --cell-deadline armed");
+  }
+  for (;;) {
+    sim::poll_thread_wall_deadline();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+/// Allocation storm. In a worker subprocess: cap our own address space, then
+/// allocate (and touch) until the cap bites — a deterministic, self-limiting
+/// stand-in for the kernel OOM killer — and abort. In-process: throw
+/// bad_alloc, modeling allocator exhaustion without destabilizing the sweep.
+void oom_now(bool in_worker, std::size_t cell) {
+  if (!in_worker) throw std::bad_alloc();
+  rlimit lim{};
+  ::getrlimit(RLIMIT_AS, &lim);
+  const rlim_t cap = rlim_t{1} << 31;  // 2 GiB: far above the sim footprint
+  if (lim.rlim_cur == RLIM_INFINITY || lim.rlim_cur > cap) {
+    lim.rlim_cur = cap;
+    ::setrlimit(RLIMIT_AS, &lim);
+  }
+  std::vector<std::unique_ptr<char[]>> hoard;
+  try {
+    constexpr std::size_t kBlock = std::size_t{16} << 20;
+    for (;;) {
+      hoard.push_back(std::make_unique<char[]>(kBlock));
+      for (std::size_t off = 0; off < kBlock; off += 4096) hoard.back()[off] = 1;
+    }
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "injected fault: oom storm at cell #%zu exhausted RLIMIT_AS\n", cell);
+  }
+  std::abort();
+}
+
+/// The cell-keyed injections shared by both isolation modes. kThrow and
+/// kOomStorm(in-process) surface as exceptions; kCrash aborts whichever
+/// process this is — under --isolate=process that is the worker, which is
+/// exactly the failure class process isolation exists to contain.
+void fire_cell_injections(std::size_t i, int attempt, bool in_worker) {
+  if (fault::fire(fault::Kind::kThrow, i, attempt)) {
+    throw std::runtime_error("injected fault: throw at cell #" + std::to_string(i) +
+                             " attempt " + std::to_string(attempt));
+  }
+  if (fault::fire(fault::Kind::kCrash, i, attempt)) {
+    std::fprintf(stderr, "injected fault: crash at cell #%zu attempt %d\n", i, attempt);
+    std::fflush(stderr);
+    std::abort();
+  }
+  if (fault::fire(fault::Kind::kHang, i, attempt)) hang_now(in_worker);
+  if (fault::fire(fault::Kind::kOomStorm, i, attempt)) oom_now(in_worker, i);
+}
+
+/// Arms the thread-local cooperative deadline for one in-process attempt.
+struct WallDeadlineGuard {
+  bool armed = false;
+  explicit WallDeadlineGuard(double seconds) {
+    if (seconds > 0) {
+      sim::arm_thread_wall_deadline(seconds);
+      armed = true;
+    }
+  }
+  ~WallDeadlineGuard() {
+    if (armed) sim::disarm_thread_wall_deadline();
+  }
+  WallDeadlineGuard(const WallDeadlineGuard&) = delete;
+  WallDeadlineGuard& operator=(const WallDeadlineGuard&) = delete;
+};
+
+// ---- process-isolated cell execution ----------------------------------------
+
+/// Writes `payload` via temp + rename so the parent never reads a torn file.
+void write_handoff(const std::filesystem::path& path, const std::string& payload) {
+  namespace fs = std::filesystem;
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.write(payload.data(), static_cast<std::streamsize>(payload.size())) ||
+        !out.flush()) {
+      throw std::runtime_error("worker: cannot write result handoff " + tmp.string());
+    }
+  }
+  fs::rename(tmp, path);
+}
+
+[[nodiscard]] std::optional<ExperimentResult> read_handoff(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string payload((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return decode_result(payload);
+}
+
+struct WorkerReturn {
+  std::optional<ExperimentResult> result;  // set iff the worker succeeded
+  WorkerOutcome outcome;
+};
+
+/// One supervised attempt of one cell. The forked child re-runs the exact
+/// in-process executor (same code, same seed — bit-identical numbers),
+/// stores through its OWN ResultStore (fork can snapshot the parent's store
+/// mutexes mid-lock; a fresh instance has fresh mutexes and the on-disk
+/// format is concurrent-writer safe), and hands the encoded result back
+/// through a temp+rename file the parent decodes after reaping.
+[[nodiscard]] WorkerReturn run_cell_worker(const Scenario& sc, std::size_t i, int attempt,
+                                           const ResultStore* store, const RunPolicy& policy) {
+  namespace fs = std::filesystem;
+  const fs::path handoff =
+      fs::temp_directory_path() /
+      ("ebrc-cell-" + std::to_string(::getpid()) + "-" + std::to_string(i) + "-" +
+       std::to_string(attempt) + ".handoff");
+  std::error_code ec;
+  fs::remove(handoff, ec);
+  const fs::path store_root = store != nullptr ? store->root() : fs::path{};
+  const std::uint64_t store_salt = store != nullptr ? store->salt() : 0;
+
+  WorkerLimits limits;
+  limits.deadline_s = policy.cell_deadline_s;
+  WorkerReturn ret;
+  ret.outcome = run_supervised(
+      [&]() -> int {
+        fire_cell_injections(i, attempt, /*in_worker=*/true);
+        const ExperimentResult r = run_experiment(sc);
+        if (!store_root.empty()) {
+          const ResultStore child_store(store_root, store_salt);
+          child_store.store(sc, r);
+        }
+        write_handoff(handoff, encode_result(r));
+        return 0;
+      },
+      limits);
+  if (ret.outcome.ok) {
+    ret.result = read_handoff(handoff);
+    if (!ret.result) {
+      // Exited 0 without a readable result: treat as a failed attempt rather
+      // than silently dropping the cell.
+      ret.outcome.ok = false;
+      ret.outcome.stderr_tail += "worker exited 0 but left no readable result handoff\n";
+    }
+  }
+  fs::remove(handoff, ec);
+  return ret;
+}
+
+/// Condenses a stderr tail into a single-line suffix for CellFailure::what.
+[[nodiscard]] std::string tail_snippet(const std::string& tail) {
+  if (tail.empty()) return {};
+  std::string s = tail;
+  for (char& c : s) {
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  }
+  constexpr std::size_t kMax = 240;
+  if (s.size() > kMax) s = "..." + s.substr(s.size() - kMax);
+  while (!s.empty() && s.back() == ' ') s.pop_back();
+  return s;
+}
+
+/// Repro bundle for a crashed/killed cell: everything needed to rerun it.
+/// Best-effort by design — diagnostics must never fail the sweep.
+void write_crash_bundle(const RunPolicy& policy, std::size_t i, int attempt,
+                        const Scenario& sc, const WorkerOutcome& outcome) {
+  if (policy.crash_dir.empty()) return;
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(policy.crash_dir) / ("cell-" + std::to_string(i));
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return;
+  try {
+    // The scenario TOML serializes the derived seed, so replaying this file
+    // replays this exact cell.
+    save_scenario(sc, dir / "scenario.toml");
+  } catch (...) {
+  }
+  {
+    std::ofstream out(dir / "stderr.txt", std::ios::binary | std::ios::trunc);
+    out << outcome.stderr_tail;
+  }
+  {
+    std::ofstream out(dir / "status.txt", std::ios::trunc);
+    out << "cell " << i << "\n"
+        << "scenario " << sc.name << "\n"
+        << "seed " << sc.seed << "\n"
+        << "attempt " << attempt << "\n"
+        << "outcome " << outcome.describe() << "\n"
+        << "exit_code " << outcome.exit_code << "\n"
+        << "term_signal " << outcome.term_signal << "\n"
+        << "elapsed_s " << outcome.elapsed_s << "\n"
+        << "max_rss_kb " << outcome.max_rss_kb << "\n";
+  }
+  {
+    std::ofstream out(dir / "repro.txt", std::ios::trunc);
+    out << "# scenario.toml carries this cell's derived seed; with the sweep's\n"
+           "# --cache attached, re-running the original invocation simulates\n"
+           "# only the missing cells, so it reproduces this crash directly:\n";
+    if (!policy.invocation.empty()) out << policy.invocation << "\n";
+  }
+}
+
+void emit_event(const RunPolicy& policy, std::string_view event, std::size_t i,
+                const Scenario& sc, int attempt, double elapsed_s = -1.0, long rss_kb = -1,
+                std::string_view detail = {}) {
+  if (policy.events == nullptr) return;
+  policy.events->emit(event, i, sc.name, sc.seed, attempt, elapsed_s, rss_kb, detail);
+}
+
 }  // namespace
 
 std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scenarios,
@@ -250,6 +475,7 @@ std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scen
     const std::size_t i = todo[k];
     const Scenario& sc = scenarios[i];
     const int attempts_allowed = 1 + std::max(0, policy.max_retries);
+    const bool isolate = policy.isolate == IsolationMode::kProcess;
     CellFailure fail;
     fail.index = i;
     fail.scenario = sc.name;
@@ -258,6 +484,7 @@ std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scen
     for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
       if (attempt > 0) {
         retried.fetch_add(1, std::memory_order_relaxed);
+        emit_event(policy, "retry", i, sc, attempt);
         if (policy.backoff_base_s > 0) {
           // Deterministic exponential backoff: base * 2^(attempt-1).
           const double scale = static_cast<double>(1ull << std::min(attempt - 1, 30));
@@ -267,12 +494,52 @@ std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scen
       }
       fail.attempts = attempt + 1;
       fail.timed_out = false;
+      fail.crashed = false;
+      fail.signal = 0;
+      emit_event(policy, "cell_start", i, sc, attempt);
       const auto t0 = std::chrono::steady_clock::now();
-      try {
-        if (fault::fire(fault::Kind::kThrow, i, attempt)) {
-          throw std::runtime_error("injected fault: throw at cell #" + std::to_string(i) +
-                                   " attempt " + std::to_string(attempt));
+
+      if (isolate) {
+        // Process isolation: the attempt runs in a forked, supervised
+        // worker; any way it can die — throw, SIGSEGV, OOM kill, wedge —
+        // lands here as a WorkerOutcome instead of taking the sweep down.
+        WorkerReturn wr = run_cell_worker(sc, i, attempt, store, policy);
+        fail.elapsed_s = wr.outcome.elapsed_s;
+        fail.max_rss_kb = wr.outcome.max_rss_kb;
+        if (wr.result) {
+          out[i] = std::move(*wr.result);
+          // The worker stored the entry and appended the on-disk index
+          // record itself; admit the key so this process's index agrees.
+          if (store != nullptr) store->admit(sc);
+          done[i] = 1;
+          emit_event(policy, "cell_done", i, sc, attempt, wr.outcome.elapsed_s,
+                     wr.outcome.max_rss_kb);
+          return;
         }
+        fail.crashed = wr.outcome.crashed;
+        fail.signal = wr.outcome.term_signal;
+        fail.timed_out = wr.outcome.killed;
+        fail.what = wr.outcome.describe();
+        if (const std::string snippet = tail_snippet(wr.outcome.stderr_tail);
+            !snippet.empty()) {
+          fail.what += "; stderr: " + snippet;
+        }
+        if (wr.outcome.crashed || wr.outcome.killed) {
+          write_crash_bundle(policy, i, attempt, sc, wr.outcome);
+        }
+        emit_event(policy,
+                   wr.outcome.killed ? "cell_killed"
+                   : wr.outcome.crashed ? "cell_crashed"
+                                        : "cell_failed",
+                   i, sc, attempt, wr.outcome.elapsed_s, wr.outcome.max_rss_kb, fail.what);
+        continue;  // a retry (same seed) may clear a transient crash
+      }
+
+      try {
+        // Arm the cooperative wall deadline before the injections so an
+        // injected in-process hang spins on a live deadline.
+        WallDeadlineGuard deadline_guard(policy.cell_deadline_s);
+        fire_cell_injections(i, attempt, /*in_worker=*/false);
         ExperimentResult r = run_experiment(sc);
         double elapsed = seconds_since(t0);
         if (fault::fire(fault::Kind::kDeadlineOverrun, i, attempt)) {
@@ -283,12 +550,20 @@ std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scen
           fail.timed_out = true;
           fail.what = "cell exceeded --cell-deadline (" + std::to_string(elapsed) + " s > " +
                       std::to_string(policy.cell_deadline_s) + " s)";
+          emit_event(policy, "cell_failed", i, sc, attempt, elapsed, -1, fail.what);
           continue;  // a retry may clear a transient stall
         }
         out[i] = std::move(r);
         if (store != nullptr) store->store(sc, out[i]);
         done[i] = 1;
+        emit_event(policy, "cell_done", i, sc, attempt, elapsed);
         return;
+      } catch (const sim::WallDeadlineError& e) {
+        // The 64k-event poll preempted a cell running past --cell-deadline.
+        fail.elapsed_s = seconds_since(t0);
+        fail.timed_out = true;
+        fail.what = "cell exceeded --cell-deadline (" + std::to_string(fail.elapsed_s) +
+                    " s > " + std::to_string(policy.cell_deadline_s) + " s): " + e.what();
       } catch (const std::exception& e) {
         fail.elapsed_s = seconds_since(t0);
         fail.what = e.what();
@@ -296,6 +571,7 @@ std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scen
         fail.elapsed_s = seconds_since(t0);
         fail.what = "unknown exception";
       }
+      emit_event(policy, "cell_failed", i, sc, attempt, fail.elapsed_s, -1, fail.what);
     }
     if (!policy.keep_going) {
       // Fail fast, but never anonymously: a crashing million-cell sweep
@@ -322,6 +598,7 @@ std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scen
   rep.failed = failures.size();
   for (const auto& f : failures) {
     if (f.timed_out) ++rep.timed_out;
+    if (f.crashed) ++rep.crashed;
   }
   rep.retried = retried.load(std::memory_order_relaxed);
   rep.failures = std::move(failures);
@@ -446,19 +723,23 @@ void save_failure_manifest(const std::vector<CellFailure>& failures,
                            const std::filesystem::path& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("save_failure_manifest: cannot open " + path.string());
-  out << "ebrc-failure-manifest v1\n";
+  out << "ebrc-failure-manifest v2\n";
   out << "failures " << failures.size() << "\n";
   for (const auto& f : failures) {
     std::string name = f.scenario;
     for (char& c : name) {
-      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+      // The loader tokenizes on whitespace; any control character (operator>>
+      // treats \v and \f as whitespace too) would shear the line apart.
+      const auto u = static_cast<unsigned char>(c);
+      if (u <= 0x20 || u == 0x7f) c = '_';
     }
     std::string what = f.what;
     for (char& c : what) {
       if (c == '\n' || c == '\r') c = ' ';
     }
     out << "cell " << f.index << " seed " << f.seed << " shard " << f.shard << " attempts "
-        << f.attempts << " timed_out " << (f.timed_out ? 1 : 0) << " elapsed_s "
+        << f.attempts << " timed_out " << (f.timed_out ? 1 : 0) << " crashed "
+        << (f.crashed ? 1 : 0) << " signal " << f.signal << " elapsed_s "
         << util::format_double(f.elapsed_s) << " scenario " << name << " what " << what << "\n";
   }
   if (!out.flush()) {
@@ -471,9 +752,9 @@ std::vector<CellFailure> load_failure_manifest(const std::filesystem::path& path
   if (!in) throw std::runtime_error("load_failure_manifest: cannot open " + path.string());
   std::string header;
   std::getline(in, header);
-  if (header != "ebrc-failure-manifest v1") {
+  if (header != "ebrc-failure-manifest v2") {
     throw std::invalid_argument("load_failure_manifest: " + path.string() +
-                                " is not a failure manifest");
+                                " is not a v2 failure manifest");
   }
   std::string count_line;
   std::getline(in, count_line);
@@ -491,19 +772,23 @@ std::vector<CellFailure> load_failure_manifest(const std::filesystem::path& path
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream fields(line);
-    std::string cell_tag, seed_tag, shard_tag, attempts_tag, timed_tag, elapsed_tag,
-        scenario_tag, what_tag;
+    std::string cell_tag, seed_tag, shard_tag, attempts_tag, timed_tag, crashed_tag,
+        signal_tag, elapsed_tag, scenario_tag, what_tag;
     CellFailure f;
     int timed = 0;
+    int crashed = 0;
     fields >> cell_tag >> f.index >> seed_tag >> f.seed >> shard_tag >> f.shard >>
-        attempts_tag >> f.attempts >> timed_tag >> timed >> elapsed_tag >> f.elapsed_s >>
-        scenario_tag >> f.scenario >> what_tag;
+        attempts_tag >> f.attempts >> timed_tag >> timed >> crashed_tag >> crashed >>
+        signal_tag >> f.signal >> elapsed_tag >> f.elapsed_s >> scenario_tag >> f.scenario >>
+        what_tag;
     if (fields.fail() || cell_tag != "cell" || seed_tag != "seed" || shard_tag != "shard" ||
-        attempts_tag != "attempts" || timed_tag != "timed_out" || elapsed_tag != "elapsed_s" ||
-        scenario_tag != "scenario" || what_tag != "what") {
+        attempts_tag != "attempts" || timed_tag != "timed_out" || crashed_tag != "crashed" ||
+        signal_tag != "signal" || elapsed_tag != "elapsed_s" || scenario_tag != "scenario" ||
+        what_tag != "what") {
       throw std::invalid_argument("load_failure_manifest: malformed line '" + line + "'");
     }
     f.timed_out = timed != 0;
+    f.crashed = crashed != 0;
     std::getline(fields, f.what);
     if (!f.what.empty() && f.what.front() == ' ') f.what.erase(0, 1);
     out.push_back(std::move(f));

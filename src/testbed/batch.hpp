@@ -23,6 +23,7 @@
 #include "stats/online.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/scenario.hpp"
+#include "testbed/supervisor.hpp"
 
 namespace ebrc::testbed {
 
@@ -52,8 +53,11 @@ struct CellFailure {
   std::size_t shard = 0;      // shard index that owned the cell
   int attempts = 0;           // total attempts made (1 = no retries)
   bool timed_out = false;     // final attempt tripped the cell deadline
+  bool crashed = false;       // final attempt's worker died on a signal
+  int signal = 0;             // the terminating signal when crashed/killed
   double elapsed_s = 0.0;     // wall-clock of the final attempt
-  std::string what;           // exception what() or the deadline diagnostic
+  long max_rss_kb = 0;        // worker peak RSS (process isolation only)
+  std::string what;           // exception what() or the supervisor diagnostic
 };
 
 /// How run() treats a failing cell. The default is the historical behavior:
@@ -68,6 +72,23 @@ struct RunPolicy {
   int max_retries = 0;        // extra attempts per failing cell, same seed
   double cell_deadline_s = 0;  // > 0: wall-clock budget per attempt
   double backoff_base_s = 0;  // sleep base*2^k before retry k+1 (0 = none)
+
+  /// kProcess runs every simulated attempt in a forked, supervised worker
+  /// subprocess: a SIGSEGV/OOM-killed/wedged cell becomes a retryable
+  /// CellFailure instead of taking the sweep down, and cell_deadline_s is
+  /// enforced with a hard SIGKILL rather than the cooperative in-process
+  /// poll. Results cross back bit-exactly (encoded double bit patterns), so
+  /// isolation never changes numbers. Cache probes stay in-process either
+  /// way — a warm sweep forks nothing.
+  IsolationMode isolate = IsolationMode::kInProcess;
+  /// When non-empty, each crashed/killed cell leaves a repro bundle under
+  /// <crash_dir>/cell-<index>/ (scenario TOML with the derived seed, the
+  /// worker's stderr tail, exit status, and the sweep invocation).
+  std::string crash_dir;
+  /// The driver's command line, verbatim, for the repro bundle.
+  std::string invocation;
+  /// Optional JSONL telemetry sink (not owned; must outlive run()).
+  SweepEventFeed* events = nullptr;
 };
 
 /// What a (possibly cached, possibly sharded) batch run actually did.
@@ -82,6 +103,7 @@ struct SweepReport {
   std::size_t failed = 0;     // cells that exhausted their attempts (keep_going)
   std::size_t retried = 0;    // extra attempts consumed across all cells
   std::size_t timed_out = 0;  // failed cells whose last attempt hit the deadline
+  std::size_t crashed = 0;    // failed cells whose last attempt died on a signal
   std::size_t quarantined = 0;  // corrupt cache entries moved to *.corrupt
   std::vector<std::uint8_t> available;  // per-index: result slot populated
   std::vector<CellFailure> failures;    // index-ordered, one per failed cell
@@ -167,11 +189,11 @@ class BatchRunner {
   ///
   /// `policy` governs failing cells (see RunPolicy): fail fast by default;
   /// under keep_going a failed cell is recorded in report->failures and the
-  /// rest of the sweep completes. The per-attempt deadline is cooperative —
-  /// it is checked when the cell finishes (an in-process watchdog cannot
-  /// safely tear down a running simulation), so a timed-out cell costs its
-  /// own wall-clock but is excluded from results and the store, exactly as
-  /// if it had thrown.
+  /// rest of the sweep completes. The per-attempt deadline is cooperative
+  /// in-process — polled inside the simulator event loop every 64k events,
+  /// so a runaway cell times out mid-run — and a hard SIGKILL under
+  /// policy.isolate = kProcess. Either way a timed-out cell is excluded
+  /// from results and the store, exactly as if it had thrown.
   [[nodiscard]] std::vector<ExperimentResult> run(const std::vector<Scenario>& scenarios,
                                                   const ResultStore* store,
                                                   ShardSpec shard = {},
@@ -227,10 +249,11 @@ void save_batch_result(const BatchResult& result, const std::filesystem::path& p
 
 /// Text round-trip for the failure manifest a keep_going sweep writes next
 /// to --summary-out (one "cell <index> seed <seed> shard <shard> attempts
-/// <n> timed_out <0|1> elapsed_s <s> scenario <name> what <message...>"
-/// line per failure; whitespace in scenario names is sanitized to '_', the
-/// message keeps the rest of the line verbatim). load throws on unreadable
-/// or malformed files.
+/// <n> timed_out <0|1> crashed <0|1> signal <n> elapsed_s <s> scenario
+/// <name> what <message...>" line per failure; whitespace and control
+/// characters in scenario names are sanitized to '_', the message keeps the
+/// rest of the line with newlines flattened). load throws on unreadable or
+/// malformed files.
 void save_failure_manifest(const std::vector<CellFailure>& failures,
                            const std::filesystem::path& path);
 [[nodiscard]] std::vector<CellFailure> load_failure_manifest(const std::filesystem::path& path);

@@ -10,8 +10,8 @@ namespace ebrc::testbed::fault {
 namespace {
 
 std::mutex g_mu;
-std::vector<Injection> g_plan;          // guarded by g_mu
-std::atomic<bool> g_armed{false};       // fast-path gate
+std::vector<Injection> g_plan;          // written under g_mu, read lock-free
+std::atomic<bool> g_armed{false};       // fast-path gate + publish fence
 std::atomic<std::uint64_t> g_fired{0};
 
 [[nodiscard]] std::uint64_t parse_u64(std::string_view token, const std::string& context) {
@@ -38,6 +38,15 @@ std::atomic<std::uint64_t> g_fired{0};
   } else if (kind_name == "timeout") {
     inj.kind = Kind::kDeadlineOverrun;
     takes_attempt = true;
+  } else if (kind_name == "crash") {
+    inj.kind = Kind::kCrash;
+    takes_attempt = true;
+  } else if (kind_name == "hang") {
+    inj.kind = Kind::kHang;
+    takes_attempt = true;
+  } else if (kind_name == "oom") {
+    inj.kind = Kind::kOomStorm;
+    takes_attempt = true;
   } else if (kind_name == "torn-cache") {
     inj.kind = Kind::kTornCacheWrite;
   } else if (kind_name == "torn-index") {
@@ -45,7 +54,7 @@ std::atomic<std::uint64_t> g_fired{0};
   } else {
     throw std::invalid_argument(
         "fault plan: unknown kind '" + kind_name +
-        "' (known: throw, timeout, torn-cache, torn-index) in '" + token + "'");
+        "' (known: throw, timeout, crash, hang, oom, torn-cache, torn-index) in '" + token + "'");
   }
 
   std::string rest = token.substr(at + 1);
@@ -81,11 +90,16 @@ void disarm() { arm({}); }
 bool armed() noexcept { return g_armed.load(std::memory_order_acquire); }
 
 bool fire(Kind kind, std::uint64_t key, int attempt) {
+  // Lock-free on purpose: fire() runs inside forked worker subprocesses,
+  // which inherit the parent's mutexes in whatever state the moment of fork
+  // caught them — taking g_mu here could deadlock a child forever. arm()'s
+  // release-store on g_armed publishes the plan; the acquire-load above
+  // makes reading g_plan without the lock safe as long as nobody re-arms
+  // mid-sweep (see the header contract).
   if (!armed()) return false;
-  std::lock_guard<std::mutex> lock(g_mu);
   for (const auto& inj : g_plan) {
     if (inj.kind != kind || inj.key != key) continue;
-    if (kind == Kind::kThrow || kind == Kind::kDeadlineOverrun) {
+    if (kind != Kind::kTornCacheWrite && kind != Kind::kTornIndexRecord) {
       if (inj.attempt != kEveryAttempt && inj.attempt != attempt) continue;
     }
     g_fired.fetch_add(1, std::memory_order_relaxed);

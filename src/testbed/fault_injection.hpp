@@ -17,6 +17,22 @@
 //   kDeadlineOverrun  — inflate the cell's measured wall-clock elapsed past
 //                       the configured --cell-deadline, as if the cell hung.
 //                       key = batch cell index; attempt as above.
+//   kCrash            — abort() inside the cell executor, modeling SIGSEGV /
+//                       SIGABRT worker death. Under --isolate=process only
+//                       the worker subprocess dies; in-process it takes the
+//                       whole driver down (that asymmetry is the point).
+//                       key = batch cell index; attempt as above.
+//   kHang             — wedge the cell: under --isolate=process the worker
+//                       sleeps far past any deadline until the supervisor
+//                       SIGKILLs it; in-process it spins on the cooperative
+//                       wall-deadline poll until that throws. key = batch
+//                       cell index; attempt as above.
+//   kOomStorm         — allocate until the allocator gives out: under
+//                       --isolate=process the worker caps its own RLIMIT_AS,
+//                       allocates to the cap, and aborts (a deterministic
+//                       stand-in for the kernel OOM killer); in-process it
+//                       throws std::bad_alloc. key = batch cell index;
+//                       attempt as above.
 //   kTornCacheWrite   — truncate a ResultStore entry to half its size right
 //                       after the atomic rename, modeling post-crash on-disk
 //                       corruption. key = the store's write ordinal (0-based
@@ -27,11 +43,12 @@
 //
 // Plans parse from a compact spec string (the --inject-faults value):
 //
-//   "throw@3,throw@7:1,timeout@5,torn-cache@0,torn-index@2"
+//   "throw@3,throw@7:1,timeout@5,crash@1:*,hang@2:*,oom@4,torn-cache@0"
 //
 // i.e. comma/semicolon-separated `kind@key[:attempt]` tokens where kind is
-// throw | timeout | torn-cache | torn-index and `:attempt` (throw/timeout
-// only) selects the attempt to fire on (`:*` = every attempt).
+// throw | timeout | crash | hang | oom | torn-cache | torn-index and
+// `:attempt` (all cell-keyed kinds) selects the attempt to fire on
+// (`:*` = every attempt).
 #pragma once
 
 #include <cstdint>
@@ -40,7 +57,15 @@
 
 namespace ebrc::testbed::fault {
 
-enum class Kind { kThrow, kDeadlineOverrun, kTornCacheWrite, kTornIndexRecord };
+enum class Kind {
+  kThrow,
+  kDeadlineOverrun,
+  kCrash,
+  kHang,
+  kOomStorm,
+  kTornCacheWrite,
+  kTornIndexRecord,
+};
 
 /// Fires on every attempt instead of one specific attempt number.
 inline constexpr int kEveryAttempt = -1;
@@ -48,10 +73,14 @@ inline constexpr int kEveryAttempt = -1;
 struct Injection {
   Kind kind = Kind::kThrow;
   std::uint64_t key = 0;  // cell index or write/append ordinal (see above)
-  int attempt = 0;        // kThrow/kDeadlineOverrun only; kEveryAttempt = all
+  int attempt = 0;        // cell-keyed kinds only; kEveryAttempt = all
 };
 
-/// Replaces the armed plan. Thread-safe; injections apply process-wide.
+/// Replaces the armed plan. Thread-safe against other arm()/disarm() calls,
+/// but must not race a concurrent fire(): the read path is deliberately
+/// lock-free so a forked worker can fire() without touching a mutex the
+/// parent's threads may hold (fork snapshots mutexes mid-lock). Sweeps arm
+/// the plan before launching workers and disarm after joining them.
 void arm(std::vector<Injection> plan);
 
 /// Clears the plan; every subsequent fire() is false.

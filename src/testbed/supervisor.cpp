@@ -1,0 +1,272 @@
+#include "testbed/supervisor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#if defined(__GLIBC__)
+#include <stdio_ext.h>
+#endif
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <stdexcept>
+#include <thread>
+
+namespace ebrc::testbed {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+[[nodiscard]] std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+/// Appends to a bounded tail buffer: only the last `limit` bytes survive.
+void append_tail(std::string& tail, const char* data, std::size_t n, std::size_t limit) {
+  tail.append(data, n);
+  if (tail.size() > limit) tail.erase(0, tail.size() - limit);
+}
+
+/// Reads everything currently available on a nonblocking fd into the tail.
+/// Returns false once the write end is closed (EOF).
+bool drain_pipe(int fd, std::string& tail, std::size_t limit) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      append_tail(tail, buf, static_cast<std::size_t>(n), limit);
+      continue;
+    }
+    if (n == 0) return false;  // EOF: worker (and any stray children) gone
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;  // unexpected read error: treat as closed
+  }
+}
+
+}  // namespace
+
+IsolationMode isolation_from(const std::string& name) {
+  if (name == "none" || name == "in-process") return IsolationMode::kInProcess;
+  if (name == "process") return IsolationMode::kProcess;
+  throw std::invalid_argument("--isolate: unknown mode '" + name +
+                              "' (valid: none, process)");
+}
+
+const char* isolation_name(IsolationMode mode) noexcept {
+  return mode == IsolationMode::kProcess ? "process" : "none";
+}
+
+std::string signal_name(int sig) {
+  switch (sig) {
+    case SIGHUP: return "SIGHUP";
+    case SIGINT: return "SIGINT";
+    case SIGQUIT: return "SIGQUIT";
+    case SIGILL: return "SIGILL";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGKILL: return "SIGKILL";
+    case SIGSEGV: return "SIGSEGV";
+    case SIGPIPE: return "SIGPIPE";
+    case SIGALRM: return "SIGALRM";
+    case SIGTERM: return "SIGTERM";
+    case SIGXCPU: return "SIGXCPU";
+    case SIGXFSZ: return "SIGXFSZ";
+    default: return "signal " + std::to_string(sig);
+  }
+}
+
+std::string WorkerOutcome::describe() const {
+  if (ok) return "exited 0";
+  if (killed) {
+    return "killed at the cell deadline (SIGKILL) after " + format_seconds(elapsed_s) + " s";
+  }
+  if (crashed) {
+    std::string s = "crashed: " + signal_name(term_signal);
+    if (term_signal == SIGKILL) {
+      // We did not send it (killed would be set) — the kernel OOM killer is
+      // the usual sender of an unexplained SIGKILL.
+      s += " (not sent by the supervisor — possibly the kernel OOM killer)";
+    }
+    return s;
+  }
+  if (exit_code >= 0) return "exited " + std::to_string(exit_code);
+  return "did not start";
+}
+
+WorkerOutcome run_supervised(const std::function<int()>& body, const WorkerLimits& limits) {
+  WorkerOutcome out;
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    out.stderr_tail = errno_message("pipe");
+    return out;
+  }
+
+  const auto t0 = Clock::now();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    out.stderr_tail = errno_message("fork");
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return out;
+  }
+
+  if (pid == 0) {
+    // ---- worker ----
+    // Die with the parent: a crashed supervisor must not leak workers.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    ::close(fds[0]);
+#if defined(__GLIBC__)
+    // Discard the parent's not-yet-flushed stdio buffers inherited across
+    // the fork: the child's final flush must emit only what the CHILD
+    // wrote, not replay half the parent's banner into the stderr tail.
+    __fpurge(stdout);
+    __fpurge(stderr);
+#endif
+    // Both stdout and stderr go to the supervision pipe so nothing a dying
+    // worker prints can reach the parent's bit-comparable stdout.
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::dup2(fds[1], STDERR_FILENO);
+    if (fds[1] != STDOUT_FILENO && fds[1] != STDERR_FILENO) ::close(fds[1]);
+    int code = 1;
+    try {
+      code = body();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "worker: %s\n", e.what());
+    } catch (...) {
+      std::fprintf(stderr, "worker: unknown exception\n");
+    }
+    std::cout.flush();
+    std::cerr.flush();
+    std::fflush(nullptr);
+    ::_exit(code);  // never exit(): inherited stdio buffers must not reflush
+  }
+
+  // ---- supervisor ----
+  ::close(fds[1]);
+  const int rfd = fds[0];
+  ::fcntl(rfd, F_SETFL, ::fcntl(rfd, F_GETFL, 0) | O_NONBLOCK);
+
+  const bool has_deadline = limits.deadline_s > 0.0;
+  const auto deadline = t0 + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     has_deadline ? limits.deadline_s : 0.0));
+  std::string tail;
+  bool pipe_open = true;
+  int status = 0;
+  rusage ru{};
+  for (;;) {
+    if (has_deadline && !out.killed && Clock::now() >= deadline) {
+      ::kill(pid, SIGKILL);
+      out.killed = true;
+    }
+    const pid_t r = ::wait4(pid, &status, WNOHANG, &ru);
+    if (r == pid) break;
+    if (r < 0 && errno != EINTR) break;  // ECHILD: nothing left to reap
+    if (pipe_open) {
+      pollfd p{rfd, POLLIN, 0};
+      if (::poll(&p, 1, /*timeout_ms=*/20) > 0) {
+        pipe_open = drain_pipe(rfd, tail, limits.stderr_tail_bytes);
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  // The pipe buffer can still hold the worker's last words after the reap.
+  if (pipe_open) drain_pipe(rfd, tail, limits.stderr_tail_bytes);
+  ::close(rfd);
+
+  out.elapsed_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.max_rss_kb = ru.ru_maxrss;
+  out.stderr_tail = std::move(tail);
+  if (WIFEXITED(status)) {
+    out.exit_code = WEXITSTATUS(status);
+    out.ok = !out.killed && out.exit_code == 0;
+  } else if (WIFSIGNALED(status)) {
+    out.term_signal = WTERMSIG(status);
+    // A SIGKILL we sent is a deadline kill, not a crash.
+    out.crashed = !(out.killed && out.term_signal == SIGKILL);
+  }
+  return out;
+}
+
+namespace {
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+SweepEventFeed::SweepEventFeed(const std::filesystem::path& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("--events-out: cannot open '" + path.string() + "' for writing");
+  }
+}
+
+void SweepEventFeed::emit(std::string_view event, std::size_t cell, std::string_view scenario,
+                          std::uint64_t seed, int attempt, double elapsed_s, long rss_kb,
+                          std::string_view detail) {
+  const double ts = std::chrono::duration<double>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  std::string line;
+  line.reserve(160 + scenario.size() + detail.size());
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"ts\":%.6f,\"event\":\"", ts);
+  line += buf;
+  json_escape_into(line, event);
+  line += "\",\"cell\":" + std::to_string(cell) + ",\"scenario\":\"";
+  json_escape_into(line, scenario);
+  line += "\",\"seed\":" + std::to_string(seed) + ",\"attempt\":" + std::to_string(attempt);
+  if (elapsed_s >= 0.0) {
+    std::snprintf(buf, sizeof(buf), ",\"elapsed_s\":%.6f", elapsed_s);
+    line += buf;
+  }
+  if (rss_kb >= 0) line += ",\"rss_kb\":" + std::to_string(rss_kb);
+  if (!detail.empty()) {
+    line += ",\"detail\":\"";
+    json_escape_into(line, detail);
+    line += "\"";
+  }
+  line += "}\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line;
+  out_.flush();  // per-line: the feed must be tail-able mid-sweep
+}
+
+}  // namespace ebrc::testbed

@@ -12,12 +12,15 @@
 //     round-trip and reject malformed input.
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <bit>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -27,6 +30,7 @@
 #include "testbed/fault_injection.hpp"
 #include "testbed/result_store.hpp"
 #include "testbed/scenario.hpp"
+#include "testbed/scenario_io.hpp"
 
 namespace {
 
@@ -104,6 +108,16 @@ TEST(FaultInjection, PlanSpecParsesAndRejectsMalformedInput) {
   EXPECT_EQ(plan[3].kind, fault::Kind::kTornCacheWrite);
   EXPECT_EQ(plan[4].kind, fault::Kind::kTornIndexRecord);
   EXPECT_EQ(plan[4].key, 2u);
+
+  const auto process_plan = fault::parse_plan("crash@1:*,hang@2,oom@4:1");
+  ASSERT_EQ(process_plan.size(), 3u);
+  EXPECT_EQ(process_plan[0].kind, fault::Kind::kCrash);
+  EXPECT_EQ(process_plan[0].key, 1u);
+  EXPECT_EQ(process_plan[0].attempt, fault::kEveryAttempt);
+  EXPECT_EQ(process_plan[1].kind, fault::Kind::kHang);
+  EXPECT_EQ(process_plan[1].attempt, 0);
+  EXPECT_EQ(process_plan[2].kind, fault::Kind::kOomStorm);
+  EXPECT_EQ(process_plan[2].attempt, 1);
 
   EXPECT_THROW((void)fault::parse_plan(""), std::invalid_argument);
   EXPECT_THROW((void)fault::parse_plan("explode@1"), std::invalid_argument);
@@ -304,6 +318,246 @@ TEST(FaultTolerance, FailureManifestRoundTripsAndSanitizes) {
 
   EXPECT_THROW((void)ebrc::testbed::load_failure_manifest(dir.path / "absent"),
                std::runtime_error);
+}
+
+TEST(FaultTolerance, FailureManifestRoundTripsCrashFieldsAndControlChars) {
+  TempDir dir;
+  std::vector<CellFailure> failures(2);
+  failures[0].index = 2;
+  // \v and \f are isspace for operator>> but were NOT sanitized pre-v2;
+  // pipes and 0x01 ride along to prove all control chars flatten to '_'.
+  failures[0].scenario = std::string("evil\vname\fwith|pipe\x01" "and\nnewline");
+  failures[0].seed = 99;
+  failures[0].attempts = 2;
+  failures[0].crashed = true;
+  failures[0].signal = 11;
+  failures[0].what = "crashed: SIGSEGV";
+  failures[1].index = 5;
+  failures[1].scenario = "hung-cell";
+  failures[1].timed_out = true;
+  failures[1].signal = 9;
+  failures[1].attempts = 1;
+  failures[1].what = "killed at the cell deadline";
+
+  const fs::path path = dir.path / "sweep.failures";
+  ebrc::testbed::save_failure_manifest(failures, path);
+  const auto loaded = ebrc::testbed::load_failure_manifest(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].scenario, "evil_name_with|pipe_and_newline");
+  EXPECT_TRUE(loaded[0].crashed);
+  EXPECT_EQ(loaded[0].signal, 11);
+  EXPECT_FALSE(loaded[0].timed_out);
+  EXPECT_EQ(loaded[0].what, "crashed: SIGSEGV");
+  EXPECT_TRUE(loaded[1].timed_out);
+  EXPECT_FALSE(loaded[1].crashed);
+  EXPECT_EQ(loaded[1].signal, 9);
+}
+
+TEST(FaultTolerance, EmptyFailureManifestRoundTripsAsEmpty) {
+  TempDir dir;
+  const fs::path path = dir.path / "clean.failures";
+  ebrc::testbed::save_failure_manifest({}, path);
+  const auto loaded = ebrc::testbed::load_failure_manifest(path);
+  EXPECT_TRUE(loaded.empty());
+}
+
+// ---- process isolation ------------------------------------------------------
+
+TEST(ProcessIsolation, BitIdenticalToInProcessRun) {
+  const auto batch = ebrc::testbed::replicate(short_ns2(0), /*root_seed=*/29, /*reps=*/3);
+  const BatchRunner runner(2);
+  const auto reference = runner.run(batch);
+
+  RunPolicy policy;
+  policy.isolate = ebrc::testbed::IsolationMode::kProcess;
+  SweepReport rep;
+  const auto out = runner.run(batch, nullptr, ShardSpec{}, &rep, policy);
+  EXPECT_TRUE(rep.complete());
+  EXPECT_EQ(rep.simulated, batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) expect_same_run(reference[i], out[i]);
+}
+
+TEST(ProcessIsolation, WorkerCrashIsRetryableAndLeavesABundleAndResumes) {
+  FaultGuard guard;
+  TempDir dir;
+  const auto batch = ebrc::testbed::replicate(short_ns2(0), /*root_seed=*/31, /*reps=*/4);
+  const BatchRunner runner(2);
+  const auto reference = runner.run(batch);
+
+  // Cell 1 aborts in its worker subprocess on every attempt. In-process this
+  // injection would kill the whole test binary — surviving it at all IS the
+  // tentpole property.
+  ResultStore store(dir.path / "cache");
+  fault::arm({{fault::Kind::kCrash, 1, fault::kEveryAttempt}});
+  RunPolicy policy;
+  policy.keep_going = true;
+  policy.max_retries = 1;
+  policy.isolate = ebrc::testbed::IsolationMode::kProcess;
+  policy.crash_dir = (dir.path / "crashes").string();
+  policy.invocation = "unit-test-sweep --reps=4";
+  SweepReport rep;
+  (void)runner.run(batch, &store, ShardSpec{}, &rep, policy);
+
+  EXPECT_EQ(rep.failed, 1u);
+  EXPECT_EQ(rep.crashed, 1u);
+  EXPECT_EQ(rep.retried, 1u);
+  EXPECT_EQ(rep.simulated, 3u);
+  ASSERT_EQ(rep.failures.size(), 1u);
+  const CellFailure& f = rep.failures[0];
+  EXPECT_EQ(f.index, 1u);
+  EXPECT_TRUE(f.crashed);
+  EXPECT_EQ(f.signal, SIGABRT);
+  EXPECT_FALSE(f.timed_out);
+  EXPECT_EQ(f.attempts, 2);
+  EXPECT_NE(f.what.find("SIGABRT"), std::string::npos) << f.what;
+  EXPECT_NE(f.what.find("injected fault: crash"), std::string::npos)
+      << "the worker's stderr tail must ride along: " << f.what;
+
+  // Repro bundle: scenario TOML with the derived seed + forensics.
+  const fs::path bundle = dir.path / "crashes" / "cell-1";
+  EXPECT_TRUE(fs::exists(bundle / "scenario.toml"));
+  EXPECT_TRUE(fs::exists(bundle / "stderr.txt"));
+  EXPECT_TRUE(fs::exists(bundle / "status.txt"));
+  EXPECT_TRUE(fs::exists(bundle / "repro.txt"));
+  const Scenario replay = ebrc::testbed::load_scenario(bundle / "scenario.toml");
+  EXPECT_EQ(replay.seed, batch[1].seed) << "the bundle must replay this exact cell";
+
+  // Fault-free resume over the same store: only the crashed cell simulates,
+  // and the sweep converges bitwise to the clean cold run.
+  fault::disarm();
+  RunPolicy resume_policy;
+  resume_policy.keep_going = true;
+  SweepReport resumed;
+  const auto out = runner.run(batch, &store, ShardSpec{}, &resumed, resume_policy);
+  EXPECT_EQ(resumed.hits, 3u);
+  EXPECT_EQ(resumed.simulated, 1u);
+  EXPECT_TRUE(resumed.complete());
+  for (std::size_t i = 0; i < batch.size(); ++i) expect_same_run(reference[i], out[i]);
+}
+
+TEST(ProcessIsolation, HungWorkerIsKilledAtTheHardDeadline) {
+  FaultGuard guard;
+  const auto batch = ebrc::testbed::replicate(short_ns2(0), /*root_seed=*/37, /*reps=*/2);
+  const BatchRunner runner(2);
+
+  fault::arm({{fault::Kind::kHang, 0, fault::kEveryAttempt}});
+  RunPolicy policy;
+  policy.keep_going = true;
+  policy.cell_deadline_s = 1.0;
+  policy.isolate = ebrc::testbed::IsolationMode::kProcess;
+  SweepReport rep;
+  (void)runner.run(batch, nullptr, ShardSpec{}, &rep, policy);
+
+  EXPECT_EQ(rep.failed, 1u);
+  EXPECT_EQ(rep.timed_out, 1u);
+  EXPECT_EQ(rep.crashed, 0u) << "a deadline kill is a timeout, not a crash";
+  EXPECT_EQ(rep.simulated, 1u);  // the healthy cell completed meanwhile
+  ASSERT_EQ(rep.failures.size(), 1u);
+  EXPECT_EQ(rep.failures[0].index, 0u);
+  EXPECT_TRUE(rep.failures[0].timed_out);
+  EXPECT_EQ(rep.failures[0].signal, SIGKILL);
+  EXPECT_GE(rep.failures[0].elapsed_s, 1.0);
+  EXPECT_LT(rep.failures[0].elapsed_s, 60.0) << "the kill must not wait out the hang";
+}
+
+TEST(ProcessIsolation, InjectedOomStormIsContainedAndAttributed) {
+  FaultGuard guard;
+  const auto batch = ebrc::testbed::replicate(short_ns2(0), /*root_seed=*/41, /*reps=*/2);
+  const BatchRunner runner(1);
+
+  fault::arm({{fault::Kind::kOomStorm, 1, fault::kEveryAttempt}});
+  RunPolicy policy;
+  policy.keep_going = true;
+  policy.isolate = ebrc::testbed::IsolationMode::kProcess;
+  SweepReport rep;
+  (void)runner.run(batch, nullptr, ShardSpec{}, &rep, policy);
+
+  EXPECT_EQ(rep.failed, 1u);
+  EXPECT_EQ(rep.crashed, 1u);
+  EXPECT_EQ(rep.simulated, 1u);
+  ASSERT_EQ(rep.failures.size(), 1u);
+  EXPECT_TRUE(rep.failures[0].crashed);
+  EXPECT_NE(rep.failures[0].what.find("oom storm"), std::string::npos)
+      << rep.failures[0].what;
+}
+
+// ---- preemptive in-process deadline -----------------------------------------
+
+TEST(InProcessDeadline, EventLoopPollPreemptsARunawayCellMidRun) {
+  FaultGuard guard;
+  // A cell that would simulate ~1e9 seconds: completing it would take hours,
+  // so the ONLY way this test finishes promptly is the 64k-event poll inside
+  // Simulator::run throwing WallDeadlineError mid-run.
+  Scenario runaway = short_ns2(0);
+  runaway.duration_s = 1.0e9;
+  runaway.warmup_s = 1.0;
+  const auto batch = ebrc::testbed::replicate(runaway, /*root_seed=*/43, /*reps=*/1);
+  const BatchRunner runner(1);
+
+  RunPolicy policy;
+  policy.keep_going = true;
+  policy.cell_deadline_s = 0.3;
+  SweepReport rep;
+  (void)runner.run(batch, nullptr, ShardSpec{}, &rep, policy);
+
+  EXPECT_EQ(rep.failed, 1u);
+  EXPECT_EQ(rep.timed_out, 1u);
+  ASSERT_EQ(rep.failures.size(), 1u);
+  EXPECT_TRUE(rep.failures[0].timed_out);
+  EXPECT_GE(rep.failures[0].elapsed_s, 0.3);
+  EXPECT_LT(rep.failures[0].elapsed_s, 120.0);
+  EXPECT_NE(rep.failures[0].what.find("--cell-deadline"), std::string::npos)
+      << rep.failures[0].what;
+}
+
+TEST(InProcessDeadline, InjectedHangTimesOutViaCooperativePoll) {
+  FaultGuard guard;
+  const auto batch = ebrc::testbed::replicate(short_ns2(0), /*root_seed=*/47, /*reps=*/2);
+  const BatchRunner runner(2);
+
+  fault::arm({{fault::Kind::kHang, 1, fault::kEveryAttempt}});
+  RunPolicy policy;
+  policy.keep_going = true;
+  policy.cell_deadline_s = 0.3;
+  SweepReport rep;
+  (void)runner.run(batch, nullptr, ShardSpec{}, &rep, policy);
+
+  EXPECT_EQ(rep.failed, 1u);
+  EXPECT_EQ(rep.timed_out, 1u);
+  EXPECT_EQ(rep.simulated, 1u);
+  ASSERT_EQ(rep.failures.size(), 1u);
+  EXPECT_EQ(rep.failures[0].index, 1u);
+  EXPECT_TRUE(rep.failures[0].timed_out);
+}
+
+// ---- event feed through the batch layer -------------------------------------
+
+TEST(EventFeed, SweepEmitsLifecycleEvents) {
+  FaultGuard guard;
+  TempDir dir;
+  const auto batch = ebrc::testbed::replicate(short_ns2(0), /*root_seed=*/53, /*reps=*/3);
+  const BatchRunner runner(2);
+
+  // Cell 1: throws on attempt 0, recovers on attempt 1 → retry + cell_done.
+  // Cell 2: throws on every attempt → cell_failed.
+  fault::arm({{fault::Kind::kThrow, 1, 0}, {fault::Kind::kThrow, 2, fault::kEveryAttempt}});
+  const fs::path feed_path = dir.path / "events.jsonl";
+  ebrc::testbed::SweepEventFeed feed(feed_path);
+  RunPolicy policy;
+  policy.keep_going = true;
+  policy.max_retries = 1;
+  policy.events = &feed;
+  SweepReport rep;
+  (void)runner.run(batch, nullptr, ShardSpec{}, &rep, policy);
+  EXPECT_EQ(rep.failed, 1u);
+
+  std::ifstream in(feed_path);
+  std::string all((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"event\":\"cell_start\""), std::string::npos);
+  EXPECT_NE(all.find("\"event\":\"cell_done\""), std::string::npos);
+  EXPECT_NE(all.find("\"event\":\"retry\""), std::string::npos);
+  EXPECT_NE(all.find("\"event\":\"cell_failed\""), std::string::npos);
+  EXPECT_NE(all.find("\"detail\":\"injected fault"), std::string::npos);
 }
 
 }  // namespace

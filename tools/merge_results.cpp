@@ -34,34 +34,42 @@ int merge_caches(const fs::path& into, const std::vector<std::string>& sources) 
   fs::create_directories(into);
   std::size_t copied = 0, already = 0, corrupt = 0, quarantined = 0;
   for (const auto& src : sources) {
-    if (!fs::is_directory(src)) {
+    std::error_code ec;
+    if (!fs::is_directory(src, ec) || ec) {
       std::cerr << "merge_results: source '" << src << "' is not a directory\n";
       return 1;
     }
-    for (const auto& entry : fs::recursive_directory_iterator(src)) {
-      if (!entry.is_regular_file()) continue;
-      const fs::path& p = entry.path();
-      // Quarantined forensics files are a shard that already diagnosed the
-      // corruption: count them, never propagate them.
-      if (p.extension() == ebrc::testbed::quarantine_suffix()) {
-        ++quarantined;
-        continue;
+    // An unreadable source (permissions, disappearing NFS mount) must name
+    // itself in one line, not surface as an unhandled-throw traceback.
+    try {
+      for (const auto& entry : fs::recursive_directory_iterator(src)) {
+        if (!entry.is_regular_file()) continue;
+        const fs::path& p = entry.path();
+        // Quarantined forensics files are a shard that already diagnosed the
+        // corruption: count them, never propagate them.
+        if (p.extension() == ebrc::testbed::quarantine_suffix()) {
+          ++quarantined;
+          continue;
+        }
+        if (p.extension() != ebrc::testbed::result_file_extension()) continue;
+        if (!ebrc::testbed::validate_result_file(p)) {
+          ++corrupt;
+          std::cerr << "merge_results: skipping corrupt entry " << p << "\n";
+          continue;
+        }
+        // Entries are content-addressed by filename; keep the 2-hex fan-out.
+        const fs::path dest = into / p.filename().string().substr(0, 2) / p.filename();
+        if (fs::exists(dest) && ebrc::testbed::validate_result_file(dest)) {
+          ++already;
+          continue;
+        }
+        fs::create_directories(dest.parent_path());
+        fs::copy_file(p, dest, fs::copy_options::overwrite_existing);
+        ++copied;
       }
-      if (p.extension() != ebrc::testbed::result_file_extension()) continue;
-      if (!ebrc::testbed::validate_result_file(p)) {
-        ++corrupt;
-        std::cerr << "merge_results: skipping corrupt entry " << p << "\n";
-        continue;
-      }
-      // Entries are content-addressed by filename; keep the 2-hex fan-out.
-      const fs::path dest = into / p.filename().string().substr(0, 2) / p.filename();
-      if (fs::exists(dest) && ebrc::testbed::validate_result_file(dest)) {
-        ++already;
-        continue;
-      }
-      fs::create_directories(dest.parent_path());
-      fs::copy_file(p, dest, fs::copy_options::overwrite_existing);
-      ++copied;
+    } catch (const fs::filesystem_error& e) {
+      std::cerr << "merge_results: cannot read source '" << src << "': " << e.what() << "\n";
+      return 1;
     }
   }
   // The copies bypassed ResultStore::store(), so the destination's index
