@@ -32,6 +32,7 @@
 //                         [--pools=100,300,...] [--out=BENCH_workload.json]
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 
 #include "bench_common.hpp"
 #include "net/dumbbell.hpp"
@@ -182,15 +183,18 @@ int run_engine_mode(const bench::BenchArgs& args, const std::string& out_path,
 }
 
 std::vector<int> parse_pools(const std::string& flag) {
-  if (flag.empty()) return {100, 300, 1000, 10000, 100000};  // 1M: --pools=1000000
+  if (flag.empty()) return {100, 300, 1000, 10000, 100000};  // 1M: --pools=1e6
+  // Whole-token 64-bit parse (accepts integral scientific notation like 1e6,
+  // rejects garbage and non-positive values by naming the bad token).
+  const auto parsed = util::parse_positive_int_list("pools", flag);
   std::vector<int> pools;
-  std::size_t pos = 0;
-  while (pos < flag.size()) {
-    const std::size_t comma = flag.find(',', pos);
-    const std::string tok = flag.substr(pos, comma == std::string::npos ? comma : comma - pos);
-    if (!tok.empty()) pools.push_back(std::stoi(tok));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
+  pools.reserve(parsed.size());
+  for (const std::int64_t v : parsed) {
+    if (v > 100'000'000) {
+      throw std::runtime_error("flag --pools: pool size " + std::to_string(v) +
+                               " exceeds the 1e8 slot ceiling");
+    }
+    pools.push_back(static_cast<int>(v));
   }
   return pools;
 }

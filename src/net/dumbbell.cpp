@@ -38,6 +38,14 @@ void Dumbbell::on_packet_at_sender(int id, PacketHandler h) {
 void Dumbbell::send_data(int id, Packet p) {
   Flow& flow = flows_.at(static_cast<std::size_t>(id));
   p.flow = id;
+  // RCP router: stamp the advertised fair share into data packets, keeping
+  // the min along the path (one hop here, but the min is the protocol).
+  if (bottleneck_.rcp_enabled() && p.kind == PacketKind::kData) {
+    const double advertised = bottleneck_.rcp_rate_pps();
+    if (p.data.router_rate <= 0.0 || advertised < p.data.router_rate) {
+      p.data.router_rate = advertised;
+    }
+  }
   // Bottleneck transit resolves inline (virtual clock); the accepted packet
   // is staged in the flow's tail pipe until it reaches the receiver.
   double deliver_at;

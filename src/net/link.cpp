@@ -51,6 +51,10 @@ Link::Link(sim::Simulator& sim, Queue queue, double rate_bps, double prop_delay_
 
 bool Link::forward(const Packet& p, double& deliver_at) {
   const double now = sim_.now();
+  if (rcp_enabled_) {
+    ++rcp_arrivals_;
+    if (now - rcp_last_update_ >= rcp_.d0_s) rcp_update(now);
+  }
   const double start = std::max(now, clock_out_);
   if (!queue_.admit(now, start)) return false;  // dropped by the discipline
   const double tx = p.size_bytes * inv_rate_;
@@ -59,6 +63,37 @@ bool Link::forward(const Packet& p, double& deliver_at) {
   ++delivered_;
   deliver_at = clock_out_ + prop_delay_s_;
   return true;
+}
+
+void Link::enable_rcp(const RcpParams& params) {
+  if (params.alpha <= 0 || params.beta < 0 || params.d0_s <= 0 || params.packet_bytes <= 0 ||
+      params.min_rate_pps <= 0) {
+    throw std::invalid_argument(
+        "Link::enable_rcp: need alpha > 0, beta >= 0, d0_s > 0, packet_bytes > 0, "
+        "min_rate_pps > 0");
+  }
+  rcp_enabled_ = true;
+  rcp_ = params;
+  rcp_capacity_pps_ = rate_bps_ / (8.0 * params.packet_bytes);
+  rcp_rate_pps_ = rcp_capacity_pps_;  // optimistic start, as the paper suggests
+  rcp_last_update_ = sim_.now();
+  rcp_arrivals_ = 0;
+}
+
+void Link::rcp_update(double now) {
+  // Lazy control-law step, driven by packet arrivals: deterministic because
+  // arrival times are, and free when the link is idle. T is the actual
+  // elapsed interval (>= d0 by construction of the caller's check).
+  const double elapsed = now - rcp_last_update_;
+  const double y = static_cast<double>(rcp_arrivals_) / elapsed;  // arrival rate, pkts/s
+  const double q = static_cast<double>(queue_.packets(now));     // backlog, pkts
+  const double feedback =
+      rcp_.alpha * (rcp_capacity_pps_ - y) - rcp_.beta * q / rcp_.d0_s;
+  const double factor = 1.0 + (elapsed / rcp_.d0_s) * feedback / rcp_capacity_pps_;
+  rcp_rate_pps_ = std::clamp(rcp_rate_pps_ * std::max(0.0, factor), rcp_.min_rate_pps,
+                             rcp_capacity_pps_);
+  rcp_last_update_ = now;
+  rcp_arrivals_ = 0;
 }
 
 void Link::send(const Packet& p) {

@@ -71,6 +71,20 @@ class DelayPipe {
   bool delivery_armed_ = false;
 };
 
+/// RCP router parameters (Balakrishnan–Dukkipati–McKeown). The router keeps
+/// one fair-share rate R and updates it every d0 seconds:
+///   R <- R * (1 + (T/d0) * (alpha*(C - y) - beta*q/d0) / C)
+/// where C is link capacity (pkts/s), y the measured arrival rate over the
+/// last interval, q the queue occupancy in packets, and T the actual elapsed
+/// interval. alpha/beta are the stability gains from the equilibrium paper.
+struct RcpParams {
+  double alpha = 0.4;
+  double beta = 0.4;
+  double d0_s = 0.05;            // control interval ~ average RTT
+  double packet_bytes = 1000.0;  // converts rate_bps to capacity in pkts/s
+  double min_rate_pps = 1.0;     // floor so R can recover from congestion
+};
+
 /// Serializes packets at `rate_bps`, then delivers them after `prop_delay_s`.
 /// Arriving packets pass through the queue discipline; drops are silent
 /// (protocols detect them end-to-end, as on a real router).
@@ -102,7 +116,18 @@ class Link {
   /// Utilization: busy transmission time / elapsed time since creation.
   [[nodiscard]] double utilization() const;
 
+  /// Turns this link into an RCP router: forward() lazily updates the
+  /// advertised fair-share rate at packet-arrival times (deterministic — no
+  /// extra simulator events), and callers stamp it into data packets.
+  void enable_rcp(const RcpParams& params);
+  [[nodiscard]] bool rcp_enabled() const noexcept { return rcp_enabled_; }
+  /// Current advertised fair share in packets/s (capacity until enabled
+  /// traffic produces the first update).
+  [[nodiscard]] double rcp_rate_pps() const noexcept { return rcp_rate_pps_; }
+
  private:
+  void rcp_update(double now);
+
   sim::Simulator& sim_;
   Queue queue_;
   double rate_bps_;
@@ -113,6 +138,14 @@ class Link {
   double busy_time_ = 0.0;
   double created_at_ = 0.0;
   std::uint64_t delivered_ = 0;
+
+  // RCP router state (inactive unless enable_rcp() was called).
+  bool rcp_enabled_ = false;
+  RcpParams rcp_;
+  double rcp_capacity_pps_ = 0.0;
+  double rcp_rate_pps_ = 0.0;
+  double rcp_last_update_ = 0.0;
+  std::uint64_t rcp_arrivals_ = 0;  // arrivals since the last update
 };
 
 }  // namespace ebrc::net

@@ -16,8 +16,9 @@ namespace ebrc::net {
 
 enum class PacketKind : std::uint8_t {
   kData,
-  kAck,       // TCP cumulative acknowledgment
-  kFeedback,  // TFRC receiver report
+  kAck,          // TCP cumulative acknowledgment
+  kFeedback,     // TFRC / delay-AIMD receiver report
+  kRcpFeedback,  // RCP receiver echo of the router-stamped rate
 };
 
 struct Packet {
@@ -38,13 +39,27 @@ struct Packet {
     double recv_rate;      // packets/s measured over the last RTT
     double echo_time;      // send_time of the packet being echoed
   };
+  /// Data-packet payload (kind == kData).
+  struct DataInfo {
+    // Sender's current RTT estimate (TFRC receivers need it to group losses
+    // into loss events and to pace feedback).
+    double rtt_hint;
+    // RCP: min over traversed routers of the advertised fair-share rate in
+    // packets/s; 0 means "no RCP router on the path has stamped yet".
+    double router_rate;
+  };
+  /// RCP receiver echo (kind == kRcpFeedback).
+  struct RcpInfo {
+    double rate_pps;   // router_rate of the most recent data packet
+    double recv_rate;  // packets/s measured over the last RTT
+    double echo_time;  // send_time of the packet being echoed
+  };
 
   union {
-    // Sender's current RTT estimate carried in data packets (TFRC receivers
-    // need it to group losses into loss events and to pace feedback).
-    double rtt_hint = 0.0;  // kind == kData
-    AckInfo ack;            // kind == kAck
-    FeedbackInfo fb;        // kind == kFeedback
+    DataInfo data = {0.0, 0.0};  // kind == kData
+    AckInfo ack;                 // kind == kAck
+    FeedbackInfo fb;             // kind == kFeedback
+    RcpInfo rcp;                 // kind == kRcpFeedback
   };
 };
 

@@ -24,9 +24,9 @@ namespace ebrc::stats {
 
 class PopulationTracker {
  public:
-  /// Traffic classes tracked separately (0 and 1; the workload layer uses
-  /// 0 = TFRC, 1 = TCP).
-  static constexpr int kClasses = 2;
+  /// Traffic classes tracked separately (the workload layer's FlowClass:
+  /// 0 = TFRC, 1 = TCP, 2 = delay-AIMD, 3 = RCP).
+  static constexpr int kClasses = 4;
 
   /// A flow of class `cls` became active at time `t`.
   void on_open(double t, int cls);

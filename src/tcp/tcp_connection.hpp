@@ -85,6 +85,9 @@ class TcpConnection {
   [[nodiscard]] const stats::OnlineMoments& rtt_stats() const noexcept { return rtt_stats_; }
   [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
   [[nodiscard]] std::uint64_t fast_retransmits() const noexcept { return fast_retx_; }
+  /// Queuing-delay telemetry (Sender concept): loss-based TCP reports none.
+  [[nodiscard]] double queuing_delay_sum_s() const noexcept { return 0.0; }
+  [[nodiscard]] std::uint64_t queuing_delay_samples() const noexcept { return 0; }
   /// Resets counters (recorder excepted) at the end of warm-up.
   void reset_counters();
 

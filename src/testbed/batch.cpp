@@ -140,6 +140,17 @@ BatchResult aggregate(const std::vector<ExperimentResult>& runs) {
     out.metrics["wl_tfrc_share"].add(wl.tfrc_share);
     out.metrics["wl_tfrc_p"].add(wl.tfrc_p);
     out.metrics["wl_tcp_p"].add(wl.tcp_p);
+    out.metrics["wl_mean_flows_aimd"].add(wl.mean_flows_aimd);
+    out.metrics["wl_mean_flows_rcp"].add(wl.mean_flows_rcp);
+    out.metrics["wl_aimd_completion_s"].add(wl.aimd_completion_s);
+    out.metrics["wl_rcp_completion_s"].add(wl.rcp_completion_s);
+    out.metrics["wl_aimd_completion_cov"].add(wl.aimd_completion_cov);
+    out.metrics["wl_rcp_completion_cov"].add(wl.rcp_completion_cov);
+    out.metrics["wl_aimd_goodput_pps"].add(wl.aimd_goodput_pps);
+    out.metrics["wl_rcp_goodput_pps"].add(wl.rcp_goodput_pps);
+    out.metrics["wl_aimd_p"].add(wl.aimd_p);
+    out.metrics["wl_rcp_p"].add(wl.rcp_p);
+    out.metrics["wl_qdelay_mean_s"].add(wl.qdelay_mean_s);
   }
   return out;
 }

@@ -148,10 +148,20 @@ ExperimentResult run_experiment(const Scenario& sc) {
   // population so flow-id assignment of existing scenarios is untouched.
   std::optional<workload::FlowManager> churn;
   if (workload::workload_enabled(sc.workload)) {
+    // Router-assisted controller: the bottleneck computes the RCP fair share
+    // and stamps it into passing data packets.
+    if (sc.workload.controller == "rcp") {
+      net::RcpParams rp;
+      rp.d0_s = sc.base_rtt_s;
+      rp.packet_bytes = sc.tfrc.packet_bytes;
+      net.bottleneck().enable_rcp(rp);
+    }
     workload::FlowManagerConfig wcfg;
     wcfg.workload = sc.workload;
     wcfg.tfrc = sc.tfrc;
     wcfg.tcp = sc.tcp;
+    wcfg.aimd.packet_bytes = sc.tfrc.packet_bytes;
+    wcfg.rcp.packet_bytes = sc.tfrc.packet_bytes;
     wcfg.base_rtt_s = sc.base_rtt_s;
     wcfg.rtt_spread = sc.rtt_spread;
     wcfg.shared_prop_s = kSharedProp;

@@ -153,6 +153,17 @@ std::string encode_result(const ExperimentResult& r) {
   w.f64(wl.tfrc_share);
   w.f64(wl.tfrc_p);
   w.f64(wl.tcp_p);
+  w.f64(wl.mean_flows_aimd);
+  w.f64(wl.mean_flows_rcp);
+  w.f64(wl.aimd_completion_s);
+  w.f64(wl.rcp_completion_s);
+  w.f64(wl.aimd_completion_cov);
+  w.f64(wl.rcp_completion_cov);
+  w.f64(wl.aimd_goodput_pps);
+  w.f64(wl.rcp_goodput_pps);
+  w.f64(wl.aimd_p);
+  w.f64(wl.rcp_p);
+  w.f64(wl.qdelay_mean_s);
   return w.take();
 }
 
@@ -206,6 +217,17 @@ std::optional<ExperimentResult> decode_result(std::string_view payload) {
   wl.tfrc_share = r.f64();
   wl.tfrc_p = r.f64();
   wl.tcp_p = r.f64();
+  wl.mean_flows_aimd = r.f64();
+  wl.mean_flows_rcp = r.f64();
+  wl.aimd_completion_s = r.f64();
+  wl.rcp_completion_s = r.f64();
+  wl.aimd_completion_cov = r.f64();
+  wl.rcp_completion_cov = r.f64();
+  wl.aimd_goodput_pps = r.f64();
+  wl.rcp_goodput_pps = r.f64();
+  wl.aimd_p = r.f64();
+  wl.rcp_p = r.f64();
+  wl.qdelay_mean_s = r.f64();
   if (!r.ok() || !r.exhausted() || out.flows.size() != n_flows) return std::nullopt;
   return out;
 }

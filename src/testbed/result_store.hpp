@@ -48,7 +48,7 @@ namespace ebrc::testbed {
 /// Behavioral version of the simulator baked into every cache key. Bump on
 /// any change that alters sample paths or metrics (new RNG, packet-path
 /// reorder, metric redefinition, ...) so old entries are never replayed.
-inline constexpr std::uint64_t kResultCacheSalt = 5;  // PR 5: workload telemetry in the payload
+inline constexpr std::uint64_t kResultCacheSalt = 6;  // PR 9: controller-zoo telemetry in the payload
 
 class ResultStore {
  public:

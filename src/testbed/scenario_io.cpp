@@ -88,6 +88,10 @@ void visit_scenario(V& v, S& s) {
     vv.field("max_size_pkts", w.max_size_pkts);
     vv.field("min_size_pkts", w.min_size_pkts);
     vv.field("tfrc_fraction", w.tfrc_fraction);
+    // PR 9: elided at the FIELD level while it holds the default, so even
+    // enabled-workload scenarios from before the controller zoo keep their
+    // exact documents and fingerprints.
+    vv.defaulted_field("controller", w.controller, std::string());
     vv.field("max_concurrent", w.max_concurrent);
     vv.field("session_fraction", w.session_fraction);
     vv.field("session_transfers_mean", w.session_transfers_mean);
@@ -134,6 +138,14 @@ struct DocWriter {
   void defaulted_table(const char* k, const Sub& sub, Fn fn) {
     if (sub == Sub{}) return;
     table(k, sub, fn);
+  }
+  /// Scalar field elided from the document while it equals its default —
+  /// schema growth inside an already-serialized table stays invisible to
+  /// old documents.
+  template <class T>
+  void defaulted_field(const char* k, const T& v, const T& dflt) {
+    if (v == dflt) return;
+    field(k, v);
   }
 };
 
@@ -247,6 +259,11 @@ struct DocReader {
   void defaulted_table(const char* k, Sub& sub, Fn fn) {
     table(k, sub, fn);
   }
+  /// Reading: identical to field() — an absent key keeps the default.
+  template <class T>
+  void defaulted_field(const char* k, T& v, const T&) {
+    field(k, v);
+  }
 
   /// Rejects keys the schema does not know — a typo in a scenario file must
   /// not silently run the default configuration.
@@ -313,6 +330,13 @@ struct Hasher {
   void defaulted_table(const char* k, const Sub& sub, Fn fn) {
     if (sub == Sub{}) return;
     table(k, sub, fn);
+  }
+  /// Same policy at scalar granularity: a field at its default contributes
+  /// nothing, so fingerprints predating the field survive its introduction.
+  template <class T>
+  void defaulted_field(const char* k, const T& v, const T& dflt) {
+    if (v == dflt) return;
+    field(k, v);
   }
 };
 

@@ -123,7 +123,7 @@ void TfrcConnection::send_next() {
   p.seq = snd_.next_seq++;
   p.size_bytes = cfg_.packet_bytes;
   p.send_time = net_.simulator().now();
-  p.rtt_hint = snd_.srtt;
+  p.data.rtt_hint = snd_.srtt;
   net_.send_data(flow_, p);
   ++sent_;
   ++snd_.transfer_sent;
@@ -180,7 +180,7 @@ void TfrcConnection::on_feedback(const net::Packet& p) {
 
 void TfrcConnection::on_data(const net::Packet& p) {
   const double now = net_.simulator().now();
-  if (p.rtt_hint > 0) rcv_.rtt_hint = p.rtt_hint;
+  if (p.data.rtt_hint > 0) rcv_.rtt_hint = p.data.rtt_hint;
   recorder_.set_rtt_window(rcv_.rtt_hint);
 
   const std::int64_t missing = std::max<std::int64_t>(0, p.seq - rcv_.expected_seq);

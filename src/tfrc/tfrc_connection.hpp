@@ -104,6 +104,10 @@ class TfrcConnection {
   [[nodiscard]] double rate() const noexcept { return snd_.rate; }
   [[nodiscard]] double srtt() const noexcept { return snd_.srtt; }
   [[nodiscard]] const stats::OnlineMoments& rtt_stats() const noexcept { return rtt_stats_; }
+  /// Queuing-delay telemetry (Sender concept): TFRC is loss-based and does
+  /// not sense queuing delay, so it reports no samples.
+  [[nodiscard]] double queuing_delay_sum_s() const noexcept { return 0.0; }
+  [[nodiscard]] std::uint64_t queuing_delay_samples() const noexcept { return 0; }
   [[nodiscard]] const LossHistory& loss_history() const noexcept { return history_; }
   /// f(p, r) evaluated at this connection's current estimates (the paper's
   /// conservativeness reference).

@@ -1,6 +1,7 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
@@ -49,7 +50,16 @@ std::string Cli::get(const std::string& name, const std::string& fallback) const
 double Cli::get(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end() || !it->second) return fallback;
-  return std::stod(*it->second);
+  const std::string& v = *it->second;
+  // Whole-token parse: std::stod would silently read "10s" as 10.
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument("trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" + v + "'");
+  }
 }
 
 int Cli::get(const std::string& name, int fallback) const {
@@ -95,6 +105,45 @@ bool Cli::get(const std::string& name, bool fallback) const {
   if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
   if (v == "0" || v == "false" || v == "no" || v == "off") return false;
   throw std::invalid_argument("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::vector<std::int64_t> parse_positive_int_list(const std::string& flag_name,
+                                                  const std::string& csv) {
+  const auto bad = [&flag_name](const std::string& tok) {
+    return std::invalid_argument("flag --" + flag_name +
+                                 " expects a comma-separated list of positive integers, got '" +
+                                 tok + "'");
+  };
+  std::vector<std::int64_t> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string tok =
+        csv.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? csv.size() + 1 : comma + 1;
+    if (tok.empty()) throw bad(tok);
+    std::int64_t value = 0;
+    try {
+      std::size_t pos = 0;
+      value = std::stoll(tok, &pos);
+      if (pos != tok.size()) {
+        // Not a plain integer token; accept integral scientific notation
+        // ("1e6") via a whole-token double parse that must round-trip.
+        pos = 0;
+        const double d = std::stod(tok, &pos);
+        if (pos != tok.size()) throw std::invalid_argument("trailing characters");
+        if (!(d >= 1.0 && d <= 9.2e18) || d != std::floor(d)) {
+          throw std::invalid_argument("not a positive integer");
+        }
+        value = static_cast<std::int64_t>(d);
+      }
+    } catch (const std::exception&) {
+      throw bad(tok);
+    }
+    if (value <= 0) throw bad(tok);
+    out.push_back(value);
+  }
+  return out;
 }
 
 Cli& Cli::know(const std::string& name) {

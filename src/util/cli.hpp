@@ -50,4 +50,11 @@ class Cli {
   std::vector<std::string> known_;
 };
 
+/// Parses a comma-separated list of strictly positive 64-bit integers, e.g.
+/// "100,300,1e6". Each token is parsed whole (no trailing junk); integral
+/// scientific notation is accepted so big pool sizes don't need six zeros.
+/// Throws std::invalid_argument naming the flag and the offending token.
+[[nodiscard]] std::vector<std::int64_t> parse_positive_int_list(const std::string& flag_name,
+                                                                const std::string& csv);
+
 }  // namespace ebrc::util

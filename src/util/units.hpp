@@ -1,0 +1,130 @@
+// Typed quantities for rate-controller code: DataRate, TimeDelta, Timestamp.
+//
+// The controller zoo (delay_aimd/, rcp/) mixes three kinds of scalar —
+// sending rates, durations, and absolute simulated instants — whose raw
+// `double` representations are mutually assignable, which is exactly the
+// int-truncating-seed class of bug the ROADMAP calls out. These wrappers are
+// zero-cost (one double, fully constexpr, trivially copyable) but make the
+// unit part of the type: a DataRate cannot be added to a TimeDelta, a
+// Timestamp minus a Timestamp is a TimeDelta, and every boundary to the raw
+// simulator/packet world is an explicit accessor call.
+//
+// Conventions: rates are carried in packets/second (the simulator's native
+// pacing unit; bits/second converts through the packet size at the edge),
+// times in seconds since simulation start.
+#pragma once
+
+#include <type_traits>
+
+namespace ebrc::util {
+
+/// A duration. Construct via seconds()/millis(); read via seconds().
+class TimeDelta {
+ public:
+  constexpr TimeDelta() = default;
+  [[nodiscard]] static constexpr TimeDelta seconds(double s) noexcept { return TimeDelta(s); }
+  [[nodiscard]] static constexpr TimeDelta millis(double ms) noexcept {
+    return TimeDelta(ms / 1e3);
+  }
+  [[nodiscard]] static constexpr TimeDelta zero() noexcept { return TimeDelta(0.0); }
+
+  [[nodiscard]] constexpr double seconds() const noexcept { return s_; }
+  [[nodiscard]] constexpr double millis() const noexcept { return s_ * 1e3; }
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return s_ == 0.0; }
+
+  constexpr TimeDelta operator+(TimeDelta o) const noexcept { return TimeDelta(s_ + o.s_); }
+  constexpr TimeDelta operator-(TimeDelta o) const noexcept { return TimeDelta(s_ - o.s_); }
+  constexpr TimeDelta operator*(double k) const noexcept { return TimeDelta(s_ * k); }
+  constexpr double operator/(TimeDelta o) const noexcept { return s_ / o.s_; }
+  constexpr auto operator<=>(const TimeDelta&) const = default;
+
+ private:
+  constexpr explicit TimeDelta(double s) noexcept : s_(s) {}
+  double s_ = 0.0;
+};
+
+/// An absolute simulated instant (seconds since simulation start).
+class Timestamp {
+ public:
+  constexpr Timestamp() = default;
+  [[nodiscard]] static constexpr Timestamp seconds(double s) noexcept { return Timestamp(s); }
+  [[nodiscard]] static constexpr Timestamp zero() noexcept { return Timestamp(0.0); }
+
+  [[nodiscard]] constexpr double seconds() const noexcept { return s_; }
+
+  constexpr Timestamp operator+(TimeDelta d) const noexcept {
+    return Timestamp(s_ + d.seconds());
+  }
+  constexpr Timestamp operator-(TimeDelta d) const noexcept {
+    return Timestamp(s_ - d.seconds());
+  }
+  constexpr TimeDelta operator-(Timestamp o) const noexcept {
+    return TimeDelta::seconds(s_ - o.s_);
+  }
+  constexpr auto operator<=>(const Timestamp&) const = default;
+
+ private:
+  constexpr explicit Timestamp(double s) noexcept : s_(s) {}
+  double s_ = 0.0;
+};
+
+/// A sending rate in packets/second. bits/second converts at the edge
+/// through the packet size, where the byte count is actually known.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  [[nodiscard]] static constexpr DataRate packets_per_second(double pps) noexcept {
+    return DataRate(pps);
+  }
+  [[nodiscard]] static constexpr DataRate bits_per_second(double bps,
+                                                          double packet_bytes) noexcept {
+    return DataRate(bps / (8.0 * packet_bytes));
+  }
+  [[nodiscard]] static constexpr DataRate zero() noexcept { return DataRate(0.0); }
+
+  [[nodiscard]] constexpr double pps() const noexcept { return pps_; }
+  [[nodiscard]] constexpr double bps(double packet_bytes) const noexcept {
+    return pps_ * 8.0 * packet_bytes;
+  }
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return pps_ == 0.0; }
+
+  /// Packets emitted over a duration (rate × time — the only rate/time
+  /// product with a meaning).
+  [[nodiscard]] constexpr double packets_over(TimeDelta d) const noexcept {
+    return pps_ * d.seconds();
+  }
+  /// Pacing gap between back-to-back packets at this rate.
+  [[nodiscard]] constexpr TimeDelta packet_interval() const noexcept {
+    return TimeDelta::seconds(1.0 / pps_);
+  }
+
+  constexpr DataRate operator+(DataRate o) const noexcept { return DataRate(pps_ + o.pps_); }
+  constexpr DataRate operator-(DataRate o) const noexcept { return DataRate(pps_ - o.pps_); }
+  constexpr DataRate operator*(double k) const noexcept { return DataRate(pps_ * k); }
+  constexpr double operator/(DataRate o) const noexcept { return pps_ / o.pps_; }
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+ private:
+  constexpr explicit DataRate(double pps) noexcept : pps_(pps) {}
+  double pps_ = 0.0;
+};
+
+constexpr DataRate operator*(double k, DataRate r) noexcept { return r * k; }
+constexpr TimeDelta operator*(double k, TimeDelta d) noexcept { return d * k; }
+
+[[nodiscard]] constexpr DataRate min(DataRate a, DataRate b) noexcept { return a < b ? a : b; }
+[[nodiscard]] constexpr DataRate max(DataRate a, DataRate b) noexcept { return a < b ? b : a; }
+[[nodiscard]] constexpr TimeDelta min(TimeDelta a, TimeDelta b) noexcept {
+  return a < b ? a : b;
+}
+[[nodiscard]] constexpr TimeDelta max(TimeDelta a, TimeDelta b) noexcept {
+  return a < b ? b : a;
+}
+
+static_assert(std::is_trivially_copyable_v<TimeDelta>);
+static_assert(std::is_trivially_copyable_v<Timestamp>);
+static_assert(std::is_trivially_copyable_v<DataRate>);
+static_assert(sizeof(TimeDelta) == 8 && sizeof(Timestamp) == 8 && sizeof(DataRate) == 8,
+              "typed units must stay zero-cost wrappers over one double");
+
+}  // namespace ebrc::util

@@ -44,6 +44,18 @@ FlowManager::FlowManager(net::Dumbbell& net, FlowManagerConfig cfg)
   if (w.session_transfers_mean < 1.0) {
     throw std::invalid_argument("FlowManager: session_transfers_mean must be >= 1");
   }
+  if (w.controller == "tfrc") {
+    forced_cls_ = class_index(FlowClass::kTfrc);
+  } else if (w.controller == "tcp") {
+    forced_cls_ = class_index(FlowClass::kTcp);
+  } else if (w.controller == "delay_aimd") {
+    forced_cls_ = class_index(FlowClass::kDelayAimd);
+  } else if (w.controller == "rcp") {
+    forced_cls_ = class_index(FlowClass::kRcp);
+  } else if (!w.controller.empty()) {
+    throw std::invalid_argument("FlowManager: unknown controller '" + w.controller +
+                                "' (expected tfrc | tcp | delay_aimd | rcp)");
+  }
   free_.reserve(static_cast<std::size_t>(w.max_concurrent));
   pools_.reserve(static_cast<std::size_t>(w.max_concurrent));
 }
@@ -62,25 +74,19 @@ void FlowManager::begin_epoch() {
   epoch_start_ = now;
   epoch_open_ = true;
   // One contiguous SideState sweep per class; only wired sides dereference a
-  // connection.
-  for (int c = 0; c < 2; ++c) {
-    const bool is_tfrc = c == class_index(FlowClass::kTfrc);
+  // connection. Written once against the Sender concept for the whole zoo.
+  for (int c = 0; c < kFlowClasses; ++c) {
     for (std::size_t i = 0; i < pools_.size(); ++i) {
       SideState& sd = pools_.side(c, i);
       if (sd.conn < 0) continue;
-      if (is_tfrc) {
-        const auto& conn = pools_.tfrc(sd.conn);
+      pools_.with_sender(c, sd.conn, [&sd](const auto& conn) {
         sd.delivered0 = conn.delivered();
         sd.packets0 = conn.recorder().packets();
         sd.losses0 = conn.recorder().losses();
         sd.events0 = conn.recorder().events();
-      } else {
-        const auto& conn = pools_.tcp(sd.conn);
-        sd.delivered0 = conn.delivered();
-        sd.packets0 = conn.recorder().packets();
-        sd.losses0 = conn.recorder().losses();
-        sd.events0 = conn.recorder().events();
-      }
+        sd.qd_sum0 = conn.queuing_delay_sum_s();
+        sd.qd_count0 = conn.queuing_delay_samples();
+      });
     }
   }
 }
@@ -138,17 +144,34 @@ void FlowManager::ensure_side(std::size_t idx, FlowClass cls) {
   const double rtt = cfg_.base_rtt_s * (1.0 + jitter);
   const double one_way = std::max(0.0, rtt / 2.0 - cfg_.shared_prop_s);
   sd.flow_id = net_.add_flow(one_way, rtt / 2.0);
-  sd.conn = cls == FlowClass::kTfrc ? pools_.make_tfrc(net_, sd.flow_id, rtt, cfg_.tfrc)
-                                    : pools_.make_tcp(net_, sd.flow_id, rtt, cfg_.tcp);
+  switch (cls) {
+    case FlowClass::kTfrc:
+      sd.conn = pools_.make_tfrc(net_, sd.flow_id, rtt, cfg_.tfrc);
+      break;
+    case FlowClass::kTcp:
+      sd.conn = pools_.make_tcp(net_, sd.flow_id, rtt, cfg_.tcp);
+      break;
+    case FlowClass::kDelayAimd:
+      sd.conn = pools_.make_delay_aimd(net_, sd.flow_id, rtt, cfg_.aimd);
+      break;
+    case FlowClass::kRcp:
+      sd.conn = pools_.make_rcp(net_, sd.flow_id, rtt, cfg_.rcp);
+      break;
+  }
 }
 
 void FlowManager::admit(int session_remaining) {
   const double now = net_.simulator().now();
   // Fixed draw order BEFORE the admission check: rejected arrivals consume
   // the same randomness as admitted ones, keeping CRN-paired workloads in
-  // step even when only one of them saturates its pool.
+  // step even when only one of them saturates its pool. The class draw is
+  // burned even under a controller override, so arms that differ only in
+  // `controller` see identical arrival times and sizes.
+  const double class_draw = workload_rng_.uniform();
   const FlowClass cls =
-      workload_rng_.uniform() < cfg_.workload.tfrc_fraction ? FlowClass::kTfrc : FlowClass::kTcp;
+      forced_cls_ >= 0
+          ? static_cast<FlowClass>(forced_cls_)
+          : (class_draw < cfg_.workload.tfrc_fraction ? FlowClass::kTfrc : FlowClass::kTcp);
   const double size = draw_size();
 
   std::size_t idx;
@@ -174,11 +197,9 @@ void FlowManager::admit(int session_remaining) {
 
   const auto packets = static_cast<std::uint64_t>(std::llround(size));
   const std::int32_t conn = pools_.side(class_index(cls), idx).conn;
-  if (cls == FlowClass::kTfrc) {
-    pools_.tfrc(conn).open(packets, [this, idx] { complete(idx); });
-  } else {
-    pools_.tcp(conn).open(packets, [this, idx] { complete(idx); });
-  }
+  pools_.with_sender(class_index(cls), conn, [this, idx, packets](auto& sender) {
+    sender.open(packets, [this, idx] { complete(idx); });
+  });
 }
 
 void FlowManager::complete(std::size_t idx) {
@@ -216,37 +237,59 @@ WorkloadSummary FlowManager::summarize() {
   out.mean_flows = pop_.mean_flows_total();
   out.mean_flows_tfrc = pop_.mean_flows(class_index(FlowClass::kTfrc));
   out.mean_flows_tcp = pop_.mean_flows(class_index(FlowClass::kTcp));
+  out.mean_flows_aimd = pop_.mean_flows(class_index(FlowClass::kDelayAimd));
+  out.mean_flows_rcp = pop_.mean_flows(class_index(FlowClass::kRcp));
   out.peak_flows = pop_.peak();
   const auto& tfrc_t = pop_.completion_time(class_index(FlowClass::kTfrc));
   const auto& tcp_t = pop_.completion_time(class_index(FlowClass::kTcp));
+  const auto& aimd_t = pop_.completion_time(class_index(FlowClass::kDelayAimd));
+  const auto& rcp_t = pop_.completion_time(class_index(FlowClass::kRcp));
   out.tfrc_completion_s = tfrc_t.mean();
   out.tcp_completion_s = tcp_t.mean();
+  out.aimd_completion_s = aimd_t.mean();
+  out.rcp_completion_s = rcp_t.mean();
   out.tfrc_completion_cov = tfrc_t.cv();
   out.tcp_completion_cov = tcp_t.cv();
+  out.aimd_completion_cov = aimd_t.cv();
+  out.rcp_completion_cov = rcp_t.cv();
 
   // Per-class goodput and aggregate loss-event rate over the window, from
-  // the slots' cumulative counters against the epoch snapshots.
-  std::uint64_t delivered[2] = {0, 0};
-  std::uint64_t packets[2] = {0, 0};
-  std::uint64_t losses[2] = {0, 0};
-  std::uint64_t events[2] = {0, 0};
-  for (int c = 0; c < 2; ++c) {
-    const bool is_tfrc = c == class_index(FlowClass::kTfrc);
+  // the slots' cumulative counters against the epoch snapshots. One generic
+  // Sender sweep covers the whole zoo, including the queuing-delay telemetry
+  // only the delay-sensing classes report.
+  std::uint64_t delivered[kFlowClasses] = {};
+  std::uint64_t packets[kFlowClasses] = {};
+  std::uint64_t losses[kFlowClasses] = {};
+  std::uint64_t events[kFlowClasses] = {};
+  double qd_sum = 0.0;
+  std::uint64_t qd_count = 0;
+  for (int c = 0; c < kFlowClasses; ++c) {
+    std::uint64_t del = 0, pk = 0, lo = 0, ev = 0;
     for (const SideState& sd : pools_.sides(c)) {
       if (sd.conn < 0) continue;
-      const auto& rec = is_tfrc ? pools_.tfrc(sd.conn).recorder() : pools_.tcp(sd.conn).recorder();
-      delivered[c] +=
-          (is_tfrc ? pools_.tfrc(sd.conn).delivered() : pools_.tcp(sd.conn).delivered()) -
-          sd.delivered0;
-      packets[c] += rec.packets() - sd.packets0;
-      losses[c] += rec.losses() - sd.losses0;
-      events[c] += rec.events() - sd.events0;
+      pools_.with_sender(c, sd.conn, [&](const auto& conn) {
+        del += conn.delivered() - sd.delivered0;
+        const auto& rec = conn.recorder();
+        pk += rec.packets() - sd.packets0;
+        lo += rec.losses() - sd.losses0;
+        ev += rec.events() - sd.events0;
+        qd_sum += conn.queuing_delay_sum_s() - sd.qd_sum0;
+        qd_count += conn.queuing_delay_samples() - sd.qd_count0;
+      });
     }
+    delivered[c] = del;
+    packets[c] = pk;
+    losses[c] = lo;
+    events[c] = ev;
   }
   const int tfrc_i = class_index(FlowClass::kTfrc);
   const int tcp_i = class_index(FlowClass::kTcp);
+  const int aimd_i = class_index(FlowClass::kDelayAimd);
+  const int rcp_i = class_index(FlowClass::kRcp);
   out.tfrc_goodput_pps = static_cast<double>(delivered[tfrc_i]) / window;
   out.tcp_goodput_pps = static_cast<double>(delivered[tcp_i]) / window;
+  out.aimd_goodput_pps = static_cast<double>(delivered[aimd_i]) / window;
+  out.rcp_goodput_pps = static_cast<double>(delivered[rcp_i]) / window;
   const double total = out.tfrc_goodput_pps + out.tcp_goodput_pps;
   out.tfrc_share = total > 0 ? out.tfrc_goodput_pps / total : 0.0;
   const auto rate = [](std::uint64_t ev, std::uint64_t pk, std::uint64_t lo) {
@@ -255,6 +298,9 @@ WorkloadSummary FlowManager::summarize() {
   };
   out.tfrc_p = rate(events[tfrc_i], packets[tfrc_i], losses[tfrc_i]);
   out.tcp_p = rate(events[tcp_i], packets[tcp_i], losses[tcp_i]);
+  out.aimd_p = rate(events[aimd_i], packets[aimd_i], losses[aimd_i]);
+  out.rcp_p = rate(events[rcp_i], packets[rcp_i], losses[rcp_i]);
+  out.qdelay_mean_s = qd_count > 0 ? qd_sum / static_cast<double>(qd_count) : 0.0;
   return out;
 }
 

@@ -1,5 +1,5 @@
-// The dynamic-workload engine: spawns and retires TFRC/TCP transfers
-// DURING a run.
+// The dynamic-workload engine: spawns and retires finite transfers DURING a
+// run, over any controller class in the zoo (TFRC, TCP, delay-AIMD, RCP).
 //
 // Arrivals fire on one pinned simulator event (Poisson or Pareto-renewal
 // inter-arrival gaps from the manager's own Rng); each arrival draws a
@@ -60,6 +60,8 @@ struct FlowManagerConfig {
   WorkloadConfig workload{};
   tfrc::TfrcConfig tfrc{};
   tcp::TcpConfig tcp{};
+  delay_aimd::DelayAimdConfig aimd{};
+  rcp::RcpConfig rcp{};
   double base_rtt_s = 0.050;
   double rtt_spread = 0.1;
   /// Propagation of the dumbbell's shared segment (subtracted from the
@@ -90,6 +92,20 @@ struct WorkloadSummary {
   double tfrc_share = 0.0;        // tfrc goodput / (tfrc + tcp goodput)
   double tfrc_p = 0.0;            // aggregate per-class loss-event rates
   double tcp_p = 0.0;
+  // Controller-zoo classes (PR 9); zero when the class carried no traffic.
+  double mean_flows_aimd = 0.0;
+  double mean_flows_rcp = 0.0;
+  double aimd_completion_s = 0.0;
+  double rcp_completion_s = 0.0;
+  double aimd_completion_cov = 0.0;
+  double rcp_completion_cov = 0.0;
+  double aimd_goodput_pps = 0.0;
+  double rcp_goodput_pps = 0.0;
+  double aimd_p = 0.0;
+  double rcp_p = 0.0;
+  /// Mean queuing delay over every delay-sensing sample in the window
+  /// (delay-AIMD + RCP senders; zero when only loss-based classes ran).
+  double qdelay_mean_s = 0.0;
 };
 
 class FlowManager {
@@ -140,6 +156,7 @@ class FlowManager {
   FlowPools pools_;                  // SoA slot state + on-demand connections
   std::vector<std::size_t> free_;    // LIFO free list of drained slots
   stats::PopulationTracker pop_;
+  int forced_cls_ = -1;  // workload.controller override; -1 = tfrc_fraction mix
   double epoch_start_ = 0.0;
   bool running_ = false;
   bool epoch_open_ = false;

@@ -2,12 +2,12 @@
 //
 // The churn engine's per-event work divides cleanly into two access
 // patterns. Protocol work (pacing, feedback, ACK clocking) is handled by the
-// TfrcConnection/TcpConnection objects themselves, which are pinned at their
-// construction address — their handlers capture `this`. Pool work — admit,
-// complete, quarantine release, and the epoch sweeps that snapshot and fold
-// every slot's counters — touches a few small fields per slot and, at 10^5–
-// 10^6 slots, dominates cache behavior: with the old deque<Slot> layout each
-// slot visit dragged in two std::optional connections' worth of cold bytes
+// connection objects themselves, which are pinned at their construction
+// address — their handlers capture `this`. Pool work — admit, complete,
+// quarantine release, and the epoch sweeps that snapshot and fold every
+// slot's counters — touches a few small fields per slot and, at 10^5–10^6
+// slots, dominates cache behavior: with the old deque<Slot> layout each slot
+// visit dragged in two std::optional connections' worth of cold bytes
 // (~1 KB per slot) to read ~30 hot ones.
 //
 // FlowPools therefore splits the pool into parallel arrays indexed by slot
@@ -15,13 +15,19 @@
 //
 //   SlotState[]        — the per-transfer attributes admit/complete touch
 //                        (24 B each; one cache line carries ~2.6 slots)
-//   SideState[2][]     — per traffic class, the slot's dumbbell wiring and
-//                        epoch counter snapshots (40 B each; the epoch sweep
+//   SideState[N][]     — per traffic class, the slot's dumbbell wiring and
+//                        epoch counter snapshots (56 B each; the epoch sweep
 //                        walks one class's array contiguously)
 //   deque<Connection>  — the heavy protocol objects, constructed on demand,
 //                        address-stable forever, referenced from SideState
 //                        by index (never by pointer, so the arrays stay
 //                        trivially copyable)
+//
+// Four traffic classes ride the pool (FlowClass): TFRC and TCP from the
+// paper, plus the PR 9 controller zoo — delay-based AIMD and RCP. All four
+// connection types satisfy the workload::Sender concept (checked below), and
+// with_sender() dispatches a generic visitor over the class tag so the
+// manager's epoch sweeps are written once, not four times.
 //
 // Static tripwires pin the record layouts the same way the 56-B Packet and
 // 24-B queue-entry guards do: growing a record past its line budget is a
@@ -34,12 +40,23 @@
 #include <type_traits>
 #include <vector>
 
+#include "delay_aimd/delay_aimd_connection.hpp"
+#include "rcp/rcp_connection.hpp"
 #include "tcp/tcp_connection.hpp"
 #include "tfrc/tfrc_connection.hpp"
+#include "workload/sender.hpp"
 
 namespace ebrc::workload {
 
-enum class FlowClass : int { kTfrc = 0, kTcp = 1 };
+enum class FlowClass : int { kTfrc = 0, kTcp = 1, kDelayAimd = 2, kRcp = 3 };
+inline constexpr int kFlowClasses = 4;
+
+// The whole zoo satisfies the Sender contract — a controller that forgets
+// part of the pooled lifecycle fails here, at compile time.
+static_assert(Sender<tfrc::TfrcConnection>);
+static_assert(Sender<tcp::TcpConnection>);
+static_assert(Sender<delay_aimd::DelayAimdConnection>);
+static_assert(Sender<rcp::RcpConnection>);
 
 /// Hot per-slot transfer attributes: everything admit()/complete() read or
 /// write per transfer, and nothing else.
@@ -64,8 +81,12 @@ struct SideState {
   std::uint64_t packets0 = 0;
   std::uint64_t losses0 = 0;
   std::uint64_t events0 = 0;
+  // queuing-delay telemetry snapshots (delay-sensing controllers; zero for
+  // the loss-based classes)
+  double qd_sum0 = 0.0;
+  std::uint64_t qd_count0 = 0;
 };
-static_assert(sizeof(SideState) == 40, "SideState grew past its line budget");
+static_assert(sizeof(SideState) == 56, "SideState grew past its line budget");
 static_assert(alignof(SideState) == 8);
 static_assert(std::is_trivially_copyable_v<SideState>);
 
@@ -77,15 +98,13 @@ class FlowPools {
   /// lazily, one per slot-side actually exercised).
   void reserve(std::size_t n) {
     slots_.reserve(n);
-    sides_[0].reserve(n);
-    sides_[1].reserve(n);
+    for (auto& s : sides_) s.reserve(n);
   }
 
-  /// Appends an empty slot (both sides unwired) and returns its id.
+  /// Appends an empty slot (all sides unwired) and returns its id.
   std::size_t add_slot() {
     slots_.emplace_back();
-    sides_[0].emplace_back();
-    sides_[1].emplace_back();
+    for (auto& s : sides_) s.emplace_back();
     return slots_.size() - 1;
   }
 
@@ -112,6 +131,16 @@ class FlowPools {
     tcp_.emplace_back(net, flow_id, rtt, cfg);
     return static_cast<std::int32_t>(tcp_.size() - 1);
   }
+  [[nodiscard]] std::int32_t make_delay_aimd(net::Dumbbell& net, int flow_id, double rtt,
+                                             const delay_aimd::DelayAimdConfig& cfg) {
+    aimd_.emplace_back(net, flow_id, rtt, cfg);
+    return static_cast<std::int32_t>(aimd_.size() - 1);
+  }
+  [[nodiscard]] std::int32_t make_rcp(net::Dumbbell& net, int flow_id, double rtt,
+                                      const rcp::RcpConfig& cfg) {
+    rcp_.emplace_back(net, flow_id, rtt, cfg);
+    return static_cast<std::int32_t>(rcp_.size() - 1);
+  }
 
   [[nodiscard]] tfrc::TfrcConnection& tfrc(std::int32_t c) noexcept { return tfrc_[c]; }
   [[nodiscard]] const tfrc::TfrcConnection& tfrc(std::int32_t c) const noexcept {
@@ -119,12 +148,46 @@ class FlowPools {
   }
   [[nodiscard]] tcp::TcpConnection& tcp(std::int32_t c) noexcept { return tcp_[c]; }
   [[nodiscard]] const tcp::TcpConnection& tcp(std::int32_t c) const noexcept { return tcp_[c]; }
+  [[nodiscard]] delay_aimd::DelayAimdConnection& delay_aimd(std::int32_t c) noexcept {
+    return aimd_[c];
+  }
+  [[nodiscard]] const delay_aimd::DelayAimdConnection& delay_aimd(std::int32_t c) const noexcept {
+    return aimd_[c];
+  }
+  [[nodiscard]] rcp::RcpConnection& rcp(std::int32_t c) noexcept { return rcp_[c]; }
+  [[nodiscard]] const rcp::RcpConnection& rcp(std::int32_t c) const noexcept { return rcp_[c]; }
+
+  /// Applies `fn` to connection `c` of class `cls` as whatever concrete
+  /// Sender it is. Pool/epoch code generic over the zoo is written once
+  /// against the Sender concept and dispatched here.
+  template <typename Fn>
+  decltype(auto) with_sender(int cls, std::int32_t c, Fn&& fn) {
+    switch (static_cast<FlowClass>(cls)) {
+      case FlowClass::kTfrc: return fn(tfrc_[c]);
+      case FlowClass::kTcp: return fn(tcp_[c]);
+      case FlowClass::kDelayAimd: return fn(aimd_[c]);
+      case FlowClass::kRcp: return fn(rcp_[c]);
+    }
+    return fn(tfrc_[c]);  // unreachable; keeps -Wreturn-type quiet
+  }
+  template <typename Fn>
+  decltype(auto) with_sender(int cls, std::int32_t c, Fn&& fn) const {
+    switch (static_cast<FlowClass>(cls)) {
+      case FlowClass::kTfrc: return fn(tfrc_[c]);
+      case FlowClass::kTcp: return fn(tcp_[c]);
+      case FlowClass::kDelayAimd: return fn(aimd_[c]);
+      case FlowClass::kRcp: return fn(rcp_[c]);
+    }
+    return fn(tfrc_[c]);  // unreachable; keeps -Wreturn-type quiet
+  }
 
  private:
   std::vector<SlotState> slots_;
-  std::vector<SideState> sides_[2];
+  std::vector<SideState> sides_[kFlowClasses];
   std::deque<tfrc::TfrcConnection> tfrc_;  // deque: connections never relocate
   std::deque<tcp::TcpConnection> tcp_;
+  std::deque<delay_aimd::DelayAimdConnection> aimd_;
+  std::deque<rcp::RcpConnection> rcp_;
 };
 
 }  // namespace ebrc::workload

@@ -43,6 +43,13 @@ struct WorkloadConfig {
   /// Probability an arriving transfer runs TFRC; the rest run TCP.
   double tfrc_fraction = 0.5;
 
+  /// Controller override for the whole arrival process: "" (default) keeps
+  /// the two-class tfrc_fraction mix; "tfrc" | "tcp" | "delay_aimd" | "rcp"
+  /// pins EVERY arrival to that controller class (the class draw is still
+  /// burned so CRN-paired arms see identical arrival streams). "rcp" also
+  /// turns the bottleneck into an RCP router.
+  std::string controller = "";
+
   /// Flow-pool capacity: the maximum number of concurrently active dynamic
   /// flows. Arrivals that find the pool full are rejected (counted, not
   /// queued) — the classic loss-system admission model.

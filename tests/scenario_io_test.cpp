@@ -137,6 +137,14 @@ Scenario random_scenario(Splitmix& g) {
     s.workload.max_size_pkts = random_double(g);
     s.workload.min_size_pkts = random_double(g);
     s.workload.tfrc_fraction = random_double(g);
+    switch (g.range(0, 5)) {  // zoo names, the default, and arbitrary text
+      case 0: s.workload.controller = "tfrc"; break;
+      case 1: s.workload.controller = "tcp"; break;
+      case 2: s.workload.controller = "delay_aimd"; break;
+      case 3: s.workload.controller = "rcp"; break;
+      case 4: s.workload.controller = ""; break;
+      default: s.workload.controller = random_string(g); break;
+    }
     s.workload.max_concurrent = g.range(1, 4096);
     s.workload.session_fraction = random_double(g);
     s.workload.session_transfers_mean = random_double(g);
@@ -208,6 +216,7 @@ void expect_identical(const Scenario& a, const Scenario& b) {
   expect_bits(a.workload.max_size_pkts, b.workload.max_size_pkts, "workload.max_size_pkts");
   expect_bits(a.workload.min_size_pkts, b.workload.min_size_pkts, "workload.min_size_pkts");
   expect_bits(a.workload.tfrc_fraction, b.workload.tfrc_fraction, "workload.tfrc_fraction");
+  EXPECT_EQ(a.workload.controller, b.workload.controller);
   EXPECT_EQ(a.workload.max_concurrent, b.workload.max_concurrent);
   expect_bits(a.workload.session_fraction, b.workload.session_fraction,
               "workload.session_fraction");
@@ -225,11 +234,11 @@ void expect_identical(const Scenario& a, const Scenario& b) {
 // rather than chase a schema change that never happened.
 TEST(ScenarioIo, SerializedStructLayoutsUnchanged) {
 #if defined(__GLIBCXX__) && defined(__x86_64__)
-  EXPECT_EQ(sizeof(ebrc::testbed::Scenario), 512u);
+  EXPECT_EQ(sizeof(ebrc::testbed::Scenario), 544u);
   EXPECT_EQ(sizeof(ebrc::net::RedParams), 56u);
   EXPECT_EQ(sizeof(ebrc::tfrc::TfrcConfig), 80u);
   EXPECT_EQ(sizeof(ebrc::tcp::TcpConfig), 64u);
-  EXPECT_EQ(sizeof(ebrc::workload::WorkloadConfig), 152u);
+  EXPECT_EQ(sizeof(ebrc::workload::WorkloadConfig), 184u);
 #else
   GTEST_SKIP() << "layout constants recorded for libstdc++ on x86-64";
 #endif
@@ -343,6 +352,7 @@ TEST(ScenarioIo, FingerprintReactsToEveryField) {
       {"workload.max_size_pkts", [](Scenario& s) { s.workload.max_size_pkts += 1.0; }},
       {"workload.min_size_pkts", [](Scenario& s) { s.workload.min_size_pkts += 1.0; }},
       {"workload.tfrc_fraction", [](Scenario& s) { s.workload.tfrc_fraction += 0.1; }},
+      {"workload.controller", [](Scenario& s) { s.workload.controller = "delay_aimd"; }},
       {"workload.max_concurrent", [](Scenario& s) { s.workload.max_concurrent += 1; }},
       {"workload.session_fraction", [](Scenario& s) { s.workload.session_fraction += 0.1; }},
       {"workload.session_transfers_mean",
@@ -404,6 +414,43 @@ TEST(ScenarioIo, DefaultWorkloadIsElidedFromDocuments) {
   EXPECT_NE(toml.find("[workload]"), std::string::npos);
   EXPECT_NE(toml.find("arrival_rate_per_s"), std::string::npos);
   expect_identical(churn, ebrc::testbed::scenario_from_toml(toml));
+}
+
+// Back-compat contract of the controller field (PR 9): an enabled workload
+// with the DEFAULT controller ("" = the tfrc_fraction mix) must serialize
+// without a controller key and hash exactly as it did before the field
+// existed — pre-zoo churn scenario files and their cache fingerprints stay
+// valid. Only a non-default controller becomes visible.
+TEST(ScenarioIo, DefaultControllerIsElidedAndFingerprintInvisible) {
+  Scenario churn = ebrc::testbed::churn_scenario(0.8, 0.5, /*seed=*/7);
+  ASSERT_EQ(churn.workload.controller, "");
+  const std::string toml = ebrc::testbed::scenario_to_toml(churn);
+  EXPECT_NE(toml.find("[workload]"), std::string::npos);
+  EXPECT_EQ(toml.find("controller"), std::string::npos);
+  // A pre-zoo document (workload table, no controller key) parses to the
+  // default and round-trips onto the identical fingerprint.
+  const Scenario parsed = ebrc::testbed::scenario_from_toml(toml);
+  EXPECT_EQ(parsed.workload.controller, "");
+  EXPECT_EQ(ebrc::testbed::fingerprint(parsed), ebrc::testbed::fingerprint(churn));
+
+  // A pinned controller is visible, lossless, and moves the fingerprint —
+  // one cache cell per controller class.
+  Scenario pinned = churn;
+  pinned.workload.controller = "delay_aimd";
+  const std::string pinned_toml = ebrc::testbed::scenario_to_toml(pinned);
+  EXPECT_NE(pinned_toml.find("controller = \"delay_aimd\""), std::string::npos);
+  expect_identical(pinned, ebrc::testbed::scenario_from_toml(pinned_toml));
+  EXPECT_NE(ebrc::testbed::fingerprint(pinned), ebrc::testbed::fingerprint(churn));
+  // Every zoo member lands on its own fingerprint.
+  std::vector<std::uint64_t> fps;
+  for (const char* ctrl : {"", "tfrc", "tcp", "delay_aimd", "rcp"}) {
+    Scenario s = churn;
+    s.workload.controller = ctrl;
+    fps.push_back(ebrc::testbed::fingerprint(s));
+  }
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    for (std::size_t j = i + 1; j < fps.size(); ++j) EXPECT_NE(fps[i], fps[j]);
+  }
 }
 
 TEST(ScenarioIo, UnknownWorkloadKeysThrowNamingTheField) {

@@ -122,6 +122,65 @@ TEST(Cli, Uint64RejectsGarbageAndNegatives) {
   EXPECT_THROW((void)cli.get("b", std::uint64_t{0}), std::invalid_argument);
 }
 
+TEST(Cli, DoubleRejectsPartialParses) {
+  // std::stod would silently read "--cell-deadline=10s" as 10 — a unit typo
+  // must fail loudly, naming the flag and the offending token.
+  const char* argv[] = {"prog", "--cell-deadline=10s", "--rate=1.5e3x", "--w= ",
+                        "--empty=", "--ok=2.5e-3"};
+  Cli cli(6, argv);
+  for (const char* flag : {"cell-deadline", "rate", "w", "empty"}) {
+    try {
+      (void)cli.get(flag, 0.0);
+      FAIL() << "expected rejection of --" << flag;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(std::string("--") + flag), std::string::npos);
+    }
+  }
+  EXPECT_DOUBLE_EQ(cli.get("ok", 0.0), 2.5e-3);
+  EXPECT_DOUBLE_EQ(cli.get("absent", 1.25), 1.25);
+}
+
+TEST(Cli, DoubleErrorNamesTheToken) {
+  const char* argv[] = {"prog", "--cell-deadline=10s"};
+  Cli cli(2, argv);
+  try {
+    (void)cli.get("cell-deadline", 0.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'10s'"), std::string::npos);
+  }
+}
+
+TEST(Cli, ParsePositiveIntListAcceptsIntegersAndScientific) {
+  using ebrc::util::parse_positive_int_list;
+  const auto v = parse_positive_int_list("pools", "100,300,1e6,10000000000");
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 100);
+  EXPECT_EQ(v[1], 300);
+  EXPECT_EQ(v[2], 1000000);          // the 1M rung, scientific spelling
+  EXPECT_EQ(v[3], 10000000000ll);    // past 2^31: must not throw like stoi
+  EXPECT_EQ(parse_positive_int_list("pools", "42")[0], 42);
+}
+
+TEST(Cli, ParsePositiveIntListRejectsGarbageNamingTheToken) {
+  using ebrc::util::parse_positive_int_list;
+  for (const char* bad : {"abc", "0", "-5", "1.5", "1e6.5", "100,,300", "100,2x", ""}) {
+    try {
+      (void)parse_positive_int_list("pools", bad);
+      FAIL() << "expected rejection of '" << bad << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--pools"), std::string::npos) << bad;
+    }
+  }
+  // The bad token itself is named (not just the whole list).
+  try {
+    (void)parse_positive_int_list("pools", "100,oops,300");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'oops'"), std::string::npos);
+  }
+}
+
 TEST(Cli, KnownFlagsPass) {
   const char* argv[] = {"prog", "--fine=1"};
   Cli cli(2, argv);
