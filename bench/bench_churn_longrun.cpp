@@ -315,5 +315,7 @@ int main(int argc, char** argv) {
                    {"rho", "arrivals", "rejected", "mean_flows", "peak", "tfrc_share",
                     "t_tfrc_s", "t_tcp_s", "cov_tfrc", "cov_tcp", "p_ratio"},
                    csv_rows);
+  // Last, so the figure output stays a byte-exact prefix of a probed run's.
+  bench::print_probe_series(args, sweep);  // no-op unless --probe-interval set
   return 0;
 }

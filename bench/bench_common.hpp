@@ -34,8 +34,16 @@
 //                     attempt in a forked, supervised worker subprocess so
 //                     SIGSEGV/OOM/hangs become retryable CellFailures with
 //                     repro bundles under <summary-out>.crashes/
-//   --events-out=F    append-only JSONL telemetry (cell_start/cell_done/
-//                     cell_failed/cell_crashed/cell_killed/retry)
+//   --events-out=F    append-only JSONL telemetry (schema header + cell_start/
+//                     cell_done/cell_failed/cell_crashed/cell_killed/retry/
+//                     sweep_done; cell_done carries the obs snapshot)
+// and the observability switches (PR 10):
+//   --probe-interval=S sample every registered gauge each S simulated seconds
+//                     into ring-buffered series (printed, downsampled, by
+//                     drivers that call print_probe_series)
+//   --trace-out=F     write a chrome://tracing JSON trace of the sweep
+//                     (transfer spans, drop instants, probe counter tracks;
+//                     load via chrome://tracing or ui.perfetto.dev)
 // Multi-rep runs aggregate with mean and a 95% CI; per-run numbers depend
 // only on --seed, never on --jobs, the cache, or the shard layout.
 // Diagnostics ([cache]/[shard]/[sweep]/[fail] lines) go to stderr so stdout
@@ -48,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "testbed/batch.hpp"
 #include "testbed/fault_injection.hpp"
 #include "testbed/result_store.hpp"
@@ -88,6 +97,8 @@ struct BenchArgs {
   std::optional<std::string> fault_plan;
   testbed::IsolationMode isolate = testbed::IsolationMode::kInProcess;
   std::optional<std::string> events_out;
+  double probe_interval_s = 0.0;  // 0 = probes off
+  std::optional<std::string> trace_out;
   std::string invocation;  // the argv, rejoined — for crash repro bundles
   util::Cli cli;
 
@@ -177,6 +188,17 @@ struct BenchArgs {
         events_out = cli.get("events-out", std::string{});
         if (events_out->empty()) throw std::invalid_argument("--events-out needs a file path");
       }
+      cli.know("probe-interval").know("trace-out");
+      if (cli.has("probe-interval")) {
+        probe_interval_s = cli.get("probe-interval", 0.0);
+        if (probe_interval_s <= 0) {
+          throw std::invalid_argument("--probe-interval must be > 0 simulated seconds");
+        }
+      }
+      if (cli.has("trace-out")) {
+        trace_out = cli.get("trace-out", std::string{});
+        if (trace_out->empty()) throw std::invalid_argument("--trace-out needs a file path");
+      }
     }
     if (cli.has("csv")) csv_path = cli.get("csv", std::string{});
     for (int i = 0; i < argc; ++i) {
@@ -211,6 +233,7 @@ struct BenchArgs {
     p.isolate = isolate;
     if (summary_out) p.crash_dir = *summary_out + ".crashes";
     p.invocation = invocation;
+    p.probe_interval_s = probe_interval_s;
     return p;
   }
 };
@@ -237,11 +260,26 @@ inline SweepRun run_sweep(const BenchArgs& args, const std::vector<testbed::Scen
   if (args.cache_dir) store = std::make_unique<testbed::ResultStore>(*args.cache_dir);
   std::unique_ptr<testbed::SweepEventFeed> events;
   if (args.events_out) events = std::make_unique<testbed::SweepEventFeed>(*args.events_out);
+  std::unique_ptr<obs::TraceWriter> trace;
+  if (args.trace_out) trace = std::make_unique<obs::TraceWriter>();
 
   SweepRun out;
   testbed::RunPolicy policy = args.policy();
   policy.events = events.get();
+  policy.trace = trace.get();
   out.results = args.runner().run(batch, store.get(), args.shard(), &out.report, policy);
+
+  if (trace) {
+    if (trace->write(*args.trace_out)) {
+      std::cerr << "[trace] wrote chrome://tracing JSON to " << *args.trace_out;
+      if (trace->dropped() > 0) {
+        std::cerr << " (" << trace->dropped() << " events dropped at per-cell caps)";
+      }
+      std::cerr << "\n";
+    } else {
+      std::cerr << "[trace] FAILED to write " << *args.trace_out << "\n";
+    }
+  }
 
   if (store) {
     const auto c = store->counters();
@@ -293,7 +331,66 @@ inline SweepRun run_sweep(const BenchArgs& args, const std::vector<testbed::Scen
               << " failed); re-run with the same --cache (unsharded, after merge_results "
                "--into, or once the failure cause is fixed) to complete and print the figure\n";
   }
+  if (events) {
+    // Sweep-level telemetry: report counters plus (when a cache is attached)
+    // the ResultStore's own instruments, nested under "obs" like cell_done.
+    std::string extra = ",\"cells\":" + std::to_string(out.report.total) +
+                        ",\"hits\":" + std::to_string(out.report.hits) +
+                        ",\"simulated\":" + std::to_string(out.report.simulated) +
+                        ",\"failed\":" + std::to_string(out.report.failed) +
+                        ",\"retried\":" + std::to_string(out.report.retried);
+    if (store) {
+      const auto c = store->counters();
+      extra += ",\"obs\":{\"store_hits\":" + std::to_string(c.hits) +
+               ",\"store_misses\":" + std::to_string(c.misses) +
+               ",\"store_stored\":" + std::to_string(c.stored) +
+               ",\"store_corrupt\":" + std::to_string(c.corrupt) +
+               ",\"store_index_filtered\":" + std::to_string(c.index_filtered) +
+               ",\"store_fs_probes\":" + std::to_string(c.fs_probes) + "}";
+    }
+    events->emit_sweep("sweep_done", extra);
+  }
   return out;
+}
+
+/// Demonstrates --probe-interval: prints a downsampled table of the first
+/// freshly simulated cell's probed gauge series. Prints NOTHING when probes
+/// are off, so stdout stays bit-comparable for every existing invocation.
+inline void print_probe_series(const BenchArgs& args, const SweepRun& sweep,
+                               std::size_t max_rows = 12) {
+  if (args.probe_interval_s <= 0.0) return;
+  for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+    const auto& series = sweep.results[i].obs_series;
+    if (series.empty()) continue;
+    const std::size_t n = series.front().size();
+    if (n == 0) continue;
+    std::vector<std::string> header{"t_s"};
+    for (const auto& s : series) header.push_back(s.name);
+    util::Table t(header);
+    const std::size_t rows = std::min(max_rows, n);
+    for (std::size_t r = 0; r < rows; ++r) {
+      // Even downsample that always includes the first and last sample.
+      const std::size_t k = rows == 1 ? 0 : r * (n - 1) / (rows - 1);
+      std::vector<std::string> row{util::fmt(series.front().time_at(k), 3)};
+      for (const auto& s : series) row.push_back(util::fmt(s.at(k), 4));
+      t.row(row);
+    }
+    t.print("\n[probe] cell #" + std::to_string(i) + " gauges sampled every " +
+            util::fmt(args.probe_interval_s, 3) + " s (" + std::to_string(n) +
+            " samples kept; showing " + std::to_string(rows) + "):");
+    return;  // one cell demonstrates the series; the trace holds them all
+  }
+  std::cout << "\n[probe] no probed series available (all cells were cache hits)\n";
+}
+
+/// Looks up one instrument in a result's obs snapshot (0 when absent — e.g.
+/// a cache entry stored before the instrument existed).
+[[nodiscard]] inline double obs_value(const testbed::ExperimentResult& r,
+                                      std::string_view name) {
+  for (const auto& [k, v] : r.obs) {
+    if (k == name) return v;
+  }
+  return 0.0;
 }
 
 /// Prints the banner every figure binary starts with.

@@ -19,10 +19,16 @@
 // and mean concurrent flows. Runs through the sweep persistence layer
 // (--cache/--shard-index/--shard-count) and is bit-identical for any --jobs.
 //
+// The matrix also reports the kernel's timing-wheel share per cell (from the
+// obs snapshot: wheel pops / total pops — the million-flow engine's pinned
+// deliveries should keep this high under churn), and --out=FILE dumps the
+// per-(load, controller) engine split as JSON with wheel_pops / heap_pops
+// fields in the same shape bench_churn_longrun --engine writes.
+//
 //   ./bench_controller_matrix [--full] [--reps=N] [--jobs=N] [--seed=N]
 //                             [--duration=S] [--cache=DIR]
 //                             [--shard-index/-count] [--summary-out=F]
-//                             [--scenario=FILE] [--csv=path]
+//                             [--scenario=FILE] [--csv=path] [--out=FILE]
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -66,6 +72,8 @@ ClassSlice slice_for(const workload::WorkloadSummary& wl, std::size_t ctrl) {
 int main(int argc, char** argv) {
   using namespace ebrc;
   bench::BenchArgs args(argc, argv, bench::kSweepFlags);
+  args.cli.know("out");
+  const std::string out_path = args.cli.get("out", std::string{});
   args.cli.finish();
   bench::banner("Controller matrix",
                 "TFRC / TCP / delay-AIMD / RCP under flow churn (CRN-paired arms)");
@@ -116,11 +124,20 @@ int main(int argc, char** argv) {
 
   // --- the per-controller matrix ----------------------------------------
   util::Table t({"rho", "controller", "goodput pkt/s", "loss p", "qdelay ms", "T(xfer) s",
-                 "cov(T)", "mean flows", "util"});
+                 "cov(T)", "mean flows", "util", "wheel share"});
   std::vector<std::vector<double>> csv_rows;
+  struct EngineCell {
+    double rho = 0.0;
+    std::string controller;
+    std::uint64_t wheel_pops = 0;
+    std::uint64_t heap_pops = 0;
+  };
+  std::vector<EngineCell> engine_cells;
   for (std::size_t l = 0; l < loads.size(); ++l) {
     for (std::size_t c = 0; c < kNumControllers; ++c) {
       stats::OnlineMoments goodput, loss, qdelay, completion, cov, flows, util_m;
+      double wheel_pops = 0.0;
+      double heap_pops = 0.0;
       for (std::size_t r = 0; r < reps; ++r) {
         const auto& res = cell(l, c, r);
         const auto s = slice_for(res.workload, c);
@@ -131,18 +148,27 @@ int main(int argc, char** argv) {
         cov.add(s.completion_cov);
         flows.add(res.workload.mean_flows);
         util_m.add(res.bottleneck_utilization);
+        wheel_pops += bench::obs_value(res, "kernel_wheel_pops");
+        heap_pops += bench::obs_value(res, "kernel_heap_pops");
       }
+      const double pops = wheel_pops + heap_pops;
+      const double wheel_share = pops > 0 ? wheel_pops / pops : 0.0;
       t.row({util::fmt(loads[l], 3), std::string(kControllers[c]), util::fmt(goodput.mean(), 5),
              util::fmt(loss.mean(), 4), util::fmt(qdelay.mean(), 4),
              util::fmt(completion.mean(), 5), util::fmt(cov.mean(), 4),
-             util::fmt(flows.mean(), 4), util::fmt(util_m.mean(), 3)});
+             util::fmt(flows.mean(), 4), util::fmt(util_m.mean(), 3),
+             util::fmt(wheel_share, 3)});
       csv_rows.push_back({loads[l], static_cast<double>(c), goodput.mean(), loss.mean(),
                           qdelay.mean(), completion.mean(), cov.mean(), flows.mean(),
-                          util_m.mean()});
+                          util_m.mean(), wheel_share});
+      engine_cells.push_back({loads[l], kControllers[c],
+                              static_cast<std::uint64_t>(wheel_pops),
+                              static_cast<std::uint64_t>(heap_pops)});
     }
   }
   t.print("\nController matrix (per-load CRN arms; qdelay is the delay-sensing classes'\n"
-          "mean queuing-delay sample, zero for loss-based TFRC/TCP):");
+          "mean queuing-delay sample, zero for loss-based TFRC/TCP; wheel share is the\n"
+          "kernel's timing-wheel fraction of event pops, from the obs snapshot):");
 
   // --- paired contrasts vs TFRC -----------------------------------------
   util::Table ct({"rho", "contrast", "d goodput", "ci95", "d T(xfer) s", "ci95",
@@ -174,7 +200,34 @@ int main(int argc, char** argv) {
             << "fair share converges fastest as load crosses 1 and the pool saturates.\n";
   bench::maybe_csv(args,
                    {"rho", "controller", "goodput_pps", "loss_p", "qdelay_ms", "t_xfer_s",
-                    "cov_t", "mean_flows", "util"},
+                    "cov_t", "mean_flows", "util", "wheel_share"},
                    csv_rows);
+  if (!out_path.empty()) {
+    // Machine-readable engine split, same field names bench_churn_longrun
+    // --engine writes, one object per (load, controller) cell (summed over
+    // replications).
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[json] cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"controller_matrix\",\n  \"cells\": [\n");
+    for (std::size_t i = 0; i < engine_cells.size(); ++i) {
+      const auto& e = engine_cells[i];
+      const double pops = static_cast<double>(e.wheel_pops + e.heap_pops);
+      std::fprintf(f,
+                   "    {\"rho\": %g, \"controller\": \"%s\", \"wheel_pops\": %llu, "
+                   "\"heap_pops\": %llu, \"wheel_share\": %.3f}%s\n",
+                   e.rho, e.controller.c_str(), static_cast<unsigned long long>(e.wheel_pops),
+                   static_cast<unsigned long long>(e.heap_pops),
+                   pops > 0 ? static_cast<double>(e.wheel_pops) / pops : 0.0,
+                   i + 1 < engine_cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("[json] wrote %s\n", out_path.c_str());
+  }
+  // Last, so the figure output stays a byte-exact prefix of a probed run's.
+  bench::print_probe_series(args, sweep);  // no-op unless --probe-interval set
   return 0;
 }

@@ -60,5 +60,7 @@ int main(int argc, char** argv) {
             << "populations TFRC turns TCP-friendly or even loses throughput share (its\n"
             << "strong conservativeness under heavy loss, Figure 5).\n";
   bench::maybe_csv(args, {"queue", "n", "p", "friendliness", "ci95", "p_ratio"}, csv_rows);
+  // Last, so the figure output stays a byte-exact prefix of a probed run's.
+  bench::print_probe_series(args, sweep);  // no-op unless --probe-interval set
   return 0;
 }

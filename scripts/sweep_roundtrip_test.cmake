@@ -14,6 +14,11 @@
 #      isolated sweep survives all three worker deaths, attributes them in
 #      the v2 manifest (signal numbers), drops repro bundles, streams the
 #      JSONL event feed, and resumes fault-free to the clean cold stdout
+#   6. observability is result-neutral: a --probe-interval + --trace-out run
+#      over the unprobed cache is simulation-free (same fingerprints), a cold
+#      probed run writes cache entries an unprobed warm run replays
+#      bit-for-bit, and the figure output is a byte-exact prefix of the
+#      probed run's (the probe table is purely additive)
 #
 # Inputs: -DFIGURE=<bench binary> -DMERGE_TOOL=<merge_results binary>
 #         -DWORK_DIR=<scratch dir>
@@ -207,6 +212,46 @@ if(NOT iso_resume_err MATCHES "hits=${HEALTHY} simulated=3")
 endif()
 if(NOT cold_out STREQUAL iso_resume_out)
   message(FATAL_ERROR "isolated-crash resume stdout differs from the clean cold run")
+endif()
+
+# --- 6: the obs layer is result-neutral ---------------------------------------
+# A probed + traced run over the unprobed warm cache must hit every cell:
+# --probe-interval and --trace-out are excluded from the cache fingerprint
+# because they cannot change results.
+run_figure(probed_out probed_err --cache=${WORK_DIR}/cache
+           --probe-interval=0.5 --trace-out=${WORK_DIR}/trace.json
+           --events-out=${WORK_DIR}/probed-events.jsonl)
+if(NOT probed_err MATCHES "hits=${CELLS} simulated=0")
+  message(FATAL_ERROR "probed warm run re-simulated cached cells — the probe leaked into the fingerprint:\n${probed_err}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/trace.json")
+  message(FATAL_ERROR "probed run wrote no chrome trace")
+endif()
+file(READ "${WORK_DIR}/trace.json" trace_json)
+if(NOT trace_json MATCHES "traceEvents")
+  message(FATAL_ERROR "trace.json is not a chrome://tracing export:\n${trace_json}")
+endif()
+
+# A cold probed run must write cache entries an unprobed warm run replays
+# bit-for-bit — the probe's presence never perturbs the simulated results.
+run_figure(probed_cold_out probed_cold_err --cache=${WORK_DIR}/probed-cache
+           --probe-interval=0.5)
+if(NOT probed_cold_err MATCHES "simulated=${CELLS}")
+  message(FATAL_ERROR "probed cold run did not simulate the full sweep:\n${probed_cold_err}")
+endif()
+string(FIND "${probed_cold_out}" "${cold_out}" prefix_at)
+if(NOT prefix_at EQUAL 0)
+  message(FATAL_ERROR "probed stdout does not start with the unprobed figure output")
+endif()
+if(NOT probed_cold_out MATCHES "\\[probe\\] cell")
+  message(FATAL_ERROR "probed cold run printed no probe series table:\n${probed_cold_out}")
+endif()
+run_figure(probed_warm_out probed_warm_err --cache=${WORK_DIR}/probed-cache)
+if(NOT probed_warm_err MATCHES "hits=${CELLS} simulated=0")
+  message(FATAL_ERROR "unprobed run over the probed cache re-simulated — probed payloads differ:\n${probed_warm_err}")
+endif()
+if(NOT cold_out STREQUAL probed_warm_out)
+  message(FATAL_ERROR "unprobed replay of probed cache entries differs from the clean cold run")
 endif()
 
 # Fail-fast (the default) must abort on the first injected fault and name

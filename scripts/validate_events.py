@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Strict validator for the sweep telemetry artifacts.
+
+Two modes:
+
+  validate_events.py EVENTS.jsonl [EVENTS2.jsonl ...]
+      Validates --events-out feeds: every line is strict JSON, the first
+      line is a version-2 schema header, timestamps are non-decreasing in
+      file order, every cell_start is paired with exactly one terminal
+      event for its (cell, attempt), and obs payloads are objects with
+      finite numeric values.
+
+  validate_events.py --trace TRACE.json [TRACE2.json ...]
+      Validates --trace-out chrome://tracing exports: strict JSON, the
+      traceEvents array, per-phase required fields, and non-negative
+      microsecond timestamps/durations.
+
+Exits 0 when every file passes, 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+KNOWN_EVENTS = {
+    "schema",
+    "cell_start",
+    "cell_done",
+    "cell_failed",
+    "cell_crashed",
+    "cell_killed",
+    "retry",
+    "sweep_done",
+}
+TERMINAL_EVENTS = {"cell_done", "cell_failed", "cell_crashed", "cell_killed"}
+CELL_EVENTS = TERMINAL_EVENTS | {"cell_start", "retry"}
+
+REQUIRED_SCHEMA_FIELDS = {"ts", "event", "cell", "scenario", "seed", "attempt"}
+
+
+def is_finite_number(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool) and math.isfinite(v)
+
+
+class Errors:
+    def __init__(self, path: str):
+        self.path = path
+        self.count = 0
+
+    def add(self, lineno: int, msg: str) -> None:
+        print(f"{self.path}:{lineno}: {msg}", file=sys.stderr)
+        self.count += 1
+
+
+def check_obs(obj: dict, err: Errors, lineno: int) -> None:
+    obs = obj.get("obs")
+    if obs is None:
+        return
+    if not isinstance(obs, dict):
+        err.add(lineno, f'"obs" must be an object, got {type(obs).__name__}')
+        return
+    for key, value in obs.items():
+        if not is_finite_number(value):
+            err.add(lineno, f'obs["{key}"] must be a finite number, got {value!r}')
+
+
+def validate_feed(path: str) -> int:
+    err = Errors(path)
+    try:
+        with open(path, "rb") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as e:
+        print(f"{path}: cannot read: {e}", file=sys.stderr)
+        return 1
+
+    if not raw_lines:
+        err.add(0, "empty feed (schema header expected)")
+        return err.count
+
+    prev_ts = None
+    # (cell, attempt) -> count of cell_start / terminal events seen.
+    starts: dict[tuple[int, int], int] = {}
+    terminals: dict[tuple[int, int], int] = {}
+    sweep_done_seen = False
+
+    for lineno, raw in enumerate(raw_lines, start=1):
+        try:
+            obj = json.loads(raw)
+        except (ValueError, UnicodeDecodeError) as e:
+            err.add(lineno, f"not valid JSON: {e}")
+            continue
+        if not isinstance(obj, dict):
+            err.add(lineno, "line is not a JSON object")
+            continue
+
+        ts = obj.get("ts")
+        event = obj.get("event")
+        if not is_finite_number(ts):
+            err.add(lineno, f'"ts" must be a finite number, got {ts!r}')
+        else:
+            if prev_ts is not None and ts < prev_ts:
+                err.add(lineno, f"ts went backwards: {ts} < {prev_ts}")
+            prev_ts = ts
+        if not isinstance(event, str):
+            err.add(lineno, f'"event" must be a string, got {event!r}')
+            continue
+        if event not in KNOWN_EVENTS:
+            err.add(lineno, f'unknown event "{event}"')
+            continue
+
+        if lineno == 1:
+            if event != "schema":
+                err.add(lineno, f'first line must be the schema header, got "{event}"')
+            else:
+                if obj.get("version") != 2:
+                    err.add(lineno, f'schema version must be 2, got {obj.get("version")!r}')
+                for key in ("events", "fields"):
+                    if not isinstance(obj.get(key), str):
+                        err.add(lineno, f'schema "{key}" must be a string of names')
+            continue
+        if event == "schema":
+            err.add(lineno, "schema header repeated after line 1")
+            continue
+
+        if event == "sweep_done":
+            if sweep_done_seen:
+                err.add(lineno, "sweep_done emitted twice")
+            sweep_done_seen = True
+            if "cell" in obj:
+                err.add(lineno, 'sweep-level event must not carry "cell"')
+            check_obs(obj, err, lineno)
+            continue
+
+        # Cell-level events.
+        missing = REQUIRED_SCHEMA_FIELDS - obj.keys()
+        if missing:
+            err.add(lineno, f'{event} missing fields: {sorted(missing)}')
+            continue
+        cell, attempt = obj["cell"], obj["attempt"]
+        if not isinstance(cell, int) or isinstance(cell, bool) or cell < 0:
+            err.add(lineno, f'"cell" must be a non-negative integer, got {cell!r}')
+            continue
+        if not isinstance(attempt, int) or isinstance(attempt, bool) or attempt < 0:
+            err.add(lineno, f'"attempt" must be a non-negative integer, got {attempt!r}')
+            continue
+        if not isinstance(obj["scenario"], str):
+            err.add(lineno, '"scenario" must be a string')
+        if not isinstance(obj["seed"], int) or obj["seed"] < 0:
+            err.add(lineno, '"seed" must be a non-negative integer')
+        key = (cell, attempt)
+        if event == "cell_start":
+            starts[key] = starts.get(key, 0) + 1
+            if starts[key] > 1:
+                err.add(lineno, f"cell {cell} attempt {attempt} started twice")
+        elif event in TERMINAL_EVENTS:
+            terminals[key] = terminals.get(key, 0) + 1
+            if key not in starts:
+                err.add(lineno, f"{event} for cell {cell} attempt {attempt} without cell_start")
+            elif terminals[key] > 1:
+                err.add(lineno, f"cell {cell} attempt {attempt} terminated twice")
+            if event == "cell_done" and "elapsed_s" not in obj:
+                err.add(lineno, "cell_done must carry elapsed_s")
+        elif event == "retry":
+            if attempt < 1:
+                err.add(lineno, "retry must carry attempt >= 1")
+        check_obs(obj, err, lineno)
+
+    for key in sorted(set(starts) - set(terminals)):
+        err.add(len(raw_lines), f"cell {key[0]} attempt {key[1]} started but never terminated")
+    if err.count == 0:
+        cells = len({c for (c, _) in starts})
+        print(
+            f"{path}: OK ({len(raw_lines)} lines, {cells} cells, "
+            f"{sum(terminals.values())} attempts terminated"
+            f"{', sweep_done' if sweep_done_seen else ''})"
+        )
+    return err.count
+
+
+def validate_trace(path: str) -> int:
+    err = Errors(path)
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"{path}: cannot read: {e}", file=sys.stderr)
+        return 1
+    except ValueError as e:
+        err.add(0, f"not valid JSON: {e}")
+        return err.count
+
+    if not isinstance(doc, dict):
+        err.add(0, "top level must be an object")
+        return err.count
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        err.add(0, '"traceEvents" must be an array')
+        return err.count
+
+    phase_counts: dict[str, int] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            err.add(0, f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or len(ph) != 1:
+            err.add(0, f"{where}: bad phase {ph!r}")
+            continue
+        phase_counts[ph] = phase_counts.get(ph, 0) + 1
+        if ph == "M":
+            if not isinstance(ev.get("name"), str):
+                err.add(0, f"{where}: metadata event needs a name")
+            continue
+        for field in ("name", "pid", "ts"):
+            if field not in ev:
+                err.add(0, f"{where}: missing {field}")
+        if is_finite_number(ev.get("ts")):
+            if ev["ts"] < 0:
+                err.add(0, f"{where}: negative ts")
+        else:
+            err.add(0, f"{where}: ts must be a finite number")
+        if ph == "X":
+            if not is_finite_number(ev.get("dur")) or ev["dur"] < 0:
+                err.add(0, f"{where}: X event needs non-negative dur")
+        elif ph == "C":
+            if not isinstance(ev.get("args"), dict):
+                err.add(0, f"{where}: counter event needs args")
+
+    if phase_counts.get("X", 0) == 0:
+        err.add(0, "no complete ('X') span events — empty trace?")
+    if err.count == 0:
+        phases = " ".join(f"{k}={v}" for k, v in sorted(phase_counts.items()))
+        print(f"{path}: OK ({len(events)} trace events; {phases})")
+    return err.count
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="feed .jsonl files (or trace .json with --trace)")
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="validate chrome://tracing JSON exports instead of JSONL feeds",
+    )
+    args = parser.parse_args()
+
+    problems = 0
+    for path in args.files:
+        problems += validate_trace(path) if args.trace else validate_feed(path)
+    return 0 if problems == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -116,6 +116,7 @@ bool Queue::admit(double now, double service_start) {
       kind_ == Kind::kDropTail ? starts_.size() < limit_ : red_admit(now);
   if (!admitted) {
     ++drops_;
+    if (drop_hook_ != nullptr) drop_hook_(drop_ctx_, now, starts_.size());
     return false;
   }
   starts_.push_back(service_start);

@@ -93,6 +93,17 @@ class Queue {
   [[nodiscard]] double average_queue() const noexcept { return avg_; }
   [[nodiscard]] const RedParams& params() const noexcept { return params_; }
 
+  /// Observability hook, fired on the DROP path only (never on accept): the
+  /// obs layer records occupancy-at-drop histograms and trace instants from
+  /// it. A raw function pointer + context keeps net/ free of any obs
+  /// dependency, and the null check is a predictable branch on a path that
+  /// is already the rare one.
+  using DropHook = void (*)(void* ctx, double now, std::size_t occupancy);
+  void set_drop_hook(DropHook hook, void* ctx) noexcept {
+    drop_hook_ = hook;
+    drop_ctx_ = ctx;
+  }
+
  private:
   enum class Kind : std::uint8_t { kDropTail, kRed };
 
@@ -117,6 +128,8 @@ class Queue {
   util::RingBuffer<Packet> store_;   // standalone mode only; empty under a link
   std::uint64_t drops_ = 0;
   std::uint64_t accepted_ = 0;
+  DropHook drop_hook_ = nullptr;
+  void* drop_ctx_ = nullptr;
 
   // RED state (inert for DropTail).
   RedParams params_;

@@ -1,0 +1,41 @@
+#include "obs/probe.hpp"
+
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace ebrc::obs {
+
+Probe::Probe(sim::Simulator& sim, const Registry& reg, double interval_s, std::size_t capacity,
+             double stop_at, CellTrace* trace)
+    : sim_(sim),
+      reg_(reg),
+      interval_s_(interval_s),
+      start_s_(sim.now() + interval_s),
+      stop_at_(stop_at),
+      trace_(trace) {
+  if (!(interval_s > 0.0)) throw std::invalid_argument("Probe: interval must be > 0");
+  if (capacity == 0) throw std::invalid_argument("Probe: capacity must be >= 1");
+  series_.reserve(reg.gauge_count());
+  for (std::size_t i = 0; i < reg.gauge_count(); ++i) {
+    Series s;
+    s.name = reg.gauge_name(i);
+    s.interval_s = interval_s;
+    s.start_s = start_s_;
+    s.cap = capacity;
+    s.values.resize(capacity, 0.0);
+    series_.push_back(std::move(s));
+  }
+}
+
+void Probe::sample() {
+  const double now = sim_.now();
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const double v = reg_.sample_gauge(i, now);
+    series_[i].push(v);
+    if (trace_ != nullptr) trace_->counter(now, series_[i].name, v);
+  }
+  ++samples_;
+}
+
+}  // namespace ebrc::obs

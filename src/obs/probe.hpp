@@ -1,0 +1,100 @@
+// obs::Probe — fixed-interval sim-time sampling of registered gauges.
+//
+// The probe never injects events into the kernel. It exposes a sample
+// schedule (`next_due()`), and the experiment loop drives it by running the
+// simulator in segments: `run_until(next_due()); sample();`. Segmenting
+// run_until is perturbation-free — the merge-pop loop's wheel peek is
+// idempotent between pops, and nothing is inserted into the wheel or heap —
+// so a probed run executes the exact same event sequence, pops included, as
+// an unprobed one. That is the property that lets a probed run share a cache
+// entry (bit-identical result payload) with an unprobed run, which is why
+// --probe-interval is excluded from the cache fingerprint.
+//
+// Storage is bounded: each series keeps the most recent `capacity` samples
+// (ring overwrite) plus the total sample count, so a million-second run with
+// a 10 ms probe cannot eat the heap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace ebrc::obs {
+
+class CellTrace;
+
+/// One gauge's sampled time series: a preallocated ring keeping the most
+/// recent `cap` samples plus the total ever taken.
+struct Series {
+  std::string name;
+  double interval_s = 0.0;
+  double start_s = 0.0;        // sim time of sample index 0 (the first ever)
+  std::uint64_t total = 0;     // samples ever taken (>= samples kept)
+  std::size_t cap = 0;         // ring capacity, fixed at construction
+  std::vector<double> values;  // resized to cap up front; ring-indexed
+
+  void push(double v) noexcept {
+    values[static_cast<std::size_t>(total % cap)] = v;
+    ++total;
+  }
+  /// Number of retained samples (<= cap).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return total < cap ? static_cast<std::size_t>(total) : cap;
+  }
+  /// i-th retained sample, oldest first.
+  [[nodiscard]] double at(std::size_t i) const noexcept {
+    const std::size_t head = total > cap ? static_cast<std::size_t>(total % cap) : 0;
+    return values[(head + i) % cap];
+  }
+  /// Sim time of the i-th retained sample.
+  [[nodiscard]] double time_at(std::size_t i) const noexcept {
+    const auto dropped = static_cast<double>(total - size());
+    return start_s + (dropped + static_cast<double>(i)) * interval_s;
+  }
+};
+
+class Probe {
+ public:
+  /// Samples every gauge of `reg` each `interval_s` sim seconds, starting at
+  /// sim.now() + interval and stopping after `stop_at`, keeping the last
+  /// `capacity` samples per gauge. If `trace` is given, samples are mirrored
+  /// into it as chrome://tracing counter tracks.
+  Probe(sim::Simulator& sim, const Registry& reg, double interval_s, std::size_t capacity,
+        double stop_at, CellTrace* trace = nullptr);
+
+  Probe(const Probe&) = delete;
+  Probe& operator=(const Probe&) = delete;
+
+  /// Sim time of the next pending sample, or +inf when the schedule is done
+  /// (past stop_at, or the registry has no gauges). The driver loop is
+  ///   while (p.next_due() <= horizon) { sim.run_until(p.next_due()); p.sample(); }
+  [[nodiscard]] double next_due() const noexcept {
+    if (series_.empty()) return std::numeric_limits<double>::infinity();
+    const double due = start_s_ + static_cast<double>(samples_) * interval_s_;
+    return due <= stop_at_ ? due : std::numeric_limits<double>::infinity();
+  }
+
+  /// Reads every gauge once at the current sim time. Call after
+  /// sim.run_until(next_due()).
+  void sample();
+
+  /// Hands the collected series out (call after the run).
+  [[nodiscard]] std::vector<Series> take_series() { return std::move(series_); }
+
+ private:
+  sim::Simulator& sim_;
+  const Registry& reg_;
+  double interval_s_;
+  double start_s_;
+  double stop_at_;
+  std::uint64_t samples_ = 0;
+  std::vector<Series> series_;
+  CellTrace* trace_;
+};
+
+}  // namespace ebrc::obs

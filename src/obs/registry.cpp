@@ -1,0 +1,90 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ebrc::obs {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins >= 1");
+  }
+  width_ = (hi - lo) / static_cast<double>(bins);
+  bins_.assign(bins, 0);
+}
+
+void Histogram::record(double v) noexcept {
+  const double idx = (v - lo_) / width_;
+  std::size_t b = 0;
+  if (idx >= static_cast<double>(bins_.size())) {
+    b = bins_.size() - 1;
+  } else if (idx > 0.0) {
+    b = static_cast<std::size_t>(idx);
+  }
+  ++bins_[b];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1 || v > max_) max_ = v;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    const std::uint64_t in_bin = bins_[b];
+    if (static_cast<double>(seen + in_bin) >= target && in_bin > 0) {
+      // Interpolate inside the bin by the fraction of its mass below target.
+      const double frac =
+          in_bin > 0 ? (target - static_cast<double>(seen)) / static_cast<double>(in_bin) : 0.0;
+      return lo_ + (static_cast<double>(b) + std::clamp(frac, 0.0, 1.0)) * width_;
+    }
+    seen += in_bin;
+  }
+  return lo_ + static_cast<double>(bins_.size()) * width_;
+}
+
+void Registry::add_counter(std::string name, Sampler s) {
+  order_.push_back(
+      Instrument{Instrument::Kind::kCounter, false, std::move(name), std::move(s), nullptr});
+}
+
+void Registry::add_gauge(std::string name, Sampler s, bool probe_only) {
+  gauges_.push_back(GaugeRef{name, s});
+  order_.push_back(
+      Instrument{Instrument::Kind::kGauge, probe_only, std::move(name), std::move(s), nullptr});
+}
+
+Histogram* Registry::add_histogram(std::string name, double lo, double hi, std::size_t bins) {
+  hists_.emplace_back(lo, hi, bins);
+  Histogram* h = &hists_.back();
+  order_.push_back(Instrument{Instrument::Kind::kHistogram, false, std::move(name), {}, h});
+  return h;
+}
+
+Snapshot Registry::snapshot(double now) const {
+  Snapshot out;
+  out.reserve(order_.size() + 4 * hists_.size());
+  for (const Instrument& in : order_) {
+    switch (in.kind) {
+      case Instrument::Kind::kCounter:
+        out.emplace_back(in.name, in.sampler(now));
+        break;
+      case Instrument::Kind::kGauge:
+        if (!in.probe_only) out.emplace_back(in.name, in.sampler(now));
+        break;
+      case Instrument::Kind::kHistogram:
+        out.emplace_back(in.name + "_count", static_cast<double>(in.hist->count()));
+        out.emplace_back(in.name + "_mean", in.hist->mean());
+        out.emplace_back(in.name + "_p50", in.hist->quantile(0.50));
+        out.emplace_back(in.name + "_p90", in.hist->quantile(0.90));
+        out.emplace_back(in.name + "_max", in.hist->max());
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ebrc::obs

@@ -1,0 +1,112 @@
+// obs::Registry — the per-run instrument catalogue.
+//
+// An experiment registers its instruments once, at construction time, and the
+// registry never touches a hot path: counters and gauges are *pull-based*
+// samplers over state the components already maintain (kernel pop counters,
+// queue drop totals, the population tracker), so reading them costs nothing
+// until somebody asks. Histograms are the one push-style instrument, fed only
+// from rare paths (a queue drop, a transfer completion).
+//
+// Determinism contract: snapshot() depends only on simulated state, never on
+// whether a probe was attached — gauges registered `probe_only` (stateful
+// rate estimators that advance when sampled) are visible to obs::Probe but
+// excluded from the snapshot, so cached results stay bit-identical whether or
+// not --probe-interval was set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ebrc::obs {
+
+/// Fixed-range linear-bin histogram. Values outside [lo, hi) clamp to the
+/// edge bins, so the export is total (count is exact, tails are visible as
+/// saturated edge bins). All storage is allocated at registration.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void record(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  /// Linear-interpolated quantile from the bin midpoints; 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double width_;  // per-bin width
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A snapshot is a flat, insertion-ordered (name, value) list — the shape
+/// both ExperimentResult and the JSONL feed want.
+using Snapshot = std::vector<std::pair<std::string, double>>;
+
+class Registry {
+ public:
+  /// Samplers read component state at sample time; `now` is the simulated
+  /// clock so rate-style gauges can difference against it.
+  using Sampler = std::function<double(double now)>;
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// A monotone total (events executed, packets dropped). Snapshot value is
+  /// whatever the sampler reads at snapshot time.
+  void add_counter(std::string name, Sampler s);
+
+  /// An instantaneous level (queue occupancy, active flows). `probe_only`
+  /// gauges are sampled by obs::Probe but never appear in snapshot() — use
+  /// it for stateful samplers whose value depends on the sampling schedule.
+  void add_gauge(std::string name, Sampler s, bool probe_only = false);
+
+  /// Registers a histogram and returns a stable pointer for the feeding
+  /// component to record into. Exports `<name>_count/_mean/_p50/_p90/_max`
+  /// in every snapshot (zeros when empty — the key set is fixed at
+  /// registration so batch aggregation sees homogeneous rows).
+  Histogram* add_histogram(std::string name, double lo, double hi, std::size_t bins);
+
+  /// All registered instruments in registration order, histograms expanded.
+  /// Probe-only gauges are excluded (see the determinism contract above).
+  [[nodiscard]] Snapshot snapshot(double now) const;
+
+  // --- probe interface: gauges by dense index (probe_only included) --------
+  [[nodiscard]] std::size_t gauge_count() const noexcept { return gauges_.size(); }
+  [[nodiscard]] const std::string& gauge_name(std::size_t i) const { return gauges_[i].name; }
+  [[nodiscard]] double sample_gauge(std::size_t i, double now) const {
+    return gauges_[i].sampler(now);
+  }
+
+ private:
+  struct Instrument {
+    enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+    Kind kind;
+    bool probe_only = false;
+    std::string name;
+    Sampler sampler;           // counters and gauges
+    const Histogram* hist = nullptr;
+  };
+  struct GaugeRef {
+    std::string name;
+    Sampler sampler;
+  };
+
+  std::vector<Instrument> order_;   // registration order, drives snapshot()
+  std::vector<GaugeRef> gauges_;    // dense probe-facing view (incl. probe_only)
+  std::deque<Histogram> hists_;     // deque: add_histogram pointers stay stable
+};
+
+}  // namespace ebrc::obs

@@ -1,0 +1,29 @@
+// obs::RunObs — the per-run observability request handed to run_experiment.
+//
+// Null/default everything means "obs off": the experiment still registers
+// its instruments (registration is construction-time and cheap) and still
+// snapshots them into ExperimentResult::obs, but no probe is scheduled, no
+// trace is buffered, and the kernel ring stays uninstalled, so the hot path
+// keeps its single predictable branch.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/simulator.hpp"
+
+namespace ebrc::obs {
+
+class CellTrace;
+
+struct RunObs {
+  /// > 0 schedules an obs::Probe at this sim-time interval.
+  double probe_interval_s = 0.0;
+  /// Ring capacity per probed series.
+  std::size_t probe_capacity = 4096;
+  /// Optional per-cell chrome://tracing buffer (spans, instants, counters).
+  CellTrace* trace = nullptr;
+  /// Optional flight-recorder ring to install on the simulator.
+  sim::KernelRing ring;
+};
+
+}  // namespace ebrc::obs

@@ -1,0 +1,137 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/json_escape.hpp"
+
+namespace ebrc::obs {
+
+void CellTrace::span(double t0, double t1, std::string_view name, std::string_view track) {
+  if (!admit()) return;
+  events_.push_back(Ev{'X', t0, t1, 0.0, std::string(name), std::string(track)});
+}
+
+void CellTrace::instant(double t, std::string_view name, std::string_view track) {
+  if (!admit()) return;
+  events_.push_back(Ev{'i', t, 0.0, 0.0, std::string(name), std::string(track)});
+}
+
+void CellTrace::counter(double t, std::string_view name, double value) {
+  if (!admit()) return;
+  events_.push_back(Ev{'C', t, 0.0, value, std::string(name), ""});
+}
+
+void TraceWriter::absorb(std::size_t cell, std::string cell_name, CellTrace&& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.push_back(CellBlock{cell, std::move(cell_name), std::move(trace)});
+}
+
+std::size_t TraceWriter::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const CellBlock& c : cells_) n += c.trace.dropped();
+  return n;
+}
+
+namespace {
+
+void append_f(std::string& out, const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  out += buf;
+}
+
+constexpr double kMicros = 1e6;  // sim seconds -> trace microseconds
+
+}  // namespace
+
+bool TraceWriter::write(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+
+  // Deterministic output order regardless of worker completion order.
+  std::vector<const CellBlock*> ordered;
+  ordered.reserve(cells_.size());
+  for (const CellBlock& c : cells_) ordered.push_back(&c);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const CellBlock* a, const CellBlock* b) { return a->cell < b->cell; });
+
+  f << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  std::string line;
+  const auto emit = [&](const std::string& body) {
+    if (!first) f << ",\n";
+    first = false;
+    f << body;
+  };
+
+  for (const CellBlock* cb : ordered) {
+    const auto pid = static_cast<unsigned long long>(cb->cell);
+    // Process metadata: name the pid after the scenario.
+    line.clear();
+    line += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    line += std::to_string(pid);
+    line += ",\"tid\":0,\"args\":{\"name\":\"";
+    util::json_escape_into(line, cb->name);
+    line += "\"}}";
+    emit(line);
+
+    // Track name -> tid, in first-appearance order; tid 0 is the main track.
+    std::vector<std::string> tracks{""};
+    const auto tid_of = [&](const std::string& track) -> std::size_t {
+      for (std::size_t i = 0; i < tracks.size(); ++i) {
+        if (tracks[i] == track) return i;
+      }
+      tracks.push_back(track);
+      return tracks.size() - 1;
+    };
+
+    for (const CellTrace::Ev& e : cb->trace.events_) {
+      line.clear();
+      line += "{\"name\":\"";
+      util::json_escape_into(line, e.name);
+      line += "\",\"ph\":\"";
+      line += e.ph;
+      line += "\",\"ts\":";
+      append_f(line, "%.3f", e.t0 * kMicros);
+      if (e.ph == 'X') {
+        line += ",\"dur\":";
+        append_f(line, "%.3f", std::max(0.0, e.t1 - e.t0) * kMicros);
+      }
+      line += ",\"pid\":";
+      line += std::to_string(pid);
+      line += ",\"tid\":";
+      line += std::to_string(e.ph == 'C' ? 0 : tid_of(e.track));
+      if (e.ph == 'i') {
+        line += ",\"s\":\"t\"";  // thread-scoped instant
+      } else if (e.ph == 'C') {
+        line += ",\"args\":{\"value\":";
+        append_f(line, "%.6g", e.value);
+        line += "}";
+      }
+      line += "}";
+      emit(line);
+    }
+
+    // Thread metadata after the fact, once the track set is known.
+    for (std::size_t tid = 1; tid < tracks.size(); ++tid) {
+      line.clear();
+      line += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":";
+      line += std::to_string(pid);
+      line += ",\"tid\":";
+      line += std::to_string(tid);
+      line += ",\"args\":{\"name\":\"";
+      util::json_escape_into(line, tracks[tid]);
+      line += "\"}}";
+      emit(line);
+    }
+  }
+  f << "\n]}\n";
+  f.flush();
+  return static_cast<bool>(f);
+}
+
+}  // namespace ebrc::obs

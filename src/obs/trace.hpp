@@ -1,0 +1,91 @@
+// obs::CellTrace / obs::TraceWriter — chrome://tracing export.
+//
+// A CellTrace is a per-cell, single-threaded event buffer filled during a
+// run: spans (transfers, cell attempts), instants (drops, retries, controller
+// state changes), and counter samples mirrored from the probe. BatchRunner
+// moves finished cell traces into the sweep-wide TraceWriter, which writes
+// one Trace Event Format JSON file loadable by chrome://tracing or Perfetto.
+//
+// Time base: every timestamp is SIMULATED time converted to microseconds
+// (the Trace Event Format's native unit), so the viewer's timeline reads
+// directly in sim seconds. Each cell becomes one "process" (pid = cell
+// index, process_name = scenario name); tracks within a cell become threads.
+//
+// Tracing is opt-in (--trace-out); this path is allowed to allocate.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ebrc::obs {
+
+class CellTrace {
+ public:
+  /// `max_events` bounds memory per cell; past it, events are counted as
+  /// dropped instead of recorded (the writer reports the loss).
+  explicit CellTrace(std::size_t max_events = 1 << 16) : cap_(max_events) {
+    events_.reserve(std::min<std::size_t>(max_events, 1024));
+  }
+
+  /// Complete span [t0, t1] (sim seconds) on the named track.
+  void span(double t0, double t1, std::string_view name, std::string_view track);
+  /// Instant event at t (sim seconds) on the named track.
+  void instant(double t, std::string_view name, std::string_view track);
+  /// Counter sample: one value series per name.
+  void counter(double t, std::string_view name, double value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  friend class TraceWriter;
+  struct Ev {
+    char ph;        // 'X' span, 'i' instant, 'C' counter
+    double t0 = 0;  // sim seconds
+    double t1 = 0;  // span end (ph == 'X')
+    double value = 0;  // counter value (ph == 'C')
+    std::string name;
+    std::string track;  // thread-equivalent; empty for counters
+  };
+  [[nodiscard]] bool admit() noexcept {
+    if (events_.size() >= cap_) {
+      ++dropped_;
+      return false;
+    }
+    return true;
+  }
+
+  std::size_t cap_;
+  std::size_t dropped_ = 0;
+  std::vector<Ev> events_;
+};
+
+class TraceWriter {
+ public:
+  /// Takes ownership of a finished cell's trace. Thread-safe: BatchRunner
+  /// workers absorb concurrently.
+  void absorb(std::size_t cell, std::string cell_name, CellTrace&& trace);
+
+  /// Total events dropped across absorbed cells (buffer caps).
+  [[nodiscard]] std::size_t dropped() const;
+
+  /// Writes the Trace Event Format JSON file; returns false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+ private:
+  struct CellBlock {
+    std::size_t cell;
+    std::string name;
+    CellTrace trace;
+  };
+  mutable std::mutex mu_;
+  std::vector<CellBlock> cells_;
+};
+
+}  // namespace ebrc::obs

@@ -138,6 +138,7 @@ void Simulator::run_until(Time horizon) {
     if ((e.slot & kPinnedBit) != 0) {
       // Pinned fast path: no liveness check, no retire, no callback move —
       // invoke in place. Always live by construction.
+      record_executed(e.at, e.slot, static_cast<std::uint8_t>(2u | (from_wheel ? 1u : 0u)));
       now_ = e.at;
       ++executed_;
       pinned_[e.slot & ~kPinnedBit]();
@@ -152,6 +153,7 @@ void Simulator::run_until(Time horizon) {
     EventFn fn = slab->retire(e.slot);
     if (!live) continue;  // cancelled
     assert(e.at >= now_);
+    record_executed(e.at, e.slot, from_wheel ? 1u : 0u);
     now_ = e.at;
     ++executed_;
     fn();

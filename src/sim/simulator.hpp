@@ -315,6 +315,28 @@ class EventHandle {
   EventSlab::Ticket ticket_;
 };
 
+/// Optional view of an externally owned POD ring the kernel writes one
+/// 16-byte record into per executed event — the obs flight recorder's window
+/// into the hot loop. The simulator does not own any of it; whoever installs
+/// the view (obs::FlightRecorder maps it from a MAP_SHARED file so the tail
+/// survives SIGKILL) guarantees `records` spans `mask + 1` slots and that
+/// `cursor` stays valid for the simulator's lifetime. A default-constructed
+/// ring (null `records`) disables recording: the hot loop pays exactly one
+/// predictable branch per event.
+struct KernelRing {
+  struct Record {
+    double at = 0.0;        // sim time of the executed event
+    std::uint32_t slot = 0; // raw heap-entry slot (pinned bit included)
+    std::uint8_t src = 0;   // bit 0: popped from wheel; bit 1: pinned path
+    std::uint8_t pad[3] = {};
+  };
+  static_assert(sizeof(Record) == 16);
+
+  Record* records = nullptr;
+  std::uint32_t mask = 0;          // capacity - 1; capacity is a power of two
+  std::uint64_t* cursor = nullptr; // total records ever written (monotone)
+};
+
 /// The event-driven simulator: a clock plus a 4-ary min-heap of POD entries
 /// whose callbacks live in the event slab.
 class Simulator {
@@ -430,6 +452,10 @@ class Simulator {
   /// Liveness slab (exposed for allocation-churn tests).
   [[nodiscard]] const EventSlab& slab() const noexcept { return *slab_; }
 
+  /// Installs (or, with a default-constructed ring, removes) the flight
+  /// recorder's event ring. See KernelRing for the ownership contract.
+  void set_kernel_ring(KernelRing ring) noexcept { ring_ = ring; }
+
  private:
   /// Heap entries are the 24-byte trivially copyable PODs shared with the
   /// timing wheel (see timing_wheel.hpp for the layout and the branchless
@@ -464,6 +490,17 @@ class Simulator {
   [[noreturn]] static void throw_past_time();
   void pop_min();
 
+  /// Flight-recorder write: one store per executed event when a ring is
+  /// installed, one predictable branch when it is not (the default).
+  void record_executed(double at, std::uint32_t slot, std::uint8_t src) noexcept {
+    if (ring_.records == nullptr) [[likely]] return;
+    KernelRing::Record& r = ring_.records[*ring_.cursor & ring_.mask];
+    r.at = at;
+    r.slot = slot;
+    r.src = src;
+    ++*ring_.cursor;
+  }
+
   static constexpr std::size_t kDefaultReserve = 256;
   /// Tags a heap entry's slot as a pinned-callback index. Distinct from
   /// EventSlab's kWideBit (the top bit): a pinned entry never reaches the
@@ -479,6 +516,7 @@ class Simulator {
   std::vector<Entry> heap_;  // 4-ary min-heap: children of i at 4i+1 .. 4i+4
   std::deque<EventFn> pinned_;  // deque: pin() during a run never relocates
   TimingWheel wheel_;  // pinned entries after calibration; merged at pop
+  KernelRing ring_;   // null records (the default) = recording disabled
 };
 
 }  // namespace ebrc::sim

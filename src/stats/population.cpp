@@ -28,6 +28,7 @@ void PopulationTracker::set_population(double t) {
 void PopulationTracker::on_open(double t, int cls) {
   check_class(cls);
   ++active_[static_cast<std::size_t>(cls)];
+  ++class_opens_[static_cast<std::size_t>(cls)];
   ++arrivals_;
   const auto total = static_cast<std::uint64_t>(active_total());
   if (total > peak_) peak_ = total;
@@ -45,6 +46,7 @@ void PopulationTracker::on_close(double t, int cls, double duration_s, double si
   auto& n = active_[static_cast<std::size_t>(cls)];
   if (n <= 0) throw std::logic_error("PopulationTracker: close without open");
   --n;
+  ++class_closes_[static_cast<std::size_t>(cls)];
   ++completions_;
   completion_s_[static_cast<std::size_t>(cls)].add(duration_s);
   completion_pkts_[static_cast<std::size_t>(cls)].add(size_pkts);

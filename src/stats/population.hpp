@@ -53,6 +53,16 @@ class PopulationTracker {
   /// peaks during warm-up count; churn ramps up from an empty system).
   [[nodiscard]] std::uint64_t peak() const noexcept { return peak_; }
 
+  /// Cumulative per-class open/close totals since construction. NOT reset by
+  /// begin_epoch — these back the obs layer's monotone counters, which want
+  /// whole-run totals, not the warm-up-truncated window.
+  [[nodiscard]] std::uint64_t class_opens(int cls) const {
+    return class_opens_.at(static_cast<std::size_t>(cls));
+  }
+  [[nodiscard]] std::uint64_t class_closes(int cls) const {
+    return class_closes_.at(static_cast<std::size_t>(cls));
+  }
+
   // --- windowed --------------------------------------------------------
   [[nodiscard]] std::uint64_t arrivals() const noexcept { return arrivals_; }
   [[nodiscard]] std::uint64_t completions() const noexcept { return completions_; }
@@ -76,6 +86,8 @@ class PopulationTracker {
   void set_population(double t);
 
   std::array<int, kClasses> active_{};
+  std::array<std::uint64_t, kClasses> class_opens_{};
+  std::array<std::uint64_t, kClasses> class_closes_{};
   std::uint64_t peak_ = 0;
   std::uint64_t arrivals_ = 0;
   std::uint64_t completions_ = 0;

@@ -7,6 +7,7 @@
 #include <cctype>
 #include <charconv>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -16,12 +17,16 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/run_obs.hpp"
+#include "obs/trace.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "testbed/fault_injection.hpp"
 #include "testbed/result_store.hpp"
 #include "testbed/scenario_io.hpp"
 #include "util/doc.hpp"
+#include "util/json_escape.hpp"
 
 namespace ebrc::testbed {
 
@@ -119,6 +124,10 @@ BatchResult aggregate(const std::vector<ExperimentResult>& runs) {
     out.metrics["rtt_ratio"].add(r.breakdown.rtt_ratio);
     out.metrics["tcp_formula_ratio"].add(r.breakdown.tcp_formula_ratio);
     out.metrics["friendliness"].add(r.breakdown.friendliness);
+    // Observability snapshot: every registered instrument surfaces as an
+    // obs_-prefixed sweep metric. The snapshot is deterministic (it never
+    // depends on --probe-interval), so cold and warm-cache aggregates agree.
+    for (const auto& [name, v] : r.obs) out.metrics["obs_" + name].add(v);
     // Workload telemetry, only for churn runs — batches are homogeneous (one
     // scenario shape), so the metric key set stays consistent within a batch
     // and pre-workload summary files keep their exact key set.
@@ -321,6 +330,10 @@ void write_handoff(const std::filesystem::path& path, const std::string& payload
 struct WorkerReturn {
   std::optional<ExperimentResult> result;  // set iff the worker succeeded
   WorkerOutcome outcome;
+  /// Flight-recorder ring file left behind by a dead worker (empty when the
+  /// recorder was not armed or the attempt succeeded). The parent dumps it
+  /// into the crash bundle and removes it.
+  std::string flight_path;
 };
 
 /// One supervised attempt of one cell. The forked child re-runs the exact
@@ -341,13 +354,31 @@ struct WorkerReturn {
   const fs::path store_root = store != nullptr ? store->root() : fs::path{};
   const std::uint64_t store_salt = store != nullptr ? store->salt() : 0;
 
+  // Crash forensics: whenever a crash dir is configured, the worker arms a
+  // file-backed flight recorder. The mmap is MAP_SHARED, so the kernel's last
+  // executed events survive any way the worker dies — SIGSEGV, abort, even
+  // the supervisor's deadline SIGKILL — via the page cache.
+  const fs::path flight = handoff.string() + ".flight";
+  fs::remove(flight, ec);
+  const bool arm_flight = !policy.crash_dir.empty();
+
   WorkerLimits limits;
   limits.deadline_s = policy.cell_deadline_s;
   WorkerReturn ret;
   ret.outcome = run_supervised(
       [&]() -> int {
+        std::unique_ptr<obs::FlightRecorder> recorder;
+        obs::RunObs ro;
+        ro.probe_interval_s = policy.probe_interval_s;
+        ro.probe_capacity = policy.probe_capacity;
+        if (arm_flight) {
+          // Created BEFORE the injections: an attempt that crashes at t=0
+          // still leaves a valid (empty) ring for the bundle.
+          recorder = obs::FlightRecorder::create(flight.string());
+          if (recorder != nullptr) ro.ring = recorder->ring();
+        }
         fire_cell_injections(i, attempt, /*in_worker=*/true);
-        const ExperimentResult r = run_experiment(sc);
+        const ExperimentResult r = run_experiment(sc, &ro);
         if (!store_root.empty()) {
           const ResultStore child_store(store_root, store_salt);
           child_store.store(sc, r);
@@ -356,6 +387,13 @@ struct WorkerReturn {
         return 0;
       },
       limits);
+  if (arm_flight) {
+    if (ret.outcome.ok) {
+      fs::remove(flight, ec);
+    } else {
+      ret.flight_path = flight.string();
+    }
+  }
   if (ret.outcome.ok) {
     ret.result = read_handoff(handoff);
     if (!ret.result) {
@@ -385,13 +423,20 @@ struct WorkerReturn {
 /// Repro bundle for a crashed/killed cell: everything needed to rerun it.
 /// Best-effort by design — diagnostics must never fail the sweep.
 void write_crash_bundle(const RunPolicy& policy, std::size_t i, int attempt,
-                        const Scenario& sc, const WorkerOutcome& outcome) {
+                        const Scenario& sc, const WorkerOutcome& outcome,
+                        const std::string& flight_path = {}) {
   if (policy.crash_dir.empty()) return;
   namespace fs = std::filesystem;
   const fs::path dir = fs::path(policy.crash_dir) / ("cell-" + std::to_string(i));
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) return;
+  if (!flight_path.empty()) {
+    // The dead worker's flight-recorder ring: decode it into a human-readable
+    // tail of the kernel's last executed events. Best-effort like the rest.
+    (void)obs::FlightRecorder::dump_to_text(flight_path,
+                                            (dir / "flight_recorder.txt").string());
+  }
   try {
     // The scenario TOML serializes the derived seed, so replaying this file
     // replays this exact cell.
@@ -425,9 +470,30 @@ void write_crash_bundle(const RunPolicy& policy, std::size_t i, int attempt,
 
 void emit_event(const RunPolicy& policy, std::string_view event, std::size_t i,
                 const Scenario& sc, int attempt, double elapsed_s = -1.0, long rss_kb = -1,
-                std::string_view detail = {}) {
+                std::string_view detail = {}, std::string_view extra_json = {}) {
   if (policy.events == nullptr) return;
-  policy.events->emit(event, i, sc.name, sc.seed, attempt, elapsed_s, rss_kb, detail);
+  policy.events->emit(event, i, sc.name, sc.seed, attempt, elapsed_s, rss_kb, detail,
+                      extra_json);
+}
+
+/// Renders a result's obs snapshot as a `,"obs":{...}` feed fragment (empty
+/// string when the snapshot is empty). Non-finite values are emitted as 0 so
+/// every feed line stays strict JSON.
+[[nodiscard]] std::string obs_json(const obs::Snapshot& snap) {
+  if (snap.empty()) return {};
+  std::string out = ",\"obs\":{";
+  bool first = true;
+  char buf[64];
+  for (const auto& [name, v] : snap) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    util::json_escape_into(out, name);
+    std::snprintf(buf, sizeof(buf), "\":%.17g", std::isfinite(v) ? v : 0.0);
+    out += buf;
+  }
+  out += '}';
+  return out;
 }
 
 }  // namespace
@@ -523,8 +589,19 @@ std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scen
           // record itself; admit the key so this process's index agrees.
           if (store != nullptr) store->admit(sc);
           done[i] = 1;
+          if (policy.trace != nullptr) {
+            // The worker's in-memory trace buffer died with the worker; the
+            // parent still contributes the attempt span (retries included:
+            // attempt > 0 names itself).
+            obs::CellTrace t;
+            t.span(0.0, sc.duration_s,
+                   attempt > 0 ? "attempt (retry " + std::to_string(attempt) + ")"
+                               : "attempt",
+                   "run");
+            policy.trace->absorb(i, sc.name, std::move(t));
+          }
           emit_event(policy, "cell_done", i, sc, attempt, wr.outcome.elapsed_s,
-                     wr.outcome.max_rss_kb);
+                     wr.outcome.max_rss_kb, {}, obs_json(out[i].obs));
           return;
         }
         fail.crashed = wr.outcome.crashed;
@@ -536,7 +613,11 @@ std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scen
           fail.what += "; stderr: " + snippet;
         }
         if (wr.outcome.crashed || wr.outcome.killed) {
-          write_crash_bundle(policy, i, attempt, sc, wr.outcome);
+          write_crash_bundle(policy, i, attempt, sc, wr.outcome, wr.flight_path);
+        }
+        if (!wr.flight_path.empty()) {
+          std::error_code flight_ec;
+          std::filesystem::remove(wr.flight_path, flight_ec);
         }
         emit_event(policy,
                    wr.outcome.killed ? "cell_killed"
@@ -551,7 +632,15 @@ std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scen
         // injected in-process hang spins on a live deadline.
         WallDeadlineGuard deadline_guard(policy.cell_deadline_s);
         fire_cell_injections(i, attempt, /*in_worker=*/false);
-        ExperimentResult r = run_experiment(sc);
+        // In-process observability: probes sample at policy.probe_interval_s
+        // and the cell's full trace (transfer spans, drop instants, probe
+        // counter tracks) is absorbed into the sweep-wide writer on success.
+        obs::CellTrace cell_trace;
+        obs::RunObs ro;
+        ro.probe_interval_s = policy.probe_interval_s;
+        ro.probe_capacity = policy.probe_capacity;
+        ro.trace = policy.trace != nullptr ? &cell_trace : nullptr;
+        ExperimentResult r = run_experiment(sc, &ro);
         double elapsed = seconds_since(t0);
         if (fault::fire(fault::Kind::kDeadlineOverrun, i, attempt)) {
           elapsed = (policy.cell_deadline_s > 0 ? policy.cell_deadline_s : elapsed) + 1.0;
@@ -567,7 +656,15 @@ std::vector<ExperimentResult> BatchRunner::run(const std::vector<Scenario>& scen
         out[i] = std::move(r);
         if (store != nullptr) store->store(sc, out[i]);
         done[i] = 1;
-        emit_event(policy, "cell_done", i, sc, attempt, elapsed);
+        if (policy.trace != nullptr) {
+          cell_trace.span(0.0, sc.duration_s,
+                          attempt > 0 ? "attempt (retry " + std::to_string(attempt) + ")"
+                                      : "attempt",
+                          "run");
+          policy.trace->absorb(i, sc.name, std::move(cell_trace));
+        }
+        emit_event(policy, "cell_done", i, sc, attempt, elapsed, -1, {},
+                   obs_json(out[i].obs));
         return;
       } catch (const sim::WallDeadlineError& e) {
         // The 64k-event poll preempted a cell running past --cell-deadline.

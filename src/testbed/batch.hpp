@@ -25,6 +25,10 @@
 #include "testbed/scenario.hpp"
 #include "testbed/supervisor.hpp"
 
+namespace ebrc::obs {
+class TraceWriter;
+}
+
 namespace ebrc::testbed {
 
 class ResultStore;
@@ -89,6 +93,24 @@ struct RunPolicy {
   std::string invocation;
   /// Optional JSONL telemetry sink (not owned; must outlive run()).
   SweepEventFeed* events = nullptr;
+
+  // --- observability (PR 10) ----------------------------------------------
+  /// > 0: every simulated cell gets an obs::Probe sampling its registered
+  /// gauges at this sim-time interval (series surface via
+  /// ExperimentResult::obs_series on freshly simulated cells; cache hits
+  /// have no simulator to sample and carry none).
+  double probe_interval_s = 0.0;
+  /// Ring capacity per probed series.
+  std::size_t probe_capacity = 4096;
+  /// Optional sweep-wide chrome://tracing sink (not owned; must outlive
+  /// run()). In-process cells absorb their full trace (transfer spans, drop
+  /// instants, probe counter tracks) as they finish; process-isolated cells
+  /// contribute only their attempt span — the worker's buffer dies with the
+  /// worker's address space.
+  obs::TraceWriter* trace = nullptr;
+  /// Process-isolated attempts arm an obs::FlightRecorder automatically
+  /// whenever crash_dir is set; a crashed/killed cell's bundle then contains
+  /// flight_recorder.txt with the kernel's last executed events.
 };
 
 /// What a (possibly cached, possibly sharded) batch run actually did.

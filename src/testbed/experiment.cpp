@@ -10,6 +10,8 @@
 #include "core/weights.hpp"
 #include "model/throughput_function.hpp"
 #include "net/dumbbell.hpp"
+#include "obs/run_obs.hpp"
+#include "obs/trace.hpp"
 #include "net/probe_senders.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -90,7 +92,7 @@ std::vector<const FlowStats*> ExperimentResult::of_kind(const std::string& kind)
   return out;
 }
 
-ExperimentResult run_experiment(const Scenario& sc) {
+ExperimentResult run_experiment(const Scenario& sc, const obs::RunObs* ro) {
   if (sc.duration_s <= sc.warmup_s) {
     throw std::invalid_argument("run_experiment: duration must exceed warmup");
   }
@@ -171,8 +173,126 @@ ExperimentResult run_experiment(const Scenario& sc) {
     churn->start(rng.uniform(0.0, 1.0));
   }
 
+  // --- observability -------------------------------------------------------
+  // Instruments are registered unconditionally (construction-time, off the
+  // hot path) so every result carries the same deterministic obs snapshot;
+  // only the probe / trace / flight ring are gated on `ro`.
+  obs::CellTrace* trace = ro != nullptr ? ro->trace : nullptr;
+  obs::Registry reg;
+  reg.add_counter("kernel_events",
+                  [&sim](double) { return static_cast<double>(sim.events_executed()); });
+  reg.add_counter("kernel_wheel_pops",
+                  [&sim](double) { return static_cast<double>(sim.wheel_pops()); });
+  reg.add_counter("kernel_heap_pops",
+                  [&sim](double) { return static_cast<double>(sim.heap_pops()); });
+  reg.add_counter("queue_drops",
+                  [&net](double) { return static_cast<double>(net.bottleneck().queue().drops()); });
+  reg.add_counter("queue_accepted", [&net](double) {
+    return static_cast<double>(net.bottleneck().queue().accepted());
+  });
+  reg.add_counter("link_delivered",
+                  [&net](double) { return static_cast<double>(net.bottleneck().delivered()); });
+  reg.add_gauge("queue_occupancy", [&net](double now) {
+    return static_cast<double>(net.bottleneck().queue().packets(now));
+  });
+  reg.add_gauge("queue_avg",
+                [&net](double) { return net.bottleneck().queue().average_queue(); });
+
+  // Occupancy-at-drop histogram, fed by the queue's drop hook — a rare path,
+  // always installed, so the snapshot never depends on probing.
+  struct DropObs {
+    obs::Histogram* occupancy = nullptr;
+    obs::CellTrace* trace = nullptr;
+  } drop_obs;
+  const auto cap = static_cast<double>(net.bottleneck().queue().capacity());
+  drop_obs.occupancy = reg.add_histogram("queue_drop_occupancy", 0.0, std::max(1.0, cap), 32);
+  drop_obs.trace = trace;
+  net.bottleneck().queue().set_drop_hook(
+      [](void* ctx, double now, std::size_t occ) {
+        auto* d = static_cast<DropObs*>(ctx);
+        d->occupancy->record(static_cast<double>(occ));
+        if (d->trace != nullptr) d->trace->instant(now, "drop", "queue");
+      },
+      &drop_obs);
+
+  // Churn instruments: per-class open/close totals, the live population, and
+  // a completion-time histogram fed from the FlowManager's completion hook.
+  struct CompObs {
+    obs::Histogram* duration = nullptr;
+    obs::CellTrace* trace = nullptr;
+  } comp_obs;
+  if (churn) {
+    static constexpr const char* kClsName[workload::kFlowClasses] = {"tfrc", "tcp", "aimd",
+                                                                     "rcp"};
+    for (int c = 0; c < workload::kFlowClasses; ++c) {
+      reg.add_counter(std::string("wl_opens_") + kClsName[c], [&churn, c](double) {
+        return static_cast<double>(churn->population().class_opens(c));
+      });
+      reg.add_counter(std::string("wl_closes_") + kClsName[c], [&churn, c](double) {
+        return static_cast<double>(churn->population().class_closes(c));
+      });
+    }
+    reg.add_gauge("wl_active_flows",
+                  [&churn](double) { return static_cast<double>(churn->active_flows()); });
+    comp_obs.duration =
+        reg.add_histogram("wl_completion_s", 0.0, std::max(1.0, sc.duration_s), 64);
+    comp_obs.trace = trace;
+    churn->set_completion_hook(
+        [](void* ctx, double t0, double t1, int cls, double size_pkts) {
+          (void)size_pkts;
+          auto* co = static_cast<CompObs*>(ctx);
+          co->duration->record(t1 - t0);
+          if (co->trace != nullptr) {
+            static constexpr const char* kSpan[workload::kFlowClasses] = {
+                "transfer:tfrc", "transfer:tcp", "transfer:aimd", "transfer:rcp"};
+            co->trace->span(t0, t1, kSpan[cls & 3], "transfers");
+          }
+        },
+        &comp_obs);
+  }
+
+  // Aggregate delivery rate: stateful (differences the delivered counter
+  // between samples), so probe-only — it never enters the snapshot.
+  struct RateState {
+    double last_t = 0.0;
+    double last_delivered = 0.0;
+  } rate_state;
+  reg.add_gauge(
+      "agg_rate_pps",
+      [&net, &rate_state](double now) {
+        const auto d = static_cast<double>(net.bottleneck().delivered());
+        const double dt = now - rate_state.last_t;
+        const double r = dt > 0.0 ? (d - rate_state.last_delivered) / dt : 0.0;
+        rate_state.last_t = now;
+        rate_state.last_delivered = d;
+        return r;
+      },
+      /*probe_only=*/true);
+
+  std::optional<obs::Probe> probe;
+  if (ro != nullptr) {
+    if (ro->ring.records != nullptr) sim.set_kernel_ring(ro->ring);
+    if (ro->probe_interval_s > 0.0) {
+      probe.emplace(sim, reg, ro->probe_interval_s, ro->probe_capacity, sc.duration_s, trace);
+    }
+  }
+  // The probe is driven from outside the kernel: run to each sample time,
+  // read the gauges, continue. No event is ever inserted on its behalf, so
+  // the executed event sequence — pops, wheel routing, everything — is
+  // byte-for-byte the same as an unprobed run's.
+  const auto run_probed_until = [&](double horizon) {
+    if (probe) {
+      while (probe->next_due() <= horizon) {
+        sim.run_until(probe->next_due());
+        probe->sample();
+      }
+    }
+    sim.run_until(horizon);
+  };
+
   // Warm-up, snapshot, measure.
-  sim.run_until(sc.warmup_s);
+  run_probed_until(sc.warmup_s);
+  if (trace != nullptr) trace->instant(sc.warmup_s, "warmup_end", "run");
   if (churn) churn->begin_epoch();
   std::vector<RecorderSnapshot> tfrc_s, tcp_s, probe_s;
   std::vector<std::uint64_t> tfrc_d0, tcp_d0;
@@ -186,7 +306,7 @@ ExperimentResult run_experiment(const Scenario& sc) {
   }
   for (auto& p : probes) probe_s.push_back(snap(p.recorder()));
 
-  sim.run_until(sc.duration_s);
+  run_probed_until(sc.duration_s);
   const double window = sc.duration_s - sc.warmup_s;
 
   ExperimentResult out;
@@ -196,6 +316,8 @@ ExperimentResult run_experiment(const Scenario& sc) {
     out.workload_active = true;
     out.workload = churn->summarize();
   }
+  out.obs = reg.snapshot(sim.now());
+  if (probe) out.obs_series = probe->take_series();
 
   const auto analyze = [&](const std::string& kind, int flow_id,
                            const stats::LossEventRecorder& rec, const RecorderSnapshot& s0,

@@ -13,8 +13,14 @@
 #include <string>
 #include <vector>
 
+#include "obs/probe.hpp"
+#include "obs/registry.hpp"
 #include "testbed/scenario.hpp"
 #include "workload/flow_manager.hpp"
+
+namespace ebrc::obs {
+struct RunObs;
+}
 
 namespace ebrc::testbed {
 
@@ -60,10 +66,22 @@ struct ExperimentResult {
   bool workload_active = false;
   workload::WorkloadSummary workload;
 
+  /// End-of-run obs::Registry snapshot (kernel pops, queue drops, per-class
+  /// transfer counts, ...). Deterministic — depends only on the scenario and
+  /// seed, never on probing — so it is cached alongside the other metrics
+  /// and surfaces as `obs_<name>` in batch aggregates and the event feed.
+  obs::Snapshot obs;
+  /// Probe time series (--probe-interval only). Never cached: a warm cell
+  /// replays its metrics from the store but has no simulator to sample.
+  std::vector<obs::Series> obs_series;
+
   [[nodiscard]] std::vector<const FlowStats*> of_kind(const std::string& kind) const;
 };
 
-/// Runs the scenario to completion and computes all metrics.
-[[nodiscard]] ExperimentResult run_experiment(const Scenario& scenario);
+/// Runs the scenario to completion and computes all metrics. `ro` carries
+/// the optional observability request (probe interval, trace buffer, flight
+/// ring); null means instruments-only (snapshot still taken, no sampling).
+[[nodiscard]] ExperimentResult run_experiment(const Scenario& scenario,
+                                              const obs::RunObs* ro = nullptr);
 
 }  // namespace ebrc::testbed

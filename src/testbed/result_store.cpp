@@ -164,6 +164,13 @@ std::string encode_result(const ExperimentResult& r) {
   w.f64(wl.aimd_p);
   w.f64(wl.rcp_p);
   w.f64(wl.qdelay_mean_s);
+  // PR 10: the deterministic obs snapshot (probe series are deliberately NOT
+  // encoded — a cache hit has no simulator to sample).
+  w.u64(r.obs.size());
+  for (const auto& [name, value] : r.obs) {
+    w.str(name);
+    w.f64(value);
+  }
   return w.take();
 }
 
@@ -228,7 +235,16 @@ std::optional<ExperimentResult> decode_result(std::string_view payload) {
   wl.aimd_p = r.f64();
   wl.rcp_p = r.f64();
   wl.qdelay_mean_s = r.f64();
-  if (!r.ok() || !r.exhausted() || out.flows.size() != n_flows) return std::nullopt;
+  const std::uint64_t n_obs = r.u64();
+  for (std::uint64_t i = 0; i < n_obs && r.ok(); ++i) {
+    std::string name = r.str();
+    const double value = r.f64();
+    out.obs.emplace_back(std::move(name), value);
+  }
+  if (!r.ok() || !r.exhausted() || out.flows.size() != n_flows ||
+      out.obs.size() != n_obs) {
+    return std::nullopt;
+  }
   return out;
 }
 

@@ -48,7 +48,7 @@ namespace ebrc::testbed {
 /// Behavioral version of the simulator baked into every cache key. Bump on
 /// any change that alters sample paths or metrics (new RNG, packet-path
 /// reorder, metric redefinition, ...) so old entries are never replayed.
-inline constexpr std::uint64_t kResultCacheSalt = 6;  // PR 9: controller-zoo telemetry in the payload
+inline constexpr std::uint64_t kResultCacheSalt = 7;  // PR 10: obs snapshot in the payload
 
 class ResultStore {
  public:

@@ -20,6 +20,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/json_escape.hpp"
+
 namespace ebrc::testbed {
 
 namespace {
@@ -208,25 +210,18 @@ WorkerOutcome run_supervised(const std::function<int()>& body, const WorkerLimit
 
 namespace {
 
-void json_escape_into(std::string& out, std::string_view s) {
-  for (const char c : s) {
-    const auto u = static_cast<unsigned char>(c);
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (u < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
+using util::json_escape_into;
+
+/// Stamps the common line prefix: `{"ts":<wall>,"event":"<event>"`.
+void begin_line(std::string& line, std::string_view event) {
+  const double ts = std::chrono::duration<double>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"ts\":%.6f,\"event\":\"", ts);
+  line += buf;
+  json_escape_into(line, event);
+  line += "\"";
 }
 
 }  // namespace
@@ -236,24 +231,34 @@ SweepEventFeed::SweepEventFeed(const std::filesystem::path& path)
   if (!out_) {
     throw std::runtime_error("--events-out: cannot open '" + path.string() + "' for writing");
   }
+  // One-time schema header (version 2: schema line + obs fields + sweep
+  // events). Event and field lists are space-separated strings, not JSON
+  // arrays, so every line stays parseable by util::parse_json too.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string line;
+  begin_line(line, "schema");
+  line +=
+      ",\"version\":2,\"events\":\"cell_start cell_done cell_failed cell_crashed "
+      "cell_killed retry sweep_done\",\"fields\":\"ts event cell scenario seed attempt "
+      "elapsed_s rss_kb detail obs\"}\n";
+  out_ << line;
+  out_.flush();
 }
 
 void SweepEventFeed::emit(std::string_view event, std::size_t cell, std::string_view scenario,
                           std::uint64_t seed, int attempt, double elapsed_s, long rss_kb,
-                          std::string_view detail) {
-  const double ts = std::chrono::duration<double>(
-                        std::chrono::system_clock::now().time_since_epoch())
-                        .count();
+                          std::string_view detail, std::string_view extra_json) {
+  // The lock covers the ts stamp in begin_line, not just the write: file
+  // order and timestamp order must agree for the feed to be validatable.
+  std::lock_guard<std::mutex> lock(mu_);
   std::string line;
-  line.reserve(160 + scenario.size() + detail.size());
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "{\"ts\":%.6f,\"event\":\"", ts);
-  line += buf;
-  json_escape_into(line, event);
-  line += "\",\"cell\":" + std::to_string(cell) + ",\"scenario\":\"";
+  line.reserve(192 + scenario.size() + detail.size() + extra_json.size());
+  begin_line(line, event);
+  line += ",\"cell\":" + std::to_string(cell) + ",\"scenario\":\"";
   json_escape_into(line, scenario);
   line += "\",\"seed\":" + std::to_string(seed) + ",\"attempt\":" + std::to_string(attempt);
   if (elapsed_s >= 0.0) {
+    char buf[64];
     std::snprintf(buf, sizeof(buf), ",\"elapsed_s\":%.6f", elapsed_s);
     line += buf;
   }
@@ -263,10 +268,21 @@ void SweepEventFeed::emit(std::string_view event, std::size_t cell, std::string_
     json_escape_into(line, detail);
     line += "\"";
   }
+  line += extra_json;
   line += "}\n";
-  std::lock_guard<std::mutex> lock(mu_);
   out_ << line;
   out_.flush();  // per-line: the feed must be tail-able mid-sweep
+}
+
+void SweepEventFeed::emit_sweep(std::string_view event, std::string_view extra_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string line;
+  line.reserve(64 + extra_json.size());
+  begin_line(line, event);
+  line += extra_json;
+  line += "}\n";
+  out_ << line;
+  out_.flush();
 }
 
 }  // namespace ebrc::testbed

@@ -89,27 +89,45 @@ struct WorkerOutcome {
 [[nodiscard]] std::string signal_name(int sig);
 
 /// Append-only JSONL telemetry for a sweep (--events-out). One object per
-/// line, flushed per event so `tail -f` works mid-sweep:
+/// line, flushed per event so `tail -f` works mid-sweep. The first line is
+/// always a schema header:
+///
+///   {"ts":...,"event":"schema","version":2,
+///    "events":"cell_start cell_done cell_failed cell_crashed cell_killed retry sweep_done",
+///    "fields":"ts event cell scenario seed attempt elapsed_s rss_kb detail obs"}
+///
+/// then one object per event:
 ///
 ///   {"ts":1754650000.123456,"event":"cell_crashed","cell":7,
 ///    "scenario":"fig16/b=0.25","seed":123456789,"attempt":0,
 ///    "elapsed_s":1.932,"rss_kb":51240,"detail":"crashed: SIGABRT"}
 ///
-/// Events: cell_start, cell_done, cell_failed, cell_crashed, cell_killed,
-/// retry. elapsed_s / rss_kb / detail are omitted when unknown. Thread-safe:
-/// BatchRunner workers emit concurrently.
+/// cell_done events additionally carry the cell's deterministic obs snapshot
+/// as a nested object: ,"obs":{"kernel_events":12345,...}. sweep_done is a
+/// sweep-level event (cell fields absent) carrying store counters the same
+/// way. elapsed_s / rss_kb / detail are omitted when unknown. Thread-safe:
+/// BatchRunner workers emit concurrently. scripts/validate_events.py checks
+/// all of this strictly; README documents the schema.
 class SweepEventFeed {
  public:
-  /// Opens (truncates) the feed file. Throws std::runtime_error if the path
-  /// cannot be opened — a sweep asked to record telemetry must not silently
-  /// drop it.
+  /// Opens (truncates) the feed file and writes the schema header line.
+  /// Throws std::runtime_error if the path cannot be opened — a sweep asked
+  /// to record telemetry must not silently drop it.
   explicit SweepEventFeed(const std::filesystem::path& path);
 
+  /// `extra_json` is a pre-rendered fragment appended verbatim before the
+  /// closing brace (e.g. `,"obs":{...}`); empty means no extra fields.
   void emit(std::string_view event, std::size_t cell, std::string_view scenario,
             std::uint64_t seed, int attempt, double elapsed_s = -1.0, long rss_kb = -1,
-            std::string_view detail = {});
+            std::string_view detail = {}, std::string_view extra_json = {});
+
+  /// Sweep-level event: no cell / scenario / seed / attempt fields.
+  void emit_sweep(std::string_view event, std::string_view extra_json = {});
 
  private:
+  // Serialises line CONSTRUCTION as well as the write: the ts stamp happens
+  // under this lock, so timestamps are non-decreasing in file order — a
+  // property scripts/validate_events.py checks.
   std::mutex mu_;
   std::ofstream out_;
 };

@@ -101,9 +101,40 @@ void append_escaped(std::string& out, std::string_view s) {
       switch (e) {
         case '"': out += '"'; break;
         case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
         case 'n': out += '\n'; break;
         case 't': out += '\t'; break;
         case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          // \uXXXX (BMP, no surrogate pairs — the escapers here only emit
+          // \u00XX for control characters), decoded to UTF-8.
+          if (i + 4 >= s.size()) fail(format, line, "truncated \\u escape");
+          unsigned cp = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s[++i];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail(format, line, "malformed \\u escape");
+          }
+          if (cp >= 0xD800 && cp <= 0xDFFF) {
+            fail(format, line, "surrogate \\u escape unsupported");
+          }
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
         default: fail(format, line, std::string("unknown escape \\") + e);
       }
       continue;

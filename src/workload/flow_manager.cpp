@@ -207,6 +207,9 @@ void FlowManager::complete(std::size_t idx) {
   assert(slot.busy && "completion from an unoccupied slot");
   const double now = net_.simulator().now();
   pop_.on_close(now, slot.cls, now - slot.opened_at, slot.size_pkts);
+  if (completion_hook_ != nullptr) {
+    completion_hook_(completion_ctx_, slot.opened_at, now, slot.cls, slot.size_pkts);
+  }
   slot.busy = false;
 
   // Quarantine: the slot rejoins the free list only once every in-flight

@@ -130,6 +130,17 @@ class FlowManager {
   /// Callable once per epoch (finishes the population time averages).
   [[nodiscard]] WorkloadSummary summarize();
 
+  /// Observability hook, fired once per transfer completion (a rare path —
+  /// thousands of packets per transfer). Raw function pointer + context so
+  /// workload/ stays free of any obs dependency; the obs layer uses it to
+  /// feed completion-time histograms and trace spans.
+  using CompletionHook = void (*)(void* ctx, double opened_at, double closed_at, int cls,
+                                  double size_pkts);
+  void set_completion_hook(CompletionHook hook, void* ctx) noexcept {
+    completion_hook_ = hook;
+    completion_ctx_ = ctx;
+  }
+
   // --- introspection (tests, drivers) ----------------------------------
   [[nodiscard]] const stats::PopulationTracker& population() const noexcept { return pop_; }
   [[nodiscard]] std::size_t pool_slots() const noexcept { return pools_.size(); }
@@ -156,6 +167,8 @@ class FlowManager {
   FlowPools pools_;                  // SoA slot state + on-demand connections
   std::vector<std::size_t> free_;    // LIFO free list of drained slots
   stats::PopulationTracker pop_;
+  CompletionHook completion_hook_ = nullptr;
+  void* completion_ctx_ = nullptr;
   int forced_cls_ = -1;  // workload.controller override; -1 = tfrc_fraction mix
   double epoch_start_ = 0.0;
   bool running_ = false;

@@ -168,21 +168,44 @@ TEST(SweepEventFeedTest, WritesOneJsonObjectPerLineAndEscapes) {
   std::string line;
   std::vector<std::string> lines;
   while (std::getline(in, line)) lines.push_back(line);
-  ASSERT_EQ(lines.size(), 3u);
+  ASSERT_EQ(lines.size(), 4u) << "schema header + 3 events";
   for (const auto& l : lines) {
     EXPECT_EQ(l.front(), '{');
     EXPECT_EQ(l.back(), '}');
   }
-  EXPECT_NE(lines[0].find("\"event\":\"cell_start\""), std::string::npos);
-  EXPECT_NE(lines[0].find("\"cell\":3"), std::string::npos);
-  EXPECT_NE(lines[0].find("\"seed\":123"), std::string::npos);
-  EXPECT_EQ(lines[0].find("elapsed_s"), std::string::npos) << "unknown fields are omitted";
-  EXPECT_EQ(lines[0].find("rss_kb"), std::string::npos);
-  EXPECT_NE(lines[1].find("\"elapsed_s\":1.500000"), std::string::npos);
-  EXPECT_NE(lines[1].find("\"rss_kb\":4096"), std::string::npos);
-  EXPECT_NE(lines[2].find("name-with\\\"quote\\nand-newline"), std::string::npos);
-  EXPECT_NE(lines[2].find("detail with \\\\ backslash"), std::string::npos);
-  EXPECT_NE(lines[2].find("\"ts\":"), std::string::npos);
+  // Line 0 is always the schema header.
+  EXPECT_NE(lines[0].find("\"event\":\"schema\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"version\":2"), std::string::npos);
+  EXPECT_NE(lines[0].find("sweep_done"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"event\":\"cell_start\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"cell\":3"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"seed\":123"), std::string::npos);
+  EXPECT_EQ(lines[1].find("elapsed_s"), std::string::npos) << "unknown fields are omitted";
+  EXPECT_EQ(lines[1].find("rss_kb"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"elapsed_s\":1.500000"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"rss_kb\":4096"), std::string::npos);
+  EXPECT_NE(lines[3].find("name-with\\\"quote\\nand-newline"), std::string::npos);
+  EXPECT_NE(lines[3].find("detail with \\\\ backslash"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"ts\":"), std::string::npos);
+}
+
+TEST(SweepEventFeedTest, ExtraJsonAndSweepEvents) {
+  TempDir dir;
+  const fs::path path = dir.path / "events.jsonl";
+  {
+    SweepEventFeed feed(path);
+    feed.emit("cell_done", 0, "sc", 1, 0, 0.5, -1, {}, ",\"obs\":{\"kernel_events\":42}");
+    feed.emit_sweep("sweep_done", ",\"cells\":7,\"obs\":{\"store_hits\":3}");
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[1].find(",\"obs\":{\"kernel_events\":42}}"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"event\":\"sweep_done\""), std::string::npos);
+  EXPECT_NE(lines[2].find(",\"cells\":7,\"obs\":{\"store_hits\":3}}"), std::string::npos);
+  EXPECT_EQ(lines[2].find("\"cell\":"), std::string::npos) << "sweep events carry no cell";
 }
 
 TEST(SweepEventFeedTest, UnopenablePathThrows) {
